@@ -1,0 +1,78 @@
+// Command idxbench regenerates the paper's evaluation tables and figures
+// from the command line:
+//
+//	idxbench                 # everything (Figures 4–10, Tables 2–3)
+//	idxbench -fig 5          # one figure
+//	idxbench -table 2        # one table
+//	idxbench -iters 30       # longer simulated runs
+//	idxbench -max-nodes 128  # cap the node sweep (faster)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"indexlaunch/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate only this figure (4-10)")
+	table := flag.Int("table", 0, "regenerate only this table (2-3)")
+	extension := flag.Bool("extension", false, "also run the bulk-tracing extension experiment")
+	chart := flag.Bool("chart", false, "render figures as ASCII charts instead of tables")
+	iters := flag.Int("iters", 0, "simulated timesteps per data point (0 = default)")
+	maxNodes := flag.Int("max-nodes", 0, "cap the node sweep (0 = paper's range)")
+	flag.Parse()
+
+	render := func(f bench.Figure) string {
+		if *chart {
+			return f.RenderChart()
+		}
+		return f.Render()
+	}
+
+	opts := bench.Options{Iters: *iters, MaxNodes: *maxNodes}
+	figures := bench.Figures()
+	tables := bench.Tables()
+
+	switch {
+	case *fig != 0:
+		gen, ok := figures[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "idxbench: no figure %d (have 4-10)\n", *fig)
+			os.Exit(1)
+		}
+		fmt.Print(render(gen(opts)))
+	case *table != 0:
+		gen, ok := tables[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "idxbench: no table %d (have 2-3)\n", *table)
+			os.Exit(1)
+		}
+		fmt.Print(gen().Render())
+	default:
+		var figIDs []int
+		for id := range figures {
+			figIDs = append(figIDs, id)
+		}
+		sort.Ints(figIDs)
+		for _, id := range figIDs {
+			fmt.Print(render(figures[id](opts)))
+			fmt.Println()
+		}
+		var tabIDs []int
+		for id := range tables {
+			tabIDs = append(tabIDs, id)
+		}
+		sort.Ints(tabIDs)
+		for _, id := range tabIDs {
+			fmt.Print(tables[id]().Render())
+			fmt.Println()
+		}
+		if *extension {
+			fmt.Print(render(bench.FigBulkTracing(opts)))
+		}
+	}
+}

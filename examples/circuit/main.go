@@ -1,0 +1,67 @@
+// Circuit: the paper's first evaluation code as a runnable example — an
+// unstructured-graph circuit simulation with private/ghost node partitions,
+// reductions for charge distribution, and three index launches per
+// timestep, validated against a sequential reference.
+//
+//	go run ./examples/circuit
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"indexlaunch/internal/apps/circuit"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/region"
+	"indexlaunch/internal/rt"
+)
+
+func main() {
+	params := circuit.Params{
+		Pieces: 8, NodesPerPiece: 200, WiresPerPiece: 600,
+		CrossFraction: 0.1, Seed: 7,
+	}
+	const iters = 20
+
+	// Parallel run on the runtime.
+	c, err := circuit.Build(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runtime := rt.MustNew(rt.Config{
+		Nodes: 4, ProcsPerNode: 2,
+		DCR: true, IndexLaunches: true, VerifyLaunches: true,
+	})
+	app := circuit.NewApp(c, runtime)
+	if err := app.Run(iters); err != nil {
+		log.Fatal(err)
+	}
+
+	// Sequential reference on an identical graph.
+	ref, err := circuit.Build(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	circuit.Reference(ref, iters)
+
+	gotV := region.MustFieldF64(c.Nodes.Root(), circuit.FieldVoltage)
+	refV := region.MustFieldF64(ref.Nodes.Root(), circuit.FieldVoltage)
+	var maxDiff float64
+	c.Nodes.Root().Domain.Each(func(p domain.Point) bool {
+		if d := math.Abs(gotV.Get(p) - refV.Get(p)); d > maxDiff {
+			maxDiff = d
+		}
+		return true
+	})
+
+	stats := runtime.Stats()
+	fmt.Printf("circuit: %d pieces × %d wires, %d timesteps\n",
+		params.Pieces, params.WiresPerPiece, iters)
+	fmt.Printf("total voltage: %+.6f (reference %+.6f, max divergence %.2e)\n",
+		c.TotalVoltage(), ref.TotalVoltage(), maxDiff)
+	fmt.Printf("runtime: %d index launches, %d tasks, %d dependence edges, %d fallbacks\n",
+		stats.IndexLaunched, stats.TasksExecuted, stats.DepEdges, stats.Fallbacks)
+	fmt.Printf("all projection functors are trivial: %d dynamic-check evaluations\n",
+		stats.DynamicCheckEvals)
+}

@@ -1,0 +1,94 @@
+// Compiler demo: walk the paper's Listings 1–3 through the Regent-like
+// front-end — candidate detection, static functor classification, dynamic
+// check emission — then execute the compiled plan against a real runtime
+// binding and show which path each loop took.
+//
+//	go run ./examples/compilerdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/lang"
+	"indexlaunch/internal/region"
+	"indexlaunch/internal/rt"
+)
+
+const src = `
+-- Listing 1: trivial and non-trivial projection functors.
+task foo(r) where reads(r), writes(r) do end
+task bar(q) where reads(q), writes(q) do end
+
+var N = 16
+for i = 0, N do
+  foo(p[i])            -- identity: statically safe
+end
+for i = 0, N do
+  bar(q[(5*i+3) % 64]) -- coprime stride: only the dynamic check can tell
+end
+
+-- Listing 2: i%3 over [0,5) with writes is rejected and stays a task loop.
+task baz(c1, c2) where reads(c1), writes(c2) do end
+for i = 0, 5 do
+  baz(p[i], q[i % 3])
+end
+`
+
+func main() {
+	plan, err := lang.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== optimizer report ===")
+	fmt.Print(plan.Report())
+
+	// Bind partitions and tasks to real runtime objects. The task counts
+	// how many blocks it touches by bumping each element.
+	runtime := rt.MustNew(rt.Config{Nodes: 2, ProcsPerNode: 2, DCR: true, IndexLaunches: true})
+	mkPart := func(name string, elems int64, blocks int) *region.Partition {
+		fs := region.MustFieldSpace(region.Field{ID: 0, Name: "v", Kind: region.F64})
+		tree := region.MustNewTree(name, domain.Range1(0, elems-1), fs)
+		part, err := tree.PartitionEqual(tree.Root(), name, blocks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return part
+	}
+	bump := runtime.MustRegisterTask("bump", func(ctx *rt.Context) ([]byte, error) {
+		for i := 0; i < ctx.NumRegions(); i++ {
+			pr, _ := ctx.Region(i)
+			if !pr.Priv.IsWrite() {
+				continue
+			}
+			acc, err := ctx.WriteF64(i, 0)
+			if err != nil {
+				return nil, err
+			}
+			pr.Region.Domain.Each(func(p domain.Point) bool {
+				acc.Set(p, acc.Get(p)+1)
+				return true
+			})
+		}
+		return nil, nil
+	})
+
+	binding := &lang.Binding{
+		RT:    runtime,
+		Tasks: map[string]core.TaskID{"foo": bump, "bar": bump, "baz": bump},
+		Parts: map[string]*region.Partition{
+			"p": mkPart("p", 160, 16),
+			"q": mkPart("q", 640, 64),
+		},
+	}
+	stats, err := lang.Exec(plan, binding)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== execution ===")
+	fmt.Printf("index launches:      %d\n", stats.IndexLaunches)
+	fmt.Printf("dynamic checks run:  %d (%d functor evaluations)\n", stats.DynamicBranches, stats.CheckEvals)
+	fmt.Printf("task-loop fallbacks: %d (%d individually issued tasks)\n", stats.TaskLoops, stats.SingleTasks)
+}

@@ -1,0 +1,68 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example binary end to end, checking
+// for the key line each should print. Skipped with -short.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are integration tests; skipped with -short")
+	}
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"./examples/quickstart", "sum of all task results: 49500000"},
+		{"./examples/circuit", "max divergence"},
+		{"./examples/stencil", "9 replays"},
+		{"./examples/soleil", "0 fallbacks"},
+		{"./examples/compilerdemo", "index launch (static)"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.path, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.path).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.path, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("%s output missing %q:\n%s", c.path, c.want, out)
+			}
+		})
+	}
+}
+
+// TestCLIsRun smoke-tests the command-line tools.
+func TestCLIsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration tests; skipped with -short")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"idxbench-table2", []string{"run", "./cmd/idxbench", "-table", "2"}, "Identity i"},
+		{"idxbench-fig10", []string{"run", "./cmd/idxbench", "-fig", "10", "-iters", "3"}, "DCR, IDX (dynamic check)"},
+		{"idxlang-demo", []string{"run", "./cmd/idxlang", "-demo", "-run"}, "index launches"},
+		{"idxsim", []string{"run", "./cmd/idxsim", "-app", "stencil", "-nodes", "16", "-iters", "3"}, "throughput"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", c.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go %v: %v\n%s", c.args, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("%v output missing %q:\n%s", c.args, c.want, out)
+			}
+		})
+	}
+}

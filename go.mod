@@ -1,0 +1,3 @@
+module indexlaunch
+
+go 1.22

@@ -1,0 +1,336 @@
+// Package circuit implements the paper's first evaluation code (§6.1): a
+// simulation of an electrical circuit on an unstructured graph, previously
+// used to evaluate dynamic control replication. The circuit is partitioned
+// into pieces; each iteration runs three stages as index launches with
+// trivial (identity) projection functors:
+//
+//	calc_new_currents  — reads node voltages (own + ghost), updates wire currents
+//	distribute_charge  — reads wire currents, reduces charge into nodes (own + ghost)
+//	update_voltages    — updates private node voltages from accumulated charge
+//
+// The package provides both a real implementation on the rt runtime (used
+// by examples and correctness tests, validated against a sequential
+// reference) and a workload generator for the cluster simulator (used to
+// regenerate Figures 4–6).
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/projection"
+	"indexlaunch/internal/region"
+	"indexlaunch/internal/rt"
+)
+
+// Node fields.
+const (
+	FieldVoltage region.FieldID = iota
+	FieldCharge
+	FieldCapacitance
+	FieldLeakage
+)
+
+// Wire fields.
+const (
+	FieldCurrent region.FieldID = iota
+	FieldResistance
+	FieldInNode  // int64: source node index
+	FieldOutNode // int64: sink node index
+)
+
+// Params sizes a circuit.
+type Params struct {
+	// Pieces is the number of graph pieces (one task per piece per stage).
+	Pieces int
+	// NodesPerPiece and WiresPerPiece size each piece.
+	NodesPerPiece int
+	WiresPerPiece int
+	// CrossFraction is the fraction of wires whose sink lies in another
+	// piece (creating the ghost regions).
+	CrossFraction float64
+	// Seed makes graph generation deterministic.
+	Seed int64
+}
+
+// Circuit holds the built graph: region trees, partitions and launch
+// domains ready for execution.
+type Circuit struct {
+	Params Params
+
+	Nodes *region.Tree
+	Wires *region.Tree
+
+	// PrivateNodes is the disjoint partition of nodes by owning piece.
+	PrivateNodes *region.Partition
+	// GhostNodes is the aliased partition: piece p's subregion holds the
+	// remote nodes p's wires touch.
+	GhostNodes *region.Partition
+	// AllNodes is the aliased partition combining private and ghost nodes
+	// per piece — what calc_new_currents reads voltages through.
+	AllNodes *region.Partition
+	// PieceWires is the disjoint partition of wires by piece.
+	PieceWires *region.Partition
+
+	// LaunchDomain is the pieces domain [0, Pieces).
+	LaunchDomain domain.Domain
+}
+
+// Build generates the graph and its partitions.
+func Build(p Params) (*Circuit, error) {
+	if p.Pieces < 1 || p.NodesPerPiece < 1 || p.WiresPerPiece < 1 {
+		return nil, fmt.Errorf("circuit: invalid params %+v", p)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	totalNodes := int64(p.Pieces * p.NodesPerPiece)
+	totalWires := int64(p.Pieces * p.WiresPerPiece)
+
+	nodeFields := region.MustFieldSpace(
+		region.Field{ID: FieldVoltage, Name: "voltage", Kind: region.F64},
+		region.Field{ID: FieldCharge, Name: "charge", Kind: region.F64},
+		region.Field{ID: FieldCapacitance, Name: "capacitance", Kind: region.F64},
+		region.Field{ID: FieldLeakage, Name: "leakage", Kind: region.F64},
+	)
+	wireFields := region.MustFieldSpace(
+		region.Field{ID: FieldCurrent, Name: "current", Kind: region.F64},
+		region.Field{ID: FieldResistance, Name: "resistance", Kind: region.F64},
+		region.Field{ID: FieldInNode, Name: "in_node", Kind: region.I64},
+		region.Field{ID: FieldOutNode, Name: "out_node", Kind: region.I64},
+	)
+
+	nodes, err := region.NewTree("circuit_nodes", domain.Range1(0, totalNodes-1), nodeFields)
+	if err != nil {
+		return nil, err
+	}
+	wires, err := region.NewTree("circuit_wires", domain.Range1(0, totalWires-1), wireFields)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Circuit{
+		Params:       p,
+		Nodes:        nodes,
+		Wires:        wires,
+		LaunchDomain: domain.Range1(0, int64(p.Pieces)-1),
+	}
+
+	// Initialize node state.
+	voltage := region.MustFieldF64(nodes.Root(), FieldVoltage)
+	charge := region.MustFieldF64(nodes.Root(), FieldCharge)
+	capacitance := region.MustFieldF64(nodes.Root(), FieldCapacitance)
+	leakage := region.MustFieldF64(nodes.Root(), FieldLeakage)
+	for i := int64(0); i < totalNodes; i++ {
+		pt := domain.Pt1(i)
+		voltage.Set(pt, 2*rng.Float64()-1)
+		charge.Set(pt, 0)
+		capacitance.Set(pt, 1+0.2*rng.Float64())
+		leakage.Set(pt, 0.1*rng.Float64())
+	}
+
+	// Wire topology: each wire starts in its own piece; a CrossFraction of
+	// sinks land in a random other piece.
+	current := region.MustFieldF64(wires.Root(), FieldCurrent)
+	resistance := region.MustFieldF64(wires.Root(), FieldResistance)
+	inNode := region.MustFieldI64(wires.Root(), FieldInNode)
+	outNode := region.MustFieldI64(wires.Root(), FieldOutNode)
+	for piece := 0; piece < p.Pieces; piece++ {
+		base := int64(piece * p.NodesPerPiece)
+		for w := 0; w < p.WiresPerPiece; w++ {
+			wi := int64(piece*p.WiresPerPiece + w)
+			src := base + rng.Int63n(int64(p.NodesPerPiece))
+			var dst int64
+			if p.Pieces > 1 && rng.Float64() < p.CrossFraction {
+				other := rng.Intn(p.Pieces - 1)
+				if other >= piece {
+					other++
+				}
+				dst = int64(other*p.NodesPerPiece) + rng.Int63n(int64(p.NodesPerPiece))
+			} else {
+				dst = base + rng.Int63n(int64(p.NodesPerPiece))
+			}
+			pt := domain.Pt1(wi)
+			inNode.Set(pt, src)
+			outNode.Set(pt, dst)
+			current.Set(pt, 0)
+			resistance.Set(pt, 1+rng.Float64())
+		}
+	}
+
+	// Partitions: pieces own contiguous node/wire blocks; ghost regions
+	// are *derived from the data* with dependent partitioning, exactly as
+	// the real circuit does — each piece's ghosts are the image of its
+	// wires' sink field minus its own private nodes, and the view passed
+	// to tasks is the union of private and ghost nodes.
+	if c.PrivateNodes, err = nodes.PartitionEqual(nodes.Root(), "private", p.Pieces); err != nil {
+		return nil, err
+	}
+	if c.PieceWires, err = wires.PartitionEqual(wires.Root(), "piece_wires", p.Pieces); err != nil {
+		return nil, err
+	}
+	if c.GhostNodes, err = region.PartitionImageI64(nodes, "ghost", c.PieceWires, FieldOutNode, c.PrivateNodes); err != nil {
+		return nil, err
+	}
+	if c.AllNodes, err = region.UnionPartitions("all_nodes", c.PrivateNodes, c.GhostNodes); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// App binds the circuit tasks to a runtime.
+type App struct {
+	C  *Circuit
+	RT *rt.Runtime
+
+	calcCurrents core.TaskID
+	distCharge   core.TaskID
+	updateVolt   core.TaskID
+}
+
+// NewApp registers the circuit tasks on the runtime.
+func NewApp(c *Circuit, r *rt.Runtime) *App {
+	a := &App{C: c, RT: r}
+	a.calcCurrents = r.MustRegisterTask("circuit.calc_new_currents", a.calcNewCurrents)
+	a.distCharge = r.MustRegisterTask("circuit.distribute_charge", a.distributeCharge)
+	a.updateVolt = r.MustRegisterTask("circuit.update_voltages", a.updateVoltages)
+	return a
+}
+
+// Step issues one simulation iteration as three index launches.
+func (a *App) Step() error {
+	c := a.C
+	id := projection.Identity(1)
+	calc := core.MustForall("calc_new_currents", a.calcCurrents, c.LaunchDomain,
+		core.Requirement{Partition: c.PieceWires, Functor: id, Priv: privilege.ReadWrite,
+			Fields: []region.FieldID{FieldCurrent, FieldResistance, FieldInNode, FieldOutNode}},
+		core.Requirement{Partition: c.AllNodes, Functor: id, Priv: privilege.Read,
+			Fields: []region.FieldID{FieldVoltage}},
+	)
+	dist := core.MustForall("distribute_charge", a.distCharge, c.LaunchDomain,
+		core.Requirement{Partition: c.PieceWires, Functor: id, Priv: privilege.Read,
+			Fields: []region.FieldID{FieldCurrent, FieldInNode, FieldOutNode}},
+		core.Requirement{Partition: c.AllNodes, Functor: id, Priv: privilege.Reduce,
+			RedOp: privilege.OpSumF64, Fields: []region.FieldID{FieldCharge}},
+	)
+	update := core.MustForall("update_voltages", a.updateVolt, c.LaunchDomain,
+		core.Requirement{Partition: c.PrivateNodes, Functor: id, Priv: privilege.ReadWrite,
+			Fields: []region.FieldID{FieldVoltage, FieldCharge, FieldCapacitance, FieldLeakage}},
+	)
+	for _, l := range []*core.IndexLaunch{calc, dist, update} {
+		if _, err := a.RT.ExecuteIndex(l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes iters iterations and waits for completion.
+func (a *App) Run(iters int) error {
+	for i := 0; i < iters; i++ {
+		if err := a.Step(); err != nil {
+			return err
+		}
+	}
+	a.RT.Fence()
+	return nil
+}
+
+const dt = 0.01
+
+func (a *App) calcNewCurrents(ctx *rt.Context) ([]byte, error) {
+	cur, err := ctx.WriteF64(0, FieldCurrent)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ctx.ReadF64(0, FieldResistance)
+	if err != nil {
+		return nil, err
+	}
+	in, err := ctx.ReadI64(0, FieldInNode)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ctx.ReadI64(0, FieldOutNode)
+	if err != nil {
+		return nil, err
+	}
+	volt, err := ctx.ReadF64(1, FieldVoltage)
+	if err != nil {
+		return nil, err
+	}
+	pr, _ := ctx.Region(0)
+	pr.Region.Domain.Each(func(w domain.Point) bool {
+		src := domain.Pt1(in.Get(w))
+		dst := domain.Pt1(out.Get(w))
+		cur.Set(w, (volt.Get(src)-volt.Get(dst))/res.Get(w))
+		return true
+	})
+	return nil, nil
+}
+
+func (a *App) distributeCharge(ctx *rt.Context) ([]byte, error) {
+	cur, err := ctx.ReadF64(0, FieldCurrent)
+	if err != nil {
+		return nil, err
+	}
+	in, err := ctx.ReadI64(0, FieldInNode)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ctx.ReadI64(0, FieldOutNode)
+	if err != nil {
+		return nil, err
+	}
+	charge, err := ctx.ReduceF64(1, FieldCharge)
+	if err != nil {
+		return nil, err
+	}
+	pr, _ := ctx.Region(0)
+	pr.Region.Domain.Each(func(w domain.Point) bool {
+		i := cur.Get(w)
+		charge.Fold(domain.Pt1(in.Get(w)), -dt*i)
+		charge.Fold(domain.Pt1(out.Get(w)), dt*i)
+		return true
+	})
+	return nil, nil
+}
+
+func (a *App) updateVoltages(ctx *rt.Context) ([]byte, error) {
+	volt, err := ctx.WriteF64(0, FieldVoltage)
+	if err != nil {
+		return nil, err
+	}
+	charge, err := ctx.WriteF64(0, FieldCharge)
+	if err != nil {
+		return nil, err
+	}
+	cap, err := ctx.ReadF64(0, FieldCapacitance)
+	if err != nil {
+		return nil, err
+	}
+	leak, err := ctx.ReadF64(0, FieldLeakage)
+	if err != nil {
+		return nil, err
+	}
+	pr, _ := ctx.Region(0)
+	pr.Region.Domain.Each(func(nd domain.Point) bool {
+		v := volt.Get(nd) + charge.Get(nd)/cap.Get(nd)
+		v -= v * leak.Get(nd) * dt
+		volt.Set(nd, v)
+		charge.Set(nd, 0)
+		return true
+	})
+	return nil, nil
+}
+
+// TotalVoltage sums node voltages — a cheap integration check.
+func (c *Circuit) TotalVoltage() float64 {
+	s, err := region.SumF64(c.Nodes.Root(), FieldVoltage)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

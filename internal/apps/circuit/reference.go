@@ -1,0 +1,47 @@
+package circuit
+
+import (
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/region"
+)
+
+// Reference runs iters iterations of the circuit simulation sequentially,
+// mutating the circuit's data in place. It is the oracle the runtime
+// execution is validated against: identical graph + identical iteration
+// count must produce voltages equal up to reduction reordering.
+func Reference(c *Circuit, iters int) {
+	volt := region.MustFieldF64(c.Nodes.Root(), FieldVoltage)
+	charge := region.MustFieldF64(c.Nodes.Root(), FieldCharge)
+	capac := region.MustFieldF64(c.Nodes.Root(), FieldCapacitance)
+	leak := region.MustFieldF64(c.Nodes.Root(), FieldLeakage)
+	cur := region.MustFieldF64(c.Wires.Root(), FieldCurrent)
+	res := region.MustFieldF64(c.Wires.Root(), FieldResistance)
+	in := region.MustFieldI64(c.Wires.Root(), FieldInNode)
+	out := region.MustFieldI64(c.Wires.Root(), FieldOutNode)
+
+	wires := c.Wires.Root().Domain
+	nodes := c.Nodes.Root().Domain
+	for it := 0; it < iters; it++ {
+		wires.Each(func(w domain.Point) bool {
+			src := domain.Pt1(in.Get(w))
+			dst := domain.Pt1(out.Get(w))
+			cur.Set(w, (volt.Get(src)-volt.Get(dst))/res.Get(w))
+			return true
+		})
+		wires.Each(func(w domain.Point) bool {
+			i := cur.Get(w)
+			src := domain.Pt1(in.Get(w))
+			dst := domain.Pt1(out.Get(w))
+			charge.Set(src, charge.Get(src)-dt*i)
+			charge.Set(dst, charge.Get(dst)+dt*i)
+			return true
+		})
+		nodes.Each(func(nd domain.Point) bool {
+			v := volt.Get(nd) + charge.Get(nd)/capac.Get(nd)
+			v -= v * leak.Get(nd) * dt
+			volt.Set(nd, v)
+			charge.Set(nd, 0)
+			return true
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package circuit
+
+import (
+	"math"
+
+	"indexlaunch/internal/sim"
+)
+
+// Per-stage GPU throughputs in wires/second for one P100-class processor.
+// Together they yield ≈ 5·10⁶ wires/s/node at full efficiency, matching the
+// scale of the paper's Figure 5 y-axis.
+const (
+	rateCalc   = 1.0e7
+	rateDist   = 1.67e7
+	rateUpdate = 2.5e7
+
+	// A wire's exchanged state (voltage + charge contributions) in bytes;
+	// CrossFraction of wires touch remote nodes.
+	wireStateBytes = 16.0
+	crossFraction  = 0.05
+
+	// perMessageSec is the software overhead of one point-to-point ghost
+	// message; unstructured graphs exchange with many distinct peers.
+	perMessageSec = 3e-6
+
+	// Per-task issuance/analysis cost when circuit tasks are issued
+	// individually: unstructured ghost region requirements make both the
+	// initial analysis and its trace replay expensive relative to
+	// structured codes.
+	perTaskIssue  = 14e-6
+	perTaskReplay = 9e-6
+	// skewCoeff scales the load-imbalance model: random graphs give the
+	// slowest piece ~skewCoeff·sqrt(ln N / normalized piece size) extra
+	// work, which bites exactly when strong scaling shrinks pieces.
+	skewCoeff = 0.4
+	skewUnit  = 5000.0
+)
+
+// imbalance returns the fractional slowdown of the slowest piece.
+func imbalance(nodes int, wiresPerTask float64) float64 {
+	if wiresPerTask <= 0 {
+		return 0
+	}
+	return skewCoeff * math.Sqrt(math.Log(float64(nodes)+1)*skewUnit/wiresPerTask)
+}
+
+// ghostPeers estimates the number of distinct pieces a piece exchanges
+// ghost data with: g uniform draws over n-1 targets hit ≈ (n-1)(1-e^(-g/(n-1)))
+// distinct pieces.
+func ghostPeers(nodes int, wiresPerTask float64) float64 {
+	if nodes <= 1 {
+		return 0
+	}
+	g := crossFraction * wiresPerTask
+	m := float64(nodes - 1)
+	return m * (1 - math.Exp(-g/m))
+}
+
+// WiresPerSecond converts a simulated makespan back to the paper's
+// throughput metric.
+func WiresPerSecond(totalWires float64, iters int, makespan float64) float64 {
+	return totalWires * float64(iters) / makespan
+}
+
+// SimParams sizes the simulated circuit workload.
+type SimParams struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// TasksPerNode is 1 for the paper's main runs (one task per GPU per
+	// stage) and 10 for the overdecomposed run of Figure 6.
+	TasksPerNode int
+	// WiresPerTask is the per-task problem size.
+	WiresPerTask float64
+	// Iters is the number of timesteps.
+	Iters int
+}
+
+// SimProgram builds the simulator workload for one circuit run: three index
+// launches per iteration with the dependence pattern of the real code
+// (currents need last iteration's voltages including ghosts; charge
+// distribution follows currents; voltage updates follow charge reductions
+// from neighboring pieces).
+func SimProgram(p SimParams) sim.Program {
+	tasks := p.Nodes * p.TasksPerNode
+	ghostBytes := crossFraction * p.WiresPerTask * wireStateBytes
+	// Slowest-piece skew and per-peer message software overhead stretch
+	// each task; both effects grow as strong scaling shrinks the pieces.
+	stretch := 1 + imbalance(p.Nodes, p.WiresPerTask)
+	msg := ghostPeers(p.Nodes, p.WiresPerTask) * perMessageSec
+	stage := func(rate float64) float64 {
+		return p.WiresPerTask/rate*stretch + msg
+	}
+	body := []sim.Launch{
+		{
+			Name:          "calc_new_currents",
+			Points:        tasks,
+			ComputeSec:    stage(rateCalc),
+			CommBytes:     ghostBytes,
+			Args:          2,
+			PerTaskIssue:  perTaskIssue,
+			PerTaskReplay: perTaskReplay,
+			// Needs the previous iteration's voltages: own piece and the
+			// pieces its ghost nodes live in (launch 3 positions back is
+			// update_voltages of the previous iteration).
+			Deps: []sim.DepSpec{sim.Neighbors1D(3, 1, tasks)},
+		},
+		{
+			Name:          "distribute_charge",
+			Points:        tasks,
+			ComputeSec:    stage(rateDist),
+			CommBytes:     0,
+			Args:          2,
+			PerTaskIssue:  perTaskIssue,
+			PerTaskReplay: perTaskReplay,
+			Deps:          []sim.DepSpec{sim.SamePoint(1)},
+		},
+		{
+			Name:          "update_voltages",
+			Points:        tasks,
+			ComputeSec:    p.WiresPerTask / rateUpdate * stretch,
+			CommBytes:     ghostBytes,
+			Args:          1,
+			PerTaskIssue:  perTaskIssue,
+			PerTaskReplay: perTaskReplay,
+			// Charge reductions arrive from neighboring pieces.
+			Deps: []sim.DepSpec{sim.Neighbors1D(1, 1, tasks)},
+		},
+	}
+	return sim.Program{Name: "circuit", Body: body, Iterations: p.Iters}
+}

@@ -1,0 +1,323 @@
+package soleil
+
+import (
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/projection"
+	"indexlaunch/internal/region"
+	"indexlaunch/internal/rt"
+)
+
+// App binds the mini-Soleil tasks to a runtime.
+type App struct {
+	S  *Soleil
+	RT *rt.Runtime
+
+	fluidTask    core.TaskID
+	particleTask core.TaskID
+	initFaceTask core.TaskID
+	sweepTask    core.TaskID
+
+	// tileLinearize maps a 3-d tile coordinate to its row-major rank — the
+	// particle block color. A dimension-reducing affine functor the static
+	// analysis cannot resolve; the dynamic check proves it injective.
+	tileLinearize projection.Functor
+}
+
+// NewApp registers the tasks.
+func NewApp(s *Soleil, r *rt.Runtime) *App {
+	a := &App{S: s, RT: r}
+	a.fluidTask = r.MustRegisterTask("soleil.fluid", a.fluid)
+	a.particleTask = r.MustRegisterTask("soleil.particles", a.particles)
+	a.initFaceTask = r.MustRegisterTask("soleil.init_face", a.initFace)
+	a.sweepTask = r.MustRegisterTask("soleil.sweep", a.sweep)
+
+	var m [domain.MaxDim][domain.MaxDim]int64
+	m[0][0] = int64(s.Params.TilesY) * int64(s.Params.TilesZ)
+	m[0][1] = int64(s.Params.TilesZ)
+	m[0][2] = 1
+	a.tileLinearize = projection.Affine(m, [domain.MaxDim]int64{}, 3, 1)
+	return a
+}
+
+// fluidArgs encodes which field pair a fluid launch reads/writes.
+type fluidArgs struct{ From, To region.FieldID }
+
+// Step issues one full iteration: fluid (2 launches), particles (1), and
+// one DOM sweep per octant (3 face-init launches plus one launch per
+// wavefront).
+func (a *App) Step() error {
+	s := a.S
+	id3 := projection.Identity(3)
+
+	// Fluid ping-pong: Temp -> Temp2 -> Temp.
+	for _, fa := range []fluidArgs{{FieldTemp, FieldTemp2}, {FieldTemp2, FieldTemp}} {
+		l := core.MustForall("fluid", a.fluidTask, s.TileGrid,
+			core.Requirement{Partition: s.Tiles, Functor: id3, Priv: privilege.Write,
+				Fields: []region.FieldID{fa.To}},
+			core.Requirement{Partition: s.Halos, Functor: id3, Priv: privilege.Read,
+				Fields: []region.FieldID{fa.From}},
+		)
+		l.Args = []byte{byte(fa.From), byte(fa.To)}
+		if _, err := a.RT.ExecuteIndex(l); err != nil {
+			return err
+		}
+	}
+
+	// Particles: tile ensembles couple to their tile's temperature.
+	pl := core.MustForall("particles", a.particleTask, s.TileGrid,
+		core.Requirement{Partition: s.PartBlocks, Functor: a.tileLinearize, Priv: privilege.ReadWrite,
+			Fields: []region.FieldID{FieldPTemp}},
+		core.Requirement{Partition: s.Tiles, Functor: id3, Priv: privilege.Read,
+			Fields: []region.FieldID{FieldTemp}},
+	)
+	if _, err := a.RT.ExecuteIndex(pl); err != nil {
+		return err
+	}
+
+	// DOM: sweep each octant corner-to-corner across the tile grid.
+	for oi, oct := range Octants(s.Params.Octants) {
+		if err := a.sweepOctant(oi, oct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *App) sweepOctant(oi int, oct Octant) error {
+	s := a.S
+	id2 := projection.Identity(2)
+
+	// Reset the three face planes to the boundary intensity.
+	inits := []struct {
+		part *region.Partition
+		grid domain.Domain
+	}{
+		{s.YZFaces, domain.FromRect(domain.Rect2(0, 0, int64(s.Params.TilesY-1), int64(s.Params.TilesZ-1)))},
+		{s.XZFaces, domain.FromRect(domain.Rect2(0, 0, int64(s.Params.TilesX-1), int64(s.Params.TilesZ-1)))},
+		{s.XYFaces, domain.FromRect(domain.Rect2(0, 0, int64(s.Params.TilesX-1), int64(s.Params.TilesY-1)))},
+	}
+	for _, in := range inits {
+		l := core.MustForall("init_face", a.initFaceTask, in.grid,
+			core.Requirement{Partition: in.part, Functor: id2, Priv: privilege.Write,
+				Fields: []region.FieldID{FieldFlux}},
+		)
+		if _, err := a.RT.ExecuteIndex(l); err != nil {
+			return err
+		}
+	}
+
+	// Wavefront launches over diagonal slices of the tile grid, using the
+	// paper's non-trivial plane-projection functors for the exchange
+	// faces.
+	nx, ny, nz := s.Params.TilesX, s.Params.TilesY, s.Params.TilesZ
+	maxDiag := int64(nx + ny + nz - 3)
+	for d := int64(0); d <= maxDiag; d++ {
+		slice := a.wavefront(oct, d)
+		if slice.Empty() {
+			continue
+		}
+		l := core.MustForall("dom_sweep", a.sweepTask, slice,
+			core.Requirement{Partition: s.Tiles, Functor: projection.Identity(3), Priv: privilege.ReadWrite,
+				Fields: []region.FieldID{FieldIntensity}},
+			core.Requirement{Partition: s.Tiles, Functor: projection.Identity(3), Priv: privilege.Read,
+				Fields: []region.FieldID{FieldSource}},
+			core.Requirement{Partition: s.YZFaces, Functor: projection.DropTo2D(projection.PlaneYZ), Priv: privilege.ReadWrite,
+				Fields: []region.FieldID{FieldFlux}},
+			core.Requirement{Partition: s.XZFaces, Functor: projection.DropTo2D(projection.PlaneXZ), Priv: privilege.ReadWrite,
+				Fields: []region.FieldID{FieldFlux}},
+			core.Requirement{Partition: s.XYFaces, Functor: projection.DropTo2D(projection.PlaneXY), Priv: privilege.ReadWrite,
+				Fields: []region.FieldID{FieldFlux}},
+		)
+		l.Args = []byte{byte(oi)}
+		if _, err := a.RT.ExecuteIndex(l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wavefront returns the tiles whose sweep-order diagonal equals d for the
+// given octant: coordinates are mirrored on axes swept in the negative
+// direction before summing.
+func (a *App) wavefront(oct Octant, d int64) domain.Domain {
+	s := a.S
+	var pts []domain.Point
+	s.TileGrid.Each(func(t domain.Point) bool {
+		u := t.X()
+		if oct.Sx < 0 {
+			u = int64(s.Params.TilesX-1) - t.X()
+		}
+		v := t.Y()
+		if oct.Sy < 0 {
+			v = int64(s.Params.TilesY-1) - t.Y()
+		}
+		w := t.Z()
+		if oct.Sz < 0 {
+			w = int64(s.Params.TilesZ-1) - t.Z()
+		}
+		if u+v+w == d {
+			pts = append(pts, t)
+		}
+		return true
+	})
+	return domain.FromPoints(pts)
+}
+
+// Run executes iters iterations and waits.
+func (a *App) Run(iters int) error {
+	for i := 0; i < iters; i++ {
+		if err := a.Step(); err != nil {
+			return err
+		}
+	}
+	a.RT.Fence()
+	return nil
+}
+
+func (a *App) fluid(ctx *rt.Context) ([]byte, error) {
+	from := region.FieldID(ctx.Args[0])
+	to := region.FieldID(ctx.Args[1])
+	out, err := ctx.WriteF64(0, to)
+	if err != nil {
+		return nil, err
+	}
+	in, err := ctx.ReadF64(1, from)
+	if err != nil {
+		return nil, err
+	}
+	pr, _ := ctx.Region(0)
+	bounds := a.S.Cells.Root().Domain.Bounds()
+	pr.Region.Domain.Each(func(c domain.Point) bool {
+		sum := in.Get(c) * 2
+		cnt := 2.0
+		for _, dlt := range [][3]int64{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+			q := domain.Pt3(c.X()+dlt[0], c.Y()+dlt[1], c.Z()+dlt[2])
+			if bounds.Contains(q) {
+				sum += in.Get(q)
+				cnt++
+			}
+		}
+		out.Set(c, sum/cnt)
+		return true
+	})
+	return nil, nil
+}
+
+func (a *App) particles(ctx *rt.Context) ([]byte, error) {
+	ptemp, err := ctx.WriteF64(0, FieldPTemp)
+	if err != nil {
+		return nil, err
+	}
+	ptempIn, err := ctx.ReadF64(0, FieldPTemp)
+	if err != nil {
+		return nil, err
+	}
+	temp, err := ctx.ReadF64(1, FieldTemp)
+	if err != nil {
+		return nil, err
+	}
+	cells, _ := ctx.Region(1)
+	var avg float64
+	var n float64
+	cells.Region.Domain.Each(func(c domain.Point) bool {
+		avg += temp.Get(c)
+		n++
+		return true
+	})
+	avg /= n
+	parts, _ := ctx.Region(0)
+	parts.Region.Domain.Each(func(p domain.Point) bool {
+		ptemp.Set(p, 0.9*ptempIn.Get(p)+0.1*avg)
+		return true
+	})
+	return nil, nil
+}
+
+func (a *App) initFace(ctx *rt.Context) ([]byte, error) {
+	flux, err := ctx.WriteF64(0, FieldFlux)
+	if err != nil {
+		return nil, err
+	}
+	pr, _ := ctx.Region(0)
+	pr.Region.Domain.Each(func(p domain.Point) bool {
+		flux.Set(p, 0)
+		return true
+	})
+	return nil, nil
+}
+
+// sweep performs the upwind DOM update over one tile in octant order,
+// reading and writing the three exchange planes.
+func (a *App) sweep(ctx *rt.Context) ([]byte, error) {
+	oct := Octants(a.S.Params.Octants)[ctx.Args[0]]
+	intens, err := ctx.WriteF64(0, FieldIntensity)
+	if err != nil {
+		return nil, err
+	}
+	intensIn, err := ctx.ReadF64(0, FieldIntensity)
+	if err != nil {
+		return nil, err
+	}
+	src, err := ctx.ReadF64(1, FieldSource)
+	if err != nil {
+		return nil, err
+	}
+	fyzW, err := ctx.WriteF64(2, FieldFlux)
+	if err != nil {
+		return nil, err
+	}
+	fyzR, err := ctx.ReadF64(2, FieldFlux)
+	if err != nil {
+		return nil, err
+	}
+	fxzW, err := ctx.WriteF64(3, FieldFlux)
+	if err != nil {
+		return nil, err
+	}
+	fxzR, err := ctx.ReadF64(3, FieldFlux)
+	if err != nil {
+		return nil, err
+	}
+	fxyW, err := ctx.WriteF64(4, FieldFlux)
+	if err != nil {
+		return nil, err
+	}
+	fxyR, err := ctx.ReadF64(4, FieldFlux)
+	if err != nil {
+		return nil, err
+	}
+
+	tile, _ := ctx.Region(0)
+	b := tile.Region.Domain.Bounds()
+	denom := sigma + oct.Wx + oct.Wy + oct.Wz
+	eachDir(b.Lo.C[0], b.Hi.C[0], oct.Sx, func(x int64) {
+		eachDir(b.Lo.C[1], b.Hi.C[1], oct.Sy, func(y int64) {
+			eachDir(b.Lo.C[2], b.Hi.C[2], oct.Sz, func(z int64) {
+				c := domain.Pt3(x, y, z)
+				yz := domain.Pt2(y, z)
+				xz := domain.Pt2(x, z)
+				xy := domain.Pt2(x, y)
+				val := (src.Get(c) + oct.Wx*fyzR.Get(yz) + oct.Wy*fxzR.Get(xz) + oct.Wz*fxyR.Get(xy)) / denom
+				intens.Set(c, intensIn.Get(c)+oct.Wq*val)
+				fyzW.Set(yz, val)
+				fxzW.Set(xz, val)
+				fxyW.Set(xy, val)
+			})
+		})
+	})
+	return nil, nil
+}
+
+func eachDir(lo, hi, sign int64, fn func(int64)) {
+	if sign > 0 {
+		for v := lo; v <= hi; v++ {
+			fn(v)
+		}
+		return
+	}
+	for v := hi; v >= lo; v-- {
+		fn(v)
+	}
+}

@@ -1,0 +1,87 @@
+package soleil
+
+import (
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/region"
+)
+
+// Reference runs iters iterations of mini-Soleil sequentially, mutating the
+// data in place; the oracle for runtime validation. The flux-chain update
+// order is per-column, so the tiled execution produces bitwise-identical
+// results.
+func Reference(s *Soleil, iters int) {
+	temp := region.MustFieldF64(s.Cells.Root(), FieldTemp)
+	temp2 := region.MustFieldF64(s.Cells.Root(), FieldTemp2)
+	intens := region.MustFieldF64(s.Cells.Root(), FieldIntensity)
+	src := region.MustFieldF64(s.Cells.Root(), FieldSource)
+	ptemp := region.MustFieldF64(s.Particles.Root(), FieldPTemp)
+	fyz := region.MustFieldF64(s.FaceYZ.Root(), FieldFlux)
+	fxz := region.MustFieldF64(s.FaceXZ.Root(), FieldFlux)
+	fxy := region.MustFieldF64(s.FaceXY.Root(), FieldFlux)
+
+	bounds := s.Cells.Root().Domain.Bounds()
+	stencil := func(in, out region.AccF64) {
+		s.Cells.Root().Domain.Each(func(c domain.Point) bool {
+			sum := in.Get(c) * 2
+			cnt := 2.0
+			for _, dlt := range [][3]int64{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+				q := domain.Pt3(c.X()+dlt[0], c.Y()+dlt[1], c.Z()+dlt[2])
+				if bounds.Contains(q) {
+					sum += in.Get(q)
+					cnt++
+				}
+			}
+			out.Set(c, sum/cnt)
+			return true
+		})
+	}
+
+	for it := 0; it < iters; it++ {
+		// Fluid ping-pong.
+		stencil(temp, temp2)
+		stencil(temp2, temp)
+
+		// Particles: per-tile ensembles relax toward the tile-average
+		// temperature, in the same canonical orders as the tasks.
+		s.TileGrid.Each(func(t domain.Point) bool {
+			tile := s.Tiles.MustSubregion(t)
+			var avg, n float64
+			tile.Domain.Each(func(c domain.Point) bool {
+				avg += temp.Get(c)
+				n++
+				return true
+			})
+			avg /= n
+			block := s.PartBlocks.MustSubregion(domain.Pt1(s.TileIndex(t)))
+			block.Domain.Each(func(p domain.Point) bool {
+				ptemp.Set(p, 0.9*ptemp.Get(p)+0.1*avg)
+				return true
+			})
+			return true
+		})
+
+		// DOM sweeps.
+		for _, oct := range Octants(s.Params.Octants) {
+			s.FaceYZ.Root().Domain.Each(func(p domain.Point) bool { fyz.Set(p, 0); return true })
+			s.FaceXZ.Root().Domain.Each(func(p domain.Point) bool { fxz.Set(p, 0); return true })
+			s.FaceXY.Root().Domain.Each(func(p domain.Point) bool { fxy.Set(p, 0); return true })
+			denom := sigma + oct.Wx + oct.Wy + oct.Wz
+			b := bounds
+			eachDir(b.Lo.C[0], b.Hi.C[0], oct.Sx, func(x int64) {
+				eachDir(b.Lo.C[1], b.Hi.C[1], oct.Sy, func(y int64) {
+					eachDir(b.Lo.C[2], b.Hi.C[2], oct.Sz, func(z int64) {
+						c := domain.Pt3(x, y, z)
+						yz := domain.Pt2(y, z)
+						xz := domain.Pt2(x, z)
+						xy := domain.Pt2(x, y)
+						val := (src.Get(c) + oct.Wx*fyz.Get(yz) + oct.Wy*fxz.Get(xz) + oct.Wz*fxy.Get(xy)) / denom
+						intens.Set(c, intens.Get(c)+oct.Wq*val)
+						fyz.Set(yz, val)
+						fxz.Set(xz, val)
+						fxy.Set(xy, val)
+					})
+				})
+			})
+		}
+	}
+}

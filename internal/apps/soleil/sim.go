@@ -1,0 +1,237 @@
+package soleil
+
+import (
+	"math"
+
+	"indexlaunch/internal/machine"
+	"indexlaunch/internal/sim"
+)
+
+// Simulated per-stage costs. Soleil's fluid solver runs several launches
+// per iteration with dozens of fields each; per-task analysis is
+// correspondingly expensive when tasks are issued individually, and the
+// DOM sweep tasks carry five region requirements with projection functors.
+const (
+	fluidStages   = 6
+	particleStage = 2
+
+	// Figure 9 runs a fluid-only problem (~3.3 iter/s/node at one node);
+	// Figure 10 runs the full multi-physics problem on a smaller per-node
+	// grid (~8.5 iter/s/node at one node).
+	fluidOnlySecPerIter = 300e-3
+	fullFluidSecPerIter = 60e-3
+	particleSecPerIter  = 12e-3
+	sweepTaskSec        = 6e-3
+
+	fluidHaloBytes = 2.4e6
+	sweepFaceBytes = 1.3e5
+
+	// Per-task issuance/analysis costs on the no-IDX path.
+	fluidPerTaskIssue  = 380e-6
+	fluidPerTaskReplay = 260e-6
+	sweepPerTaskIssue  = 800e-6
+	sweepPerTaskReplay = 600e-6
+
+	// Load imbalance / communication skew grows slowly with machine size.
+	fluidSkewPerLog = 0.035
+)
+
+// SimParams sizes a simulated Soleil run.
+type SimParams struct {
+	Nodes int
+	// DOM enables the radiation module (Figure 10); fluid-only otherwise
+	// (Figure 9).
+	DOM bool
+	// Particles enables the particle module (on in Figure 10's runs).
+	Particles bool
+	Iters     int
+}
+
+// IterPerSecondPerNode converts a makespan to the paper's Figures 9–10
+// throughput metric.
+func IterPerSecondPerNode(iters int, makespan float64) float64 {
+	return float64(iters) / makespan
+}
+
+// SimProgram builds the simulator workload: per iteration, fluidStages
+// stencil-like launches, optionally particle launches, and optionally one
+// DOM sweep per octant over the diagonal wavefronts of the near-cubic node
+// grid. Sweep launches carry NonTrivialFunctor so the dynamic-check cost is
+// charged when enabled — the Figure 10 "dynamic check" vs "no check"
+// comparison.
+func SimProgram(p SimParams) sim.Program {
+	nx, ny, nz := machine.NearCubicFactor(p.Nodes)
+	tasks := p.Nodes
+	stretch := 1 + fluidSkewPerLog*math.Log2(float64(p.Nodes)+1)
+	fluidSec := fluidOnlySecPerIter
+	if p.DOM {
+		fluidSec = fullFluidSecPerIter
+	}
+
+	var body []sim.Launch
+	for s := 0; s < fluidStages; s++ {
+		body = append(body, sim.Launch{
+			Name:          "fluid",
+			Points:        tasks,
+			ComputeSec:    fluidSec / fluidStages * stretch,
+			CommBytes:     fluidHaloBytes / fluidStages,
+			Args:          3,
+			PerTaskIssue:  fluidPerTaskIssue,
+			PerTaskReplay: fluidPerTaskReplay,
+			// Halo exchange with the previous stage of spatial neighbors.
+			Deps: []sim.DepSpec{neighbors3D(1, nx, ny, nz)},
+		})
+	}
+	if p.Particles {
+		for s := 0; s < particleStage; s++ {
+			body = append(body, sim.Launch{
+				Name:          "particles",
+				Points:        tasks,
+				ComputeSec:    particleSecPerIter / particleStage * stretch,
+				Args:          2,
+				PerTaskIssue:  fluidPerTaskIssue,
+				PerTaskReplay: fluidPerTaskReplay,
+				// The 3-d → 1-d ensemble linearization needs the dynamic
+				// check.
+				NonTrivialFunctor: true,
+				Deps:              []sim.DepSpec{sim.SamePoint(1)},
+			})
+		}
+	}
+	if p.DOM {
+		body = append(body, sweepLaunches(nx, ny, nz)...)
+	}
+	return sim.Program{Name: "soleil", Body: body, Iterations: p.Iters}
+}
+
+// neighbors3D maps node p (row-major in an nx×ny×nz grid) to itself and its
+// six face neighbors in the launch back positions earlier.
+func neighbors3D(back, nx, ny, nz int) sim.DepSpec {
+	return sim.DepSpec{Back: back, Map: func(p int) []int {
+		k := p % nz
+		j := (p / nz) % ny
+		i := p / (ny * nz)
+		out := []int{p}
+		if i > 0 {
+			out = append(out, p-ny*nz)
+		}
+		if i < nx-1 {
+			out = append(out, p+ny*nz)
+		}
+		if j > 0 {
+			out = append(out, p-nz)
+		}
+		if j < ny-1 {
+			out = append(out, p+nz)
+		}
+		if k > 0 {
+			out = append(out, p-1)
+		}
+		if k < nz-1 {
+			out = append(out, p+1)
+		}
+		return out
+	}}
+}
+
+// sweepLaunches emits, for each of the eight octants, one launch per
+// diagonal wavefront of the tile grid. Each wavefront task depends on its
+// upwind tiles in the previous wavefront, and on its own tile's sweep from
+// the previous octant (octants conflict on the intensity field), so octants
+// pipeline with a one-wavefront offset — the paper's "sweeps rather than
+// forall-style parallelism" limitation (§6.2.3).
+func sweepLaunches(nx, ny, nz int) []sim.Launch {
+	maxDiag := nx + ny + nz - 3
+	// Canonical wavefront layout shared by all octants (mirroring changes
+	// neither sizes nor ownership statistics).
+	fronts := make([][]int, 0, maxDiag+1)
+	for d := 0; d <= maxDiag; d++ {
+		fronts = append(fronts, wavefrontTiles(d, nx, ny, nz))
+	}
+	perOctant := len(fronts)
+
+	var out []sim.Launch
+	for oct := 0; oct < 8; oct++ {
+		for d, tiles := range fronts {
+			tiles := tiles
+			deps := []sim.DepSpec{}
+			if d > 0 {
+				prev := fronts[d-1]
+				prevIdx := map[int]int{}
+				for i, t := range prev {
+					prevIdx[t] = i
+				}
+				deps = append(deps, sim.DepSpec{Back: 1, Map: func(p int) []int {
+					t := tiles[p]
+					k := t % nz
+					j := (t / nz) % ny
+					i := t / (ny * nz)
+					var up []int
+					if i > 0 {
+						if q, ok := prevIdx[t-ny*nz]; ok {
+							up = append(up, q)
+						}
+					}
+					if j > 0 {
+						if q, ok := prevIdx[t-nz]; ok {
+							up = append(up, q)
+						}
+					}
+					if k > 0 {
+						if q, ok := prevIdx[t-1]; ok {
+							up = append(up, q)
+						}
+					}
+					return up
+				}})
+			}
+			if oct > 0 {
+				// Same tile, same wavefront, previous octant.
+				deps = append(deps, sim.DepSpec{Back: perOctant, Map: func(p int) []int {
+					return []int{p}
+				}})
+			} else if d == 0 {
+				// First sweep of the iteration follows the fluid state.
+				deps = append(deps, sim.DepSpec{Back: 1, Map: func(p int) []int { return []int{0} }})
+			}
+			out = append(out, sim.Launch{
+				Name:              "dom_sweep",
+				Points:            len(tiles),
+				ComputeSec:        sweepTaskSec,
+				CommBytes:         sweepFaceBytes,
+				Args:              5,
+				NonTrivialFunctor: true,
+				PerTaskIssue:      sweepPerTaskIssue,
+				PerTaskReplay:     sweepPerTaskReplay,
+				SubregionCount:    nx * ny * nz,
+				Owner: func(p, nodes int) int {
+					return tiles[p] % nodes
+				},
+				Deps: deps,
+			})
+		}
+	}
+	return out
+}
+
+// wavefrontTiles returns the row-major node ranks on diagonal d of an
+// nx×ny×nz grid.
+func wavefrontTiles(d, nx, ny, nz int) []int {
+	var out []int
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			k := d - i - j
+			if k >= 0 && k < nz {
+				out = append(out, (i*ny+j)*nz+k)
+			}
+		}
+	}
+	return out
+}
+
+// SweepCriticalPath returns the ideal sweep step count per octant for an n-
+// node machine — used by tests to sanity-check the scaling limit.
+func SweepCriticalPath(nodes int) int {
+	nx, ny, nz := machine.NearCubicFactor(nodes)
+	return nx + ny + nz - 2
+}

@@ -1,0 +1,209 @@
+// Package soleil implements a miniature Soleil-X (paper §6.1, §6.2.3): a
+// multi-physics code with three modules on a 3-d grid of tiles:
+//
+//   - fluid: a 7-point stencil relaxation over cell temperatures (two index
+//     launches per iteration, ping-ponging between fields),
+//   - particles: per-tile particle ensembles coupling to cell temperatures
+//     (one index launch whose projection functor is the 3-d → 1-d tile
+//     linearization — dynamically verified),
+//   - DOM radiation: discrete-ordinates sweeps from each corner of the
+//     grid. Sweep launch domains are 3-d *diagonal slices* of the tile
+//     grid, and their face-exchange arguments use the paper's non-trivial
+//     3-d → 2-d plane projection functors, which only the dynamic check
+//     can prove safe (no duplicate (x,y), (y,z), (x,z) pairs on a
+//     diagonal slice).
+//
+// As with the other apps, a real implementation on the rt runtime is
+// validated against a sequential reference, and a simulator workload
+// regenerates Figures 9–10.
+package soleil
+
+import (
+	"fmt"
+
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/region"
+)
+
+// Cell fields.
+const (
+	FieldTemp region.FieldID = iota
+	FieldTemp2
+	FieldIntensity
+	FieldSource
+)
+
+// Particle fields.
+const (
+	FieldPTemp region.FieldID = iota
+)
+
+// Face field.
+const (
+	FieldFlux region.FieldID = iota
+)
+
+// Params sizes a mini-Soleil run.
+type Params struct {
+	// TilesX/Y/Z arrange the tile grid (one task per tile per stage).
+	TilesX, TilesY, TilesZ int
+	// Side is the cell edge length of each (cubic) tile.
+	Side int64
+	// ParticlesPerTile sizes the particle ensembles.
+	ParticlesPerTile int
+	// Octants is the number of sweep directions (1..8).
+	Octants int
+}
+
+// Soleil holds the grids, partitions and launch domains.
+type Soleil struct {
+	Params Params
+
+	Cells     *region.Tree
+	Particles *region.Tree
+	// FaceYZ/XZ/XY hold the sweep exchange fluxes on the three global
+	// cell planes.
+	FaceYZ, FaceXZ, FaceXY *region.Tree
+
+	// Tiles is the disjoint 3-d block partition of cells; Halos the
+	// aliased radius-1 partition for the fluid stencil.
+	Tiles, Halos *region.Partition
+	// PartBlocks is the disjoint particle partition, one block per tile in
+	// row-major tile order.
+	PartBlocks *region.Partition
+	// YZFaces/XZFaces/XYFaces are disjoint 2-d block partitions of the
+	// face trees, one subregion per tile column.
+	YZFaces, XZFaces, XYFaces *region.Partition
+
+	// TileGrid is the 3-d launch domain of tiles.
+	TileGrid domain.Domain
+}
+
+// Build allocates grids and partitions and initializes the fields.
+func Build(p Params) (*Soleil, error) {
+	if p.TilesX < 1 || p.TilesY < 1 || p.TilesZ < 1 || p.Side < 2 ||
+		p.ParticlesPerTile < 1 || p.Octants < 1 || p.Octants > 8 {
+		return nil, fmt.Errorf("soleil: invalid params %+v", p)
+	}
+	cx := int64(p.TilesX) * p.Side
+	cy := int64(p.TilesY) * p.Side
+	cz := int64(p.TilesZ) * p.Side
+
+	cellFields := region.MustFieldSpace(
+		region.Field{ID: FieldTemp, Name: "temp", Kind: region.F64},
+		region.Field{ID: FieldTemp2, Name: "temp2", Kind: region.F64},
+		region.Field{ID: FieldIntensity, Name: "intensity", Kind: region.F64},
+		region.Field{ID: FieldSource, Name: "source", Kind: region.F64},
+	)
+	cells, err := region.NewTree("soleil_cells",
+		domain.FromRect(domain.Rect3(0, 0, 0, cx-1, cy-1, cz-1)), cellFields)
+	if err != nil {
+		return nil, err
+	}
+
+	nTiles := p.TilesX * p.TilesY * p.TilesZ
+	partFields := region.MustFieldSpace(
+		region.Field{ID: FieldPTemp, Name: "ptemp", Kind: region.F64},
+	)
+	particles, err := region.NewTree("soleil_particles",
+		domain.Range1(0, int64(nTiles*p.ParticlesPerTile)-1), partFields)
+	if err != nil {
+		return nil, err
+	}
+
+	faceFields := region.MustFieldSpace(
+		region.Field{ID: FieldFlux, Name: "flux", Kind: region.F64},
+	)
+	faceYZ, err := region.NewTree("soleil_face_yz",
+		domain.FromRect(domain.Rect2(0, 0, cy-1, cz-1)), faceFields)
+	if err != nil {
+		return nil, err
+	}
+	faceXZ, err := region.NewTree("soleil_face_xz",
+		domain.FromRect(domain.Rect2(0, 0, cx-1, cz-1)), faceFields)
+	if err != nil {
+		return nil, err
+	}
+	faceXY, err := region.NewTree("soleil_face_xy",
+		domain.FromRect(domain.Rect2(0, 0, cx-1, cy-1)), faceFields)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Soleil{
+		Params: p, Cells: cells, Particles: particles,
+		FaceYZ: faceYZ, FaceXZ: faceXZ, FaceXY: faceXY,
+		TileGrid: domain.FromRect(domain.Rect3(0, 0, 0,
+			int64(p.TilesX-1), int64(p.TilesY-1), int64(p.TilesZ-1))),
+	}
+	if s.Tiles, err = cells.PartitionBlock3D(cells.Root(), "tiles", p.TilesX, p.TilesY, p.TilesZ); err != nil {
+		return nil, err
+	}
+	if s.Halos, err = cells.PartitionHalo3D(cells.Root(), "halos", p.TilesX, p.TilesY, p.TilesZ, 1); err != nil {
+		return nil, err
+	}
+	if s.PartBlocks, err = particles.PartitionEqual(particles.Root(), "ensembles", nTiles); err != nil {
+		return nil, err
+	}
+	if s.YZFaces, err = faceYZ.PartitionBlock2D(faceYZ.Root(), "yz", p.TilesY, p.TilesZ); err != nil {
+		return nil, err
+	}
+	if s.XZFaces, err = faceXZ.PartitionBlock2D(faceXZ.Root(), "xz", p.TilesX, p.TilesZ); err != nil {
+		return nil, err
+	}
+	if s.XYFaces, err = faceXY.PartitionBlock2D(faceXY.Root(), "xy", p.TilesX, p.TilesY); err != nil {
+		return nil, err
+	}
+
+	// Initial condition: a smooth temperature bump plus a radiation source
+	// in the corner region.
+	temp := region.MustFieldF64(cells.Root(), FieldTemp)
+	src := region.MustFieldF64(cells.Root(), FieldSource)
+	cells.Root().Domain.Each(func(pt domain.Point) bool {
+		x, y, z := pt.X(), pt.Y(), pt.Z()
+		temp.Set(pt, 300+float64((x+2*y+3*z)%17))
+		if x < p.Side && y < p.Side && z < p.Side {
+			src.Set(pt, 1)
+		}
+		return true
+	})
+	ptemp := region.MustFieldF64(particles.Root(), FieldPTemp)
+	particles.Root().Domain.Each(func(pt domain.Point) bool {
+		ptemp.Set(pt, 250)
+		return true
+	})
+	return s, nil
+}
+
+// TileIndex returns the row-major rank of tile (i, j, k) — the color of the
+// particle block belonging to that tile.
+func (s *Soleil) TileIndex(t domain.Point) int64 {
+	return (t.X()*int64(s.Params.TilesY)+t.Y())*int64(s.Params.TilesZ) + t.Z()
+}
+
+// Octant describes one sweep direction.
+type Octant struct {
+	// Sx/Sy/Sz are +1 or -1 per axis.
+	Sx, Sy, Sz int64
+	// Weights of the direction cosines and the quadrature weight.
+	Wx, Wy, Wz, Wq float64
+}
+
+// Octants returns the first n of the eight corner directions.
+func Octants(n int) []Octant {
+	all := make([]Octant, 0, 8)
+	for sx := int64(1); sx >= -1; sx -= 2 {
+		for sy := int64(1); sy >= -1; sy -= 2 {
+			for sz := int64(1); sz >= -1; sz -= 2 {
+				all = append(all, Octant{
+					Sx: sx, Sy: sy, Sz: sz,
+					Wx: 0.5, Wy: 0.35, Wz: 0.15, Wq: 1.0 / 8,
+				})
+			}
+		}
+	}
+	return all[:n]
+}
+
+// sigma is the absorption coefficient of the DOM update.
+const sigma = 0.8

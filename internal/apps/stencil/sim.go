@@ -1,0 +1,94 @@
+package stencil
+
+import (
+	"math"
+
+	"indexlaunch/internal/machine"
+	"indexlaunch/internal/sim"
+)
+
+// Per-stage GPU throughputs in cells/second for one P100-class processor;
+// together ≈ 10⁹·10 cells/s/node at full weak-scaling efficiency, matching
+// Figure 8's y-axis scale.
+const (
+	rateStencil = 1.4e10
+	rateInc     = 5.0e10
+
+	cellBytes = 8.0
+
+	// Per-task issuance/analysis cost when stencil tasks are issued
+	// individually: structured tile requirements are cheap to analyze and
+	// tracing memoizes them almost completely.
+	perTaskIssue  = 3e-6
+	perTaskReplay = 0.4e-6
+)
+
+// CellsPerSecond converts a makespan to the paper's throughput metric.
+func CellsPerSecond(totalCells float64, iters int, makespan float64) float64 {
+	return totalCells * float64(iters) / makespan
+}
+
+// SimParams sizes a simulated stencil run.
+type SimParams struct {
+	Nodes int
+	// CellsPerTask is the per-task tile size in cells.
+	CellsPerTask float64
+	Iters        int
+}
+
+// SimProgram builds the simulator workload: two launches per iteration over
+// a near-square 2-d node grid, with halo dependencies on the four grid
+// neighbors.
+func SimProgram(p SimParams) sim.Program {
+	nx, ny := machine.NearSquareFactor(p.Nodes)
+	tasks := p.Nodes
+	side := math.Sqrt(p.CellsPerTask)
+	haloBytes := 4 * Radius * side * cellBytes
+	// Structured grids balance well; residual skew comes from tile-edge
+	// effects and grows weakly with machine size.
+	stretch := 1 + 0.02*math.Log2(float64(p.Nodes)+1)
+
+	neighbors := func(q int) []int {
+		i, j := q/ny, q%ny
+		out := []int{q}
+		if i > 0 {
+			out = append(out, q-ny)
+		}
+		if i < nx-1 {
+			out = append(out, q+ny)
+		}
+		if j > 0 {
+			out = append(out, q-1)
+		}
+		if j < ny-1 {
+			out = append(out, q+1)
+		}
+		return out
+	}
+
+	body := []sim.Launch{
+		{
+			Name:          "stencil",
+			Points:        tasks,
+			ComputeSec:    p.CellsPerTask / rateStencil * stretch,
+			CommBytes:     haloBytes,
+			Args:          2,
+			PerTaskIssue:  perTaskIssue,
+			PerTaskReplay: perTaskReplay,
+			// Halo cells of `in` come from the previous iteration's
+			// increment on the four neighbors (2 launches back).
+			Deps: []sim.DepSpec{{Back: 2, Map: neighbors}},
+		},
+		{
+			Name:          "increment",
+			Points:        tasks,
+			ComputeSec:    p.CellsPerTask / rateInc * stretch,
+			Args:          1,
+			PerTaskIssue:  perTaskIssue,
+			PerTaskReplay: perTaskReplay,
+			// WAR on `in`: must follow this iteration's stencil reads.
+			Deps: []sim.DepSpec{sim.SamePoint(1)},
+		},
+	}
+	return sim.Program{Name: "stencil", Body: body, Iterations: p.Iters}
+}

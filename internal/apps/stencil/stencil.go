@@ -1,0 +1,209 @@
+// Package stencil implements the paper's second evaluation code (§6.1): a
+// 2-D star stencil adapted from the Parallel Research Kernels, with dense
+// block tiles (disjoint partition) and radius-R halos (aliased partition).
+// Each iteration is two index launches with trivial projection functors:
+//
+//	stencil   — reads the halo view of `in`, updates `out` on the tile interior
+//	increment — bumps `in` on the tile
+//
+// Like Circuit, the package provides a real implementation on the rt
+// runtime validated against a sequential reference, plus a simulator
+// workload used to regenerate Figures 7–8.
+package stencil
+
+import (
+	"fmt"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/projection"
+	"indexlaunch/internal/region"
+	"indexlaunch/internal/rt"
+)
+
+// Fields of the grid.
+const (
+	FieldIn region.FieldID = iota
+	FieldOut
+)
+
+// Radius is the stencil radius (PRK default star radius 2).
+const Radius = 2
+
+// Params sizes a stencil run.
+type Params struct {
+	// N is the grid edge length (N×N cells).
+	N int64
+	// TilesX and TilesY arrange the tiles.
+	TilesX, TilesY int
+}
+
+// Stencil holds the grid, partitions and launch domain.
+type Stencil struct {
+	Params Params
+	Grid   *region.Tree
+	// Tiles is the disjoint block partition.
+	Tiles *region.Partition
+	// Halos is the aliased partition: each tile grown by Radius.
+	Halos *region.Partition
+	// LaunchDomain is the 2-d tile grid.
+	LaunchDomain domain.Domain
+}
+
+// Build allocates the grid and partitions and initializes `in` to the PRK
+// pattern in(x, y) = x + y.
+func Build(p Params) (*Stencil, error) {
+	if p.N < 2*Radius+1 || p.TilesX < 1 || p.TilesY < 1 {
+		return nil, fmt.Errorf("stencil: invalid params %+v", p)
+	}
+	fields := region.MustFieldSpace(
+		region.Field{ID: FieldIn, Name: "in", Kind: region.F64},
+		region.Field{ID: FieldOut, Name: "out", Kind: region.F64},
+	)
+	grid, err := region.NewTree("stencil_grid", domain.FromRect(domain.Rect2(0, 0, p.N-1, p.N-1)), fields)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stencil{Params: p, Grid: grid}
+	if s.Tiles, err = grid.PartitionBlock2D(grid.Root(), "tiles", p.TilesX, p.TilesY); err != nil {
+		return nil, err
+	}
+	if s.Halos, err = grid.PartitionHalo2D(grid.Root(), "halos", p.TilesX, p.TilesY, Radius); err != nil {
+		return nil, err
+	}
+	s.LaunchDomain = domain.FromRect(domain.Rect2(0, 0, int64(p.TilesX-1), int64(p.TilesY-1)))
+
+	in := region.MustFieldF64(grid.Root(), FieldIn)
+	grid.Root().Domain.Each(func(pt domain.Point) bool {
+		in.Set(pt, float64(pt.X()+pt.Y()))
+		return true
+	})
+	return s, nil
+}
+
+// Weight returns the PRK star-stencil weight for axis offset d != 0.
+func Weight(d int64) float64 {
+	if d < 0 {
+		d = -d
+	}
+	return 1.0 / (2.0 * float64(Radius) * float64(d))
+}
+
+// App binds the stencil tasks to a runtime.
+type App struct {
+	S  *Stencil
+	RT *rt.Runtime
+
+	stencilTask core.TaskID
+	incTask     core.TaskID
+}
+
+// NewApp registers the stencil tasks.
+func NewApp(s *Stencil, r *rt.Runtime) *App {
+	a := &App{S: s, RT: r}
+	a.stencilTask = r.MustRegisterTask("stencil.stencil", a.stencil)
+	a.incTask = r.MustRegisterTask("stencil.increment", a.increment)
+	return a
+}
+
+// Step issues one iteration as two index launches.
+func (a *App) Step() error {
+	s := a.S
+	id := projection.Identity(2)
+	st := core.MustForall("stencil", a.stencilTask, s.LaunchDomain,
+		core.Requirement{Partition: s.Tiles, Functor: id, Priv: privilege.ReadWrite,
+			Fields: []region.FieldID{FieldOut}},
+		core.Requirement{Partition: s.Halos, Functor: id, Priv: privilege.Read,
+			Fields: []region.FieldID{FieldIn}},
+	)
+	inc := core.MustForall("increment", a.incTask, s.LaunchDomain,
+		core.Requirement{Partition: s.Tiles, Functor: id, Priv: privilege.ReadWrite,
+			Fields: []region.FieldID{FieldIn}},
+	)
+	if _, err := a.RT.ExecuteIndex(st); err != nil {
+		return err
+	}
+	if _, err := a.RT.ExecuteIndex(inc); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Run executes iters iterations and waits.
+func (a *App) Run(iters int) error {
+	for i := 0; i < iters; i++ {
+		if err := a.Step(); err != nil {
+			return err
+		}
+	}
+	a.RT.Fence()
+	return nil
+}
+
+func (a *App) stencil(ctx *rt.Context) ([]byte, error) {
+	out, err := ctx.WriteF64(0, FieldOut)
+	if err != nil {
+		return nil, err
+	}
+	in, err := ctx.ReadF64(1, FieldIn)
+	if err != nil {
+		return nil, err
+	}
+	pr, _ := ctx.Region(0)
+	n := a.S.Params.N
+	pr.Region.Domain.Each(func(pt domain.Point) bool {
+		x, y := pt.X(), pt.Y()
+		// PRK computes only the interior.
+		if x < Radius || y < Radius || x >= n-Radius || y >= n-Radius {
+			return true
+		}
+		acc := out.Get(pt)
+		for d := int64(1); d <= Radius; d++ {
+			w := Weight(d)
+			acc += w * (in.Get(domain.Pt2(x+d, y)) + in.Get(domain.Pt2(x-d, y)) +
+				in.Get(domain.Pt2(x, y+d)) + in.Get(domain.Pt2(x, y-d)))
+		}
+		out.Set(pt, acc)
+		return true
+	})
+	return nil, nil
+}
+
+func (a *App) increment(ctx *rt.Context) ([]byte, error) {
+	in, err := ctx.WriteF64(0, FieldIn)
+	if err != nil {
+		return nil, err
+	}
+	pr, _ := ctx.Region(0)
+	pr.Region.Domain.Each(func(pt domain.Point) bool {
+		in.Set(pt, in.Get(pt)+1)
+		return true
+	})
+	return nil, nil
+}
+
+// Reference runs iters iterations sequentially; the oracle for tests.
+func Reference(s *Stencil, iters int) {
+	in := region.MustFieldF64(s.Grid.Root(), FieldIn)
+	out := region.MustFieldF64(s.Grid.Root(), FieldOut)
+	n := s.Params.N
+	for it := 0; it < iters; it++ {
+		for x := int64(Radius); x < n-Radius; x++ {
+			for y := int64(Radius); y < n-Radius; y++ {
+				pt := domain.Pt2(x, y)
+				acc := out.Get(pt)
+				for d := int64(1); d <= Radius; d++ {
+					w := Weight(d)
+					acc += w * (in.Get(domain.Pt2(x+d, y)) + in.Get(domain.Pt2(x-d, y)) +
+						in.Get(domain.Pt2(x, y+d)) + in.Get(domain.Pt2(x, y-d)))
+				}
+				out.Set(pt, acc)
+			}
+		}
+		s.Grid.Root().Domain.Each(func(pt domain.Point) bool {
+			in.Set(pt, in.Get(pt)+1)
+			return true
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/machine"
+	"indexlaunch/internal/region"
+	"indexlaunch/internal/rt"
+	"indexlaunch/internal/sim"
+)
+
+func testParams() Params { return Params{N: 24, TilesX: 3, TilesY: 2} }
+
+func TestBuildStructure(t *testing.T) {
+	s, err := Build(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Tiles.Disjoint() || !s.Tiles.Complete() {
+		t.Error("tiles must be disjoint and complete")
+	}
+	if s.Halos.Disjoint() {
+		t.Error("halos must be aliased")
+	}
+	if s.LaunchDomain.Volume() != 6 {
+		t.Errorf("launch domain volume = %d", s.LaunchDomain.Volume())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Params{N: 3, TilesX: 1, TilesY: 1}); err == nil {
+		t.Error("grid smaller than stencil diameter should be rejected")
+	}
+	if _, err := Build(Params{N: 24, TilesX: 0, TilesY: 1}); err == nil {
+		t.Error("zero tiles should be rejected")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	if w := Weight(1); w != 0.25 {
+		t.Errorf("Weight(1) = %v, want 0.25", w)
+	}
+	if w := Weight(-2); w != 0.125 {
+		t.Errorf("Weight(-2) = %v, want 0.125", w)
+	}
+}
+
+func TestRuntimeMatchesReferenceAllConfigs(t *testing.T) {
+	const iters = 4
+	for _, dcr := range []bool{false, true} {
+		for _, idx := range []bool{false, true} {
+			ref, err := Build(testParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			Reference(ref, iters)
+
+			s, err := Build(testParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rt.MustNew(rt.Config{
+				Nodes: 3, ProcsPerNode: 2, DCR: dcr, IndexLaunches: idx, VerifyLaunches: true,
+			})
+			app := NewApp(s, r)
+			if err := app.Run(iters); err != nil {
+				t.Fatal(err)
+			}
+
+			refOut := region.MustFieldF64(ref.Grid.Root(), FieldOut)
+			gotOut := region.MustFieldF64(s.Grid.Root(), FieldOut)
+			maxDiff := 0.0
+			s.Grid.Root().Domain.Each(func(p domain.Point) bool {
+				d := math.Abs(refOut.Get(p) - gotOut.Get(p))
+				if d > maxDiff {
+					maxDiff = d
+				}
+				return true
+			})
+			if maxDiff != 0 {
+				t.Errorf("dcr=%v idx=%v: max divergence %g (stencil is deterministic, want 0)",
+					dcr, idx, maxDiff)
+			}
+		}
+	}
+}
+
+func TestLaunchesVerifyStatically(t *testing.T) {
+	s, err := Build(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rt.MustNew(rt.Config{Nodes: 2, ProcsPerNode: 2, DCR: true, IndexLaunches: true, VerifyLaunches: true})
+	app := NewApp(s, r)
+	if err := app.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Fallbacks != 0 || st.DynamicCheckEvals != 0 {
+		t.Errorf("fallbacks=%d dynamicEvals=%d, want 0/0 (trivial functors)",
+			st.Fallbacks, st.DynamicCheckEvals)
+	}
+}
+
+func TestInteriorOnlyUpdated(t *testing.T) {
+	s, err := Build(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rt.MustNew(rt.Config{Nodes: 2, ProcsPerNode: 2, DCR: true, IndexLaunches: true})
+	app := NewApp(s, r)
+	if err := app.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	out := region.MustFieldF64(s.Grid.Root(), FieldOut)
+	// Boundary ring must stay zero.
+	if v := out.Get(domain.Pt2(0, 5)); v != 0 {
+		t.Errorf("boundary updated: %v", v)
+	}
+	if v := out.Get(domain.Pt2(5, 1)); v != 0 {
+		t.Errorf("boundary updated: %v", v)
+	}
+	// Interior must have the full stencil weight sum applied once:
+	// sum over 4 directions, d=1..R of w(d) times in-values.
+	if v := out.Get(domain.Pt2(5, 5)); v == 0 {
+		t.Error("interior not updated")
+	}
+}
+
+func TestSimProgramShape(t *testing.T) {
+	prog := SimProgram(SimParams{Nodes: 16, CellsPerTask: 9e8, Iters: 3})
+	if len(prog.Body) != 2 {
+		t.Fatalf("body = %d launches", len(prog.Body))
+	}
+	res, err := sim.Run(sim.Config{
+		Machine: machine.PizDaint(16), Cost: sim.DefaultCosts(),
+		DCR: true, IDX: true, DynChecks: true,
+	}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput := CellsPerSecond(9e8*16, 3, res.MakespanSec) / 16
+	if tput < 5e9 || tput > 15e9 {
+		t.Errorf("throughput per node = %.3g cells/s, want ~1e10", tput)
+	}
+}
+
+func TestSimStrongScalingGapSmallerThanCircuit(t *testing.T) {
+	// The paper observes a 1.2× stencil strong-scaling gap vs 1.6× for
+	// circuit: the stencil gap at 512 nodes must be modest (< 3×) but
+	// present.
+	const nodes = 512
+	run := func(idx bool) float64 {
+		prog := SimProgram(SimParams{Nodes: nodes, CellsPerTask: 9e8 / float64(nodes), Iters: 10})
+		res, err := sim.Run(sim.Config{
+			Machine: machine.PizDaint(nodes), Cost: sim.DefaultCosts(),
+			DCR: true, IDX: idx, Tracing: true, DynChecks: true,
+		}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakespanSec
+	}
+	gap := run(false) / run(true)
+	if gap <= 1.02 {
+		t.Errorf("no-IDX should be measurably slower: gap = %.3f", gap)
+	}
+	if gap > 3.5 {
+		t.Errorf("stencil strong gap should be modest: %.3f", gap)
+	}
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// chartHeight is the number of character rows in an ASCII chart.
+const chartHeight = 16
+
+// seriesMarks are the plot symbols, one per series, matching the order the
+// figure generators emit (DCR+IDX first).
+var seriesMarks = []byte{'#', '*', 'o', '.', '+', 'x'}
+
+// RenderChart draws the figure as an ASCII chart: x = node index (one
+// column group per swept node count), y = the metric scaled linearly from
+// zero. Overlapping points print the mark of the earlier series.
+func (f Figure) RenderChart() string {
+	if len(f.Series) == 0 || len(f.Series[0].X) == 0 {
+		return f.Render()
+	}
+	maxY := 0.0
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxY <= 0 || math.IsNaN(maxY) || math.IsInf(maxY, 0) {
+		return f.Render()
+	}
+	cols := len(f.Series[0].X)
+	colWidth := 6
+	grid := make([][]byte, chartHeight)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*colWidth))
+	}
+	for si := len(f.Series) - 1; si >= 0; si-- {
+		s := f.Series[si]
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i, y := range s.Y {
+			row := int(math.Round(y / maxY * float64(chartHeight-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row > chartHeight-1 {
+				row = chartHeight - 1
+			}
+			grid[chartHeight-1-row][i*colWidth+colWidth/2] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	for r, line := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.1f ", maxY)
+		}
+		if r == chartHeight-1 {
+			label = fmt.Sprintf("%7.1f ", 0.0)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	b.WriteString("        +" + strings.Repeat("-", cols*colWidth) + "\n")
+	b.WriteString("         ")
+	for _, x := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-*d", colWidth, x)
+	}
+	b.WriteString(" [nodes]\n")
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "         %c = %s\n", seriesMarks[si%len(seriesMarks)], s.Label)
+	}
+	fmt.Fprintf(&b, "         y: %s\n", f.YLabel)
+	return b.String()
+}

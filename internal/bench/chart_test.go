@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderChart(t *testing.T) {
+	fig := Figure{
+		ID: "T", Title: "test", XLabel: "nodes", YLabel: "units",
+		Series: []Series{
+			{Label: "a", X: []int{1, 2, 4}, Y: []float64{1, 2, 4}},
+			{Label: "b", X: []int{1, 2, 4}, Y: []float64{1, 1, 1}},
+		},
+	}
+	out := fig.RenderChart()
+	if !strings.Contains(out, "# = a") || !strings.Contains(out, "* = b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "4.0 |") {
+		t.Errorf("y-axis max label missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// The top data row must contain the '#' of series a's maximum.
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("max point not on top row:\n%s", out)
+	}
+	// Earlier series win overlaps: at x=1 both series have y=1; the mark
+	// must be '#'.
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "#") && !strings.Contains(l, "=") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no data marks:\n%s", out)
+	}
+}
+
+func TestRenderChartDegenerate(t *testing.T) {
+	// Empty and all-zero figures fall back to the tabular renderer.
+	empty := Figure{ID: "E", Title: "empty"}
+	if out := empty.RenderChart(); !strings.Contains(out, "E: empty") {
+		t.Errorf("empty chart:\n%s", out)
+	}
+	zero := Figure{ID: "Z", Title: "zero", Series: []Series{{Label: "a", X: []int{1}, Y: []float64{0}}}}
+	if out := zero.RenderChart(); !strings.Contains(out, "Z: zero") {
+		t.Errorf("zero chart:\n%s", out)
+	}
+}

@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"fmt"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/projection"
+	"indexlaunch/internal/region"
+	"indexlaunch/internal/safety"
+)
+
+// Example builds the paper's Listing 1: two index launches, one with a
+// trivial projection functor and one non-trivial, and verifies both with
+// the hybrid analysis.
+func Example() {
+	fields := region.MustFieldSpace(region.Field{ID: 0, Name: "v", Kind: region.F64})
+	pTree := region.MustNewTree("p", domain.Range1(0, 99), fields)
+	qTree := region.MustNewTree("q", domain.Range1(0, 99), fields)
+	p, _ := pTree.PartitionEqual(pTree.Root(), "p", 10)
+	q, _ := qTree.PartitionEqual(qTree.Root(), "q", 10)
+
+	// for i = 0, N do foo(p[i]) end
+	foo := core.MustForall("foo", 0, domain.Range1(0, 9), core.Requirement{
+		Partition: p, Functor: projection.Identity(1),
+		Priv: privilege.ReadWrite, Fields: []region.FieldID{0},
+	})
+	// for i = 0, N do bar(q[f(i)]) end with an opaque f
+	f := projection.Func("f", 1, 1, func(pt domain.Point) domain.Point {
+		return domain.Pt1((pt.X()*3 + 1) % 10)
+	})
+	bar := core.MustForall("bar", 1, domain.Range1(0, 9), core.Requirement{
+		Partition: q, Functor: f,
+		Priv: privilege.ReadWrite, Fields: []region.FieldID{0},
+	})
+
+	for _, l := range []*core.IndexLaunch{foo, bar} {
+		res := l.Verify(safety.Options{})
+		fmt.Printf("%s: safe=%v method=%s parallelism=%d\n",
+			l.Tag, res.Safe, res.Args[0].Method, l.Parallelism())
+	}
+	// Output:
+	// foo: safe=true method=static parallelism=10
+	// bar: safe=true method=dynamic parallelism=10
+}
+
+// ExampleIndexLaunch_Each shows lazy expansion of the compact
+// representation.
+func ExampleIndexLaunch_Each() {
+	fields := region.MustFieldSpace(region.Field{ID: 0, Name: "v", Kind: region.F64})
+	tree := region.MustNewTree("data", domain.Range1(0, 29), fields)
+	blocks, _ := tree.PartitionEqual(tree.Root(), "blocks", 3)
+	l := core.MustForall("work", 0, domain.Range1(0, 2), core.Requirement{
+		Partition: blocks, Functor: projection.Identity(1),
+		Priv: privilege.Read, Fields: []region.FieldID{0},
+	})
+	_ = l.Each(func(pt core.PointTask) bool {
+		fmt.Printf("task %v -> %v\n", pt.Point, pt.Regions[0].Domain)
+		return true
+	})
+	// Output:
+	// task <0> -> [<0>..<9>]
+	// task <1> -> [<10>..<19>]
+	// task <2> -> [<20>..<29>]
+}

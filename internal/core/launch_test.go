@@ -1,0 +1,205 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/projection"
+	"indexlaunch/internal/region"
+	"indexlaunch/internal/safety"
+)
+
+func testPartition(t *testing.T, n int64, parts int) *region.Partition {
+	t.Helper()
+	fs := region.MustFieldSpace(region.Field{ID: 0, Name: "v", Kind: region.F64})
+	tree := region.MustNewTree("line", domain.Range1(0, n-1), fs)
+	p, err := tree.PartitionEqual(tree.Root(), "blocks", parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestForallValidation(t *testing.T) {
+	p := testPartition(t, 100, 10)
+	good := Requirement{Partition: p, Functor: projection.Identity(1), Priv: privilege.Write, Fields: []region.FieldID{0}}
+
+	if _, err := Forall("t", 1, domain.Range1(0, -1), good); err == nil {
+		t.Error("empty domain should be rejected")
+	}
+	bad := good
+	bad.Partition = nil
+	if _, err := Forall("t", 1, domain.Range1(0, 9), bad); err == nil {
+		t.Error("nil partition should be rejected")
+	}
+	bad = good
+	bad.Functor = nil
+	if _, err := Forall("t", 1, domain.Range1(0, 9), bad); err == nil {
+		t.Error("nil functor should be rejected")
+	}
+	bad = good
+	bad.Fields = nil
+	if _, err := Forall("t", 1, domain.Range1(0, 9), bad); err == nil {
+		t.Error("empty fields should be rejected")
+	}
+	bad = good
+	bad.Fields = []region.FieldID{99}
+	if _, err := Forall("t", 1, domain.Range1(0, 9), bad); err == nil {
+		t.Error("unknown field should be rejected")
+	}
+	bad = good
+	bad.Priv = privilege.Reduce
+	bad.RedOp = privilege.OpID(9999)
+	if _, err := Forall("t", 1, domain.Range1(0, 9), bad); err == nil {
+		t.Error("unknown reduction op should be rejected")
+	}
+	if _, err := Forall("t", 1, domain.Range1(0, 9), good); err != nil {
+		t.Errorf("good launch rejected: %v", err)
+	}
+}
+
+func TestParallelism(t *testing.T) {
+	p := testPartition(t, 100, 10)
+	l := MustForall("t", 1, domain.Range1(0, 9),
+		Requirement{Partition: p, Functor: projection.Identity(1), Priv: privilege.Read, Fields: []region.FieldID{0}})
+	if l.Parallelism() != 10 {
+		t.Errorf("parallelism = %d", l.Parallelism())
+	}
+}
+
+func TestAtExpansion(t *testing.T) {
+	p := testPartition(t, 100, 10)
+	l := MustForall("t", 1, domain.Range1(0, 9),
+		Requirement{Partition: p, Functor: projection.Identity(1), Priv: privilege.Write, Fields: []region.FieldID{0}})
+	pt, err := l.At(domain.Pt1(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 3 of 10 over [0,99] is [30,39].
+	want := domain.Range1(30, 39)
+	if !pt.Regions[0].Domain.Eq(want) {
+		t.Errorf("region = %v, want %v", pt.Regions[0].Domain, want)
+	}
+	if _, err := l.At(domain.Pt1(10)); err == nil {
+		t.Error("point outside domain should error")
+	}
+}
+
+func TestAtOutOfColorSpace(t *testing.T) {
+	p := testPartition(t, 100, 10)
+	l := MustForall("t", 1, domain.Range1(0, 9),
+		Requirement{Partition: p, Functor: projection.Affine1D(1, 5), Priv: privilege.Read, Fields: []region.FieldID{0}})
+	if _, err := l.At(domain.Pt1(7)); err == nil {
+		t.Error("functor selecting color 12 of 10 should error")
+	}
+	if _, err := l.At(domain.Pt1(2)); err != nil {
+		t.Errorf("color 7 should exist: %v", err)
+	}
+}
+
+func TestEachLazyExpansion(t *testing.T) {
+	p := testPartition(t, 100, 10)
+	l := MustForall("t", 1, domain.Range1(0, 9),
+		Requirement{Partition: p, Functor: projection.Identity(1), Priv: privilege.Write, Fields: []region.FieldID{0}})
+	var count int
+	err := l.Each(func(pt PointTask) bool {
+		count++
+		if len(pt.Regions) != 1 {
+			t.Errorf("point %v: %d regions", pt.Point, len(pt.Regions))
+		}
+		return true
+	})
+	if err != nil || count != 10 {
+		t.Errorf("count = %d, err = %v", count, err)
+	}
+	// Early stop.
+	count = 0
+	_ = l.Each(func(PointTask) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop count = %d", count)
+	}
+}
+
+func TestEachPropagatesExpansionError(t *testing.T) {
+	p := testPartition(t, 100, 10)
+	l := MustForall("t", 1, domain.Range1(0, 9),
+		Requirement{Partition: p, Functor: projection.Affine1D(2, 0), Priv: privilege.Read, Fields: []region.FieldID{0}})
+	err := l.Each(func(PointTask) bool { return true })
+	if err == nil || !strings.Contains(err.Error(), "no subregion") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyIntegration(t *testing.T) {
+	p := testPartition(t, 100, 10)
+	safe := MustForall("safe", 1, domain.Range1(0, 9),
+		Requirement{Partition: p, Functor: projection.Identity(1), Priv: privilege.Write, Fields: []region.FieldID{0}})
+	if res := safe.Verify(safety.Options{}); !res.Safe {
+		t.Errorf("identity launch unsafe: %s", res.Reason)
+	}
+	unsafe := MustForall("unsafe", 1, domain.Range1(0, 4),
+		Requirement{Partition: testPartition(t, 30, 3), Functor: projection.Modular1D(1, 0, 3), Priv: privilege.Write, Fields: []region.FieldID{0}})
+	if res := unsafe.Verify(safety.Options{}); res.Safe {
+		t.Error("i%3 write launch should be unsafe")
+	}
+}
+
+func TestReprBytesIndependentOfParallelism(t *testing.T) {
+	// The O(1) claim: a dense launch of 10 tasks and one of 10M tasks have
+	// identical representation sizes.
+	small := testPartition(t, 100, 10)
+	large := testPartition(t, 100, 10)
+	req := func(p *region.Partition) Requirement {
+		return Requirement{Partition: p, Functor: projection.Identity(1), Priv: privilege.Read, Fields: []region.FieldID{0}}
+	}
+	l1 := MustForall("small", 1, domain.Range1(0, 9), req(small))
+	l2 := MustForall("large", 1, domain.Range1(0, 9_999_999), req(large))
+	if l1.ReprBytes() != l2.ReprBytes() {
+		t.Errorf("dense repr sizes differ: %d vs %d", l1.ReprBytes(), l2.ReprBytes())
+	}
+	if l2.Parallelism() != 10_000_000 {
+		t.Errorf("parallelism = %d", l2.Parallelism())
+	}
+}
+
+func TestReprBytesSparseScales(t *testing.T) {
+	p := testPartition(t, 100, 10)
+	req := Requirement{Partition: p, Functor: projection.Identity(1), Priv: privilege.Read, Fields: []region.FieldID{0}}
+	sm := MustForall("s", 1, domain.FromPoints([]domain.Point{domain.Pt1(0), domain.Pt1(1)}), req)
+	lg := MustForall("l", 1, domain.FromPoints([]domain.Point{
+		domain.Pt1(0), domain.Pt1(1), domain.Pt1(2), domain.Pt1(3),
+		domain.Pt1(4), domain.Pt1(5), domain.Pt1(6), domain.Pt1(7),
+	}), req)
+	if sm.ReprBytes() >= lg.ReprBytes() {
+		t.Errorf("sparse repr should scale with points: %d vs %d", sm.ReprBytes(), lg.ReprBytes())
+	}
+}
+
+func TestPointArgs(t *testing.T) {
+	p := testPartition(t, 100, 10)
+	l := MustForall("t", 1, domain.Range1(0, 9),
+		Requirement{Partition: p, Functor: projection.Identity(1), Priv: privilege.Read, Fields: []region.FieldID{0}})
+	l.Args = []byte{7}
+	if got := l.ArgsAt(domain.Pt1(3)); len(got) != 1 || got[0] != 7 {
+		t.Errorf("shared args = %v", got)
+	}
+	l.PointArgs = func(pt domain.Point) []byte { return []byte{byte(pt.X() * 2)} }
+	if got := l.ArgsAt(domain.Pt1(3)); len(got) != 1 || got[0] != 6 {
+		t.Errorf("point args = %v", got)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	p := testPartition(t, 100, 10)
+	l := MustForall("calc", 7, domain.Range1(0, 9),
+		Requirement{Partition: p, Functor: projection.Identity(1), Priv: privilege.Read, Fields: []region.FieldID{0}})
+	s := l.String()
+	if !strings.Contains(s, "calc") || !strings.Contains(s, "forall") {
+		t.Errorf("String = %q", s)
+	}
+}

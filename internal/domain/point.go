@@ -1,0 +1,131 @@
+// Package domain provides the index-space geometry used throughout the
+// library: N-dimensional points, rectangles, and domains (dense or sparse
+// sets of points). Launch domains, partition color spaces, and region index
+// spaces are all expressed as domains.
+//
+// Dimensionality is bounded by MaxDim (3), matching the structured grids,
+// unstructured graphs, and discrete-ordinates sweeps exercised by the paper.
+// Points are small value types; no package function retains references to
+// caller-owned memory.
+package domain
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxDim is the maximum supported dimensionality of points and domains.
+const MaxDim = 3
+
+// Point is an N-dimensional integer coordinate with 1 <= Dim <= MaxDim.
+// The zero value is a 0-dimensional point and is only valid as a sentinel.
+type Point struct {
+	C   [MaxDim]int64 // coordinates; entries at index >= Dim are zero
+	Dim int
+}
+
+// Pt1 returns a 1-dimensional point.
+func Pt1(x int64) Point { return Point{C: [MaxDim]int64{x}, Dim: 1} }
+
+// Pt2 returns a 2-dimensional point.
+func Pt2(x, y int64) Point { return Point{C: [MaxDim]int64{x, y}, Dim: 2} }
+
+// Pt3 returns a 3-dimensional point.
+func Pt3(x, y, z int64) Point { return Point{C: [MaxDim]int64{x, y, z}, Dim: 3} }
+
+// PtN returns a point with the given coordinates. It panics if the number of
+// coordinates is zero or exceeds MaxDim.
+func PtN(coords ...int64) Point {
+	if len(coords) == 0 || len(coords) > MaxDim {
+		panic(fmt.Sprintf("domain: PtN with %d coordinates (want 1..%d)", len(coords), MaxDim))
+	}
+	var p Point
+	p.Dim = len(coords)
+	copy(p.C[:], coords)
+	return p
+}
+
+// X returns the first coordinate.
+func (p Point) X() int64 { return p.C[0] }
+
+// Y returns the second coordinate (zero for 1-d points).
+func (p Point) Y() int64 { return p.C[1] }
+
+// Z returns the third coordinate (zero for 1- and 2-d points).
+func (p Point) Z() int64 { return p.C[2] }
+
+// Eq reports whether p and q have the same dimensionality and coordinates.
+func (p Point) Eq(q Point) bool {
+	return p.Dim == q.Dim && p.C == q.C
+}
+
+// Less imposes a total lexicographic order on points of equal dimension.
+// Points of differing dimension order by dimension first.
+func (p Point) Less(q Point) bool {
+	if p.Dim != q.Dim {
+		return p.Dim < q.Dim
+	}
+	for i := 0; i < p.Dim; i++ {
+		if p.C[i] != q.C[i] {
+			return p.C[i] < q.C[i]
+		}
+	}
+	return false
+}
+
+// Add returns the coordinate-wise sum p + q. It panics on dimension mismatch.
+func (p Point) Add(q Point) Point {
+	p.checkDim(q)
+	for i := 0; i < p.Dim; i++ {
+		p.C[i] += q.C[i]
+	}
+	return p
+}
+
+// Sub returns the coordinate-wise difference p - q. It panics on dimension
+// mismatch.
+func (p Point) Sub(q Point) Point {
+	p.checkDim(q)
+	for i := 0; i < p.Dim; i++ {
+		p.C[i] -= q.C[i]
+	}
+	return p
+}
+
+// Scale returns p with every coordinate multiplied by k.
+func (p Point) Scale(k int64) Point {
+	for i := 0; i < p.Dim; i++ {
+		p.C[i] *= k
+	}
+	return p
+}
+
+// Sum returns the sum of the coordinates of p. Diagonal slices of 3-d sweep
+// domains are the sets of points with a fixed coordinate sum.
+func (p Point) Sum() int64 {
+	var s int64
+	for i := 0; i < p.Dim; i++ {
+		s += p.C[i]
+	}
+	return s
+}
+
+func (p Point) checkDim(q Point) {
+	if p.Dim != q.Dim {
+		panic(fmt.Sprintf("domain: dimension mismatch %d vs %d", p.Dim, q.Dim))
+	}
+}
+
+// String renders the point as "<x,y,z>" with Dim coordinates.
+func (p Point) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i := 0; i < p.Dim; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", p.C[i])
+	}
+	b.WriteByte('>')
+	return b.String()
+}

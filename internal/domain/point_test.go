@@ -1,0 +1,115 @@
+package domain
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointConstructors(t *testing.T) {
+	cases := []struct {
+		p       Point
+		dim     int
+		x, y, z int64
+	}{
+		{Pt1(7), 1, 7, 0, 0},
+		{Pt2(3, -4), 2, 3, -4, 0},
+		{Pt3(1, 2, 3), 3, 1, 2, 3},
+		{PtN(9, 8), 2, 9, 8, 0},
+	}
+	for _, c := range cases {
+		if c.p.Dim != c.dim {
+			t.Errorf("%v: dim = %d, want %d", c.p, c.p.Dim, c.dim)
+		}
+		if c.p.X() != c.x || c.p.Y() != c.y || c.p.Z() != c.z {
+			t.Errorf("%v: coords = (%d,%d,%d), want (%d,%d,%d)",
+				c.p, c.p.X(), c.p.Y(), c.p.Z(), c.x, c.y, c.z)
+		}
+	}
+}
+
+func TestPtNPanics(t *testing.T) {
+	for _, coords := range [][]int64{{}, {1, 2, 3, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PtN(%v) did not panic", coords)
+				}
+			}()
+			PtN(coords...)
+		}()
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	a, b := Pt3(1, 2, 3), Pt3(10, 20, 30)
+	if got := a.Add(b); !got.Eq(Pt3(11, 22, 33)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); !got.Eq(Pt3(9, 18, 27)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(-2); !got.Eq(Pt3(-2, -4, -6)) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Sum(); got != 6 {
+		t.Errorf("Sum = %d", got)
+	}
+}
+
+func TestPointAddDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with mismatched dims did not panic")
+		}
+	}()
+	Pt1(1).Add(Pt2(1, 2))
+}
+
+func TestPointLessTotalOrder(t *testing.T) {
+	ordered := []Point{Pt1(5), Pt2(0, 0), Pt2(0, 1), Pt2(1, -5), Pt3(0, 0, 0)}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Less(ordered[j])
+			want := i < j
+			if got != want {
+				t.Errorf("Less(%v, %v) = %v, want %v", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := Pt3(1, -2, 3).String(); s != "<1,-2,3>" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Pt1(42).String(); s != "<42>" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: Add and Sub are inverses.
+func TestPointAddSubInverseProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz int32) bool {
+		a := Pt3(int64(ax), int64(ay), int64(az))
+		b := Pt3(int64(bx), int64(by), int64(bz))
+		return a.Add(b).Sub(b).Eq(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Less is antisymmetric and Eq-consistent.
+func TestPointLessAntisymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by int16) bool {
+		a := Pt2(int64(ax), int64(ay))
+		b := Pt2(int64(bx), int64(by))
+		if a.Eq(b) {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package domain
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectVolumeAndEmpty(t *testing.T) {
+	cases := []struct {
+		r   Rect
+		vol int64
+	}{
+		{Rect1(0, 9), 10},
+		{Rect1(5, 5), 1},
+		{Rect1(5, 4), 0},
+		{Rect2(0, 0, 3, 4), 20},
+		{Rect3(0, 0, 0, 1, 1, 1), 8},
+		{Rect2(0, 5, 10, 4), 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Volume(); got != c.vol {
+			t.Errorf("%v: Volume = %d, want %d", c.r, got, c.vol)
+		}
+		if got := c.r.Empty(); got != (c.vol == 0) {
+			t.Errorf("%v: Empty = %v, want %v", c.r, got, c.vol == 0)
+		}
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect2(1, 1, 3, 3)
+	if !r.Contains(Pt2(1, 1)) || !r.Contains(Pt2(3, 3)) || !r.Contains(Pt2(2, 2)) {
+		t.Error("corner/interior points should be contained")
+	}
+	if r.Contains(Pt2(0, 2)) || r.Contains(Pt2(2, 4)) {
+		t.Error("outside points should not be contained")
+	}
+	if r.Contains(Pt1(2)) {
+		t.Error("wrong-dimension point should not be contained")
+	}
+}
+
+func TestRectOverlapsIntersect(t *testing.T) {
+	a := Rect2(0, 0, 5, 5)
+	b := Rect2(4, 4, 9, 9)
+	c := Rect2(6, 0, 9, 5)
+	if !a.Overlaps(b) {
+		t.Error("a should overlap b")
+	}
+	if a.Overlaps(c) {
+		t.Error("a should not overlap c")
+	}
+	got := a.Intersect(b)
+	if want := Rect2(4, 4, 5, 5); got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint intersect should be empty")
+	}
+}
+
+func TestRectIndexPointAtRoundTrip(t *testing.T) {
+	r := Rect3(-1, 2, 0, 1, 4, 2)
+	seen := make(map[int64]bool)
+	r.Each(func(p Point) bool {
+		idx := r.Index(p)
+		if idx < 0 || idx >= r.Volume() {
+			t.Fatalf("Index(%v) = %d out of range", p, idx)
+		}
+		if seen[idx] {
+			t.Fatalf("Index(%v) = %d duplicated", p, idx)
+		}
+		seen[idx] = true
+		if got := r.PointAt(idx); !got.Eq(p) {
+			t.Fatalf("PointAt(%d) = %v, want %v", idx, got, p)
+		}
+		return true
+	})
+	if int64(len(seen)) != r.Volume() {
+		t.Errorf("iterated %d points, want %d", len(seen), r.Volume())
+	}
+}
+
+func TestRectIndexRowMajorOrder(t *testing.T) {
+	r := Rect2(0, 0, 1, 2)
+	want := []Point{Pt2(0, 0), Pt2(0, 1), Pt2(0, 2), Pt2(1, 0), Pt2(1, 1), Pt2(1, 2)}
+	for i, p := range want {
+		if got := r.Index(p); got != int64(i) {
+			t.Errorf("Index(%v) = %d, want %d", p, got, i)
+		}
+	}
+}
+
+func TestRectIndexPanicsOutside(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Index outside rect did not panic")
+		}
+	}()
+	Rect1(0, 4).Index(Pt1(5))
+}
+
+func TestRectEachEarlyStop(t *testing.T) {
+	r := Rect1(0, 99)
+	n := 0
+	r.Each(func(Point) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop after %d points, want 5", n)
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a, b := Rect2(0, 0, 1, 1), Rect2(3, 5, 4, 6)
+	if got, want := a.Union(b), Rect2(0, 0, 4, 6); got != want {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	empty := Rect2(1, 1, 0, 0)
+	if got := empty.Union(a); got != a {
+		t.Errorf("empty.Union(a) = %v, want %v", got, a)
+	}
+	if got := a.Union(empty); got != a {
+		t.Errorf("a.Union(empty) = %v, want %v", got, a)
+	}
+}
+
+// Property: Index is a bijection [rect points] -> [0, Volume).
+func TestRectIndexBijectionProperty(t *testing.T) {
+	f := func(lox, loy int16, w, h uint8, off uint16) bool {
+		r := Rect2(int64(lox), int64(loy), int64(lox)+int64(w%16), int64(loy)+int64(h%16))
+		idx := int64(off) % r.Volume()
+		return r.Index(r.PointAt(idx)) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection is contained in both operands and symmetric.
+func TestRectIntersectContainmentProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 int8) bool {
+		a := Rect1(min64(int64(a1), int64(a2)), max64(int64(a1), int64(a2)))
+		b := Rect1(min64(int64(b1), int64(b2)), max64(int64(b1), int64(b2)))
+		i := a.Intersect(b)
+		j := b.Intersect(a)
+		if i != j {
+			return false
+		}
+		if i.Empty() {
+			return !a.Overlaps(b)
+		}
+		return a.ContainsRect(i) && b.ContainsRect(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

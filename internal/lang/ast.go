@@ -1,0 +1,87 @@
+package lang
+
+import "indexlaunch/internal/privilege"
+
+// Program is a parsed source file: task declarations plus top-level
+// statements.
+type Program struct {
+	Tasks []*TaskDecl
+	Stmts []Stmt
+}
+
+// TaskDecl declares a task with its parameters and privileges. Task bodies
+// are elided in this DSL — the language describes launch structure; kernels
+// are bound at interpretation time.
+type TaskDecl struct {
+	Name   string
+	Params []string
+	Privs  []PrivDecl
+	Line   int
+}
+
+// PrivDecl is one privilege clause: reads(r), writes(s), reduces +(t).
+type PrivDecl struct {
+	Priv  privilege.Privilege
+	RedOp privilege.OpID
+	Param string
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// VarDecl binds a name to an integer expression: var N = 10.
+type VarDecl struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// ForLoop is "for i = lo, hi do ... end" with exclusive hi, matching the
+// paper's Listing 1/2 syntax.
+type ForLoop struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+	Line   int
+}
+
+// LaunchStmt invokes a task with partition-indexed arguments:
+// foo(p[i], q[i%3]).
+type LaunchStmt struct {
+	Task string
+	Args []ArgExpr
+	Line int
+}
+
+// ArgExpr is one launch argument: partition name plus index expression.
+type ArgExpr struct {
+	Partition string
+	Index     Expr
+}
+
+func (*VarDecl) stmtNode()    {}
+func (*ForLoop) stmtNode()    {}
+func (*LaunchStmt) stmtNode() {}
+
+// Expr is an integer expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// VarRef references a loop variable or declared constant.
+type VarRef struct {
+	Name string
+	Line int
+	Col  int
+}
+
+// BinOp is a binary arithmetic expression; Op is one of + - * / %.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+func (*IntLit) exprNode() {}
+func (*VarRef) exprNode() {}
+func (*BinOp) exprNode()  {}

@@ -1,0 +1,193 @@
+package lang
+
+import (
+	"fmt"
+
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/projection"
+)
+
+// Class is the optimizer's classification of a projection expression over
+// one loop variable — the static-analysis lattice of paper §4 ("constant
+// (not injective), identity (injective), or the slightly more general
+// affine case"), extended with the modular shapes the dynamic check handles.
+type Class struct {
+	Kind projection.Kind
+	// Affine data: value = A·i + B.
+	A, B int64
+	// Modular data: value = (A·i + B) mod Mod.
+	Mod int64
+}
+
+func (c Class) String() string {
+	switch c.Kind {
+	case projection.KindConstant:
+		return fmt.Sprintf("constant %d", c.B)
+	case projection.KindIdentity:
+		return "identity"
+	case projection.KindAffine:
+		return fmt.Sprintf("affine %d*i%+d", c.A, c.B)
+	case projection.KindModular:
+		return fmt.Sprintf("modular (%d*i%+d) mod %d", c.A, c.B, c.Mod)
+	default:
+		return "opaque"
+	}
+}
+
+// Classify analyzes e as a function of loopVar, with env supplying the
+// classes of other names in scope (declared constants classify as
+// KindConstant). Unanalyzable shapes are KindOpaque.
+func Classify(e Expr, loopVar string, env map[string]Class) Class {
+	opaque := Class{Kind: projection.KindOpaque}
+	switch ex := e.(type) {
+	case *IntLit:
+		return Class{Kind: projection.KindConstant, B: ex.Val}
+	case *VarRef:
+		if ex.Name == loopVar {
+			return Class{Kind: projection.KindIdentity, A: 1}
+		}
+		if c, ok := env[ex.Name]; ok {
+			return c
+		}
+		return opaque
+	case *BinOp:
+		l := Classify(ex.L, loopVar, env)
+		r := Classify(ex.R, loopVar, env)
+		if !affineLike(l) || !affineLike(r) {
+			return opaque
+		}
+		switch ex.Op {
+		case "+":
+			return canon(Class{Kind: projection.KindAffine, A: l.A + r.A, B: l.B + r.B})
+		case "-":
+			return canon(Class{Kind: projection.KindAffine, A: l.A - r.A, B: l.B - r.B})
+		case "*":
+			switch {
+			case l.Kind == projection.KindConstant:
+				return canon(Class{Kind: projection.KindAffine, A: l.B * r.A, B: l.B * r.B})
+			case r.Kind == projection.KindConstant:
+				return canon(Class{Kind: projection.KindAffine, A: r.B * l.A, B: r.B * l.B})
+			default:
+				return opaque // i*i is quadratic
+			}
+		case "%":
+			if r.Kind == projection.KindConstant && r.B > 0 {
+				if l.Kind == projection.KindConstant {
+					return Class{Kind: projection.KindConstant, B: mod(l.B, r.B)}
+				}
+				return Class{Kind: projection.KindModular, A: l.A, B: l.B, Mod: r.B}
+			}
+			return opaque
+		case "/":
+			if l.Kind == projection.KindConstant && r.Kind == projection.KindConstant && r.B != 0 {
+				return Class{Kind: projection.KindConstant, B: l.B / r.B}
+			}
+			return opaque // integer division is not affine
+		}
+	}
+	return opaque
+}
+
+// affineLike reports whether c can participate in affine arithmetic.
+func affineLike(c Class) bool {
+	switch c.Kind {
+	case projection.KindConstant, projection.KindIdentity, projection.KindAffine:
+		return true
+	}
+	return false
+}
+
+// canon normalizes degenerate affine forms to constant/identity.
+func canon(c Class) Class {
+	if c.Kind == projection.KindAffine {
+		if c.A == 0 {
+			return Class{Kind: projection.KindConstant, B: c.B}
+		}
+		if c.A == 1 && c.B == 0 {
+			return Class{Kind: projection.KindIdentity, A: 1}
+		}
+	}
+	return c
+}
+
+func mod(a, m int64) int64 {
+	v := a % m
+	if v < 0 {
+		v += m
+	}
+	return v
+}
+
+// Functor converts the classified expression to a projection functor. For
+// opaque classes, the raw expression is wrapped as a dynamic closure
+// evaluating under env (loop variable bound per point).
+func (c Class) Functor(e Expr, loopVar string, env map[string]int64) projection.Functor {
+	switch c.Kind {
+	case projection.KindConstant:
+		return projection.Constant(domain.Pt1(c.B))
+	case projection.KindIdentity:
+		return projection.Identity(1)
+	case projection.KindAffine:
+		return projection.Affine1D(c.A, c.B)
+	case projection.KindModular:
+		return projection.Modular1D(c.A, c.B, c.Mod)
+	default:
+		captured := make(map[string]int64, len(env))
+		for k, v := range env {
+			captured[k] = v
+		}
+		return projection.Func("expr", 1, 1, func(p domain.Point) domain.Point {
+			captured[loopVar] = p.X()
+			v, err := Eval(e, captured)
+			if err != nil {
+				// Projection functors are total; arithmetic faults map to
+				// an out-of-bounds color, which the dynamic check and the
+				// launch expansion both reject.
+				return domain.Pt1(-1 << 62)
+			}
+			return domain.Pt1(v)
+		})
+	}
+}
+
+// Eval evaluates e under the variable bindings in env.
+func Eval(e Expr, env map[string]int64) (int64, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return ex.Val, nil
+	case *VarRef:
+		v, ok := env[ex.Name]
+		if !ok {
+			return 0, errf(ex.Line, ex.Col, "undefined variable %q", ex.Name)
+		}
+		return v, nil
+	case *BinOp:
+		l, err := Eval(ex.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := Eval(ex.R, env)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, fmt.Errorf("lang: division by zero")
+			}
+			return l / r, nil
+		case "%":
+			if r == 0 {
+				return 0, fmt.Errorf("lang: modulo by zero")
+			}
+			return mod(l, r), nil
+		}
+	}
+	return 0, fmt.Errorf("lang: cannot evaluate expression")
+}

@@ -1,0 +1,85 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"indexlaunch/internal/privilege"
+)
+
+// FormatExpr renders an expression back to source form, fully
+// parenthesized.
+func FormatExpr(e Expr) string {
+	switch ex := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", ex.Val)
+	case *VarRef:
+		return ex.Name
+	case *BinOp:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(ex.L), ex.Op, FormatExpr(ex.R))
+	default:
+		return "?"
+	}
+}
+
+// Format renders the program back to source form. The output parses to an
+// equivalent program (round-trip tested), making it usable for plan
+// inspection and test-case minimization.
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, td := range p.Tasks {
+		fmt.Fprintf(&b, "task %s(%s)", td.Name, strings.Join(td.Params, ", "))
+		if len(td.Privs) > 0 {
+			var privs []string
+			for _, pd := range td.Privs {
+				privs = append(privs, formatPriv(pd))
+			}
+			fmt.Fprintf(&b, " where %s", strings.Join(privs, ", "))
+		}
+		b.WriteString(" do end\n")
+	}
+	formatStmts(&b, p.Stmts, 0)
+	return b.String()
+}
+
+func formatPriv(pd PrivDecl) string {
+	switch pd.Priv {
+	case privilege.Read:
+		return fmt.Sprintf("reads(%s)", pd.Param)
+	case privilege.Write:
+		return fmt.Sprintf("writes(%s)", pd.Param)
+	case privilege.Reduce:
+		op := "+"
+		switch pd.RedOp {
+		case privilege.OpProdF64:
+			op = "*"
+		case privilege.OpMinF64:
+			op = "min"
+		case privilege.OpMaxF64:
+			op = "max"
+		}
+		return fmt.Sprintf("reduces %s(%s)", op, pd.Param)
+	default:
+		return fmt.Sprintf("/*%v*/(%s)", pd.Priv, pd.Param)
+	}
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *VarDecl:
+			fmt.Fprintf(b, "%svar %s = %s\n", indent, s.Name, FormatExpr(s.Init))
+		case *ForLoop:
+			fmt.Fprintf(b, "%sfor %s = %s, %s do\n", indent, s.Var, FormatExpr(s.Lo), FormatExpr(s.Hi))
+			formatStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%send\n", indent)
+		case *LaunchStmt:
+			var args []string
+			for _, a := range s.Args {
+				args = append(args, fmt.Sprintf("%s[%s]", a.Partition, FormatExpr(a.Index)))
+			}
+			fmt.Fprintf(b, "%s%s(%s)\n", indent, s.Task, strings.Join(args, ", "))
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatRoundTrip(t *testing.T) {
+	prog, err := Parse(listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Format(prog)
+	prog2, err := Parse(src)
+	if err != nil {
+		t.Fatalf("formatted source does not parse: %v\n%s", err, src)
+	}
+	// Round-trip fixpoint: formatting the reparsed program is identical.
+	if src2 := Format(prog2); src2 != src {
+		t.Errorf("format not a fixpoint:\n--- first ---\n%s--- second ---\n%s", src, src2)
+	}
+}
+
+func TestFormatPrivileges(t *testing.T) {
+	prog, err := Parse("task f(a, b, c, d) where reads(a), writes(b), reduces +(c), reduces max(d) do end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(prog)
+	for _, want := range []string{"reads(a)", "writes(b)", "reduces +(c)", "reduces max(d)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if _, err := Parse(out); err != nil {
+		t.Errorf("formatted privileges do not parse: %v", err)
+	}
+}
+
+// Property: random expressions survive format → parse → classify with the
+// same classification.
+func TestFormatExprRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randExpr(rng, 3)
+		src := "task f(a) where writes(a) do end\nfor i = 0, 5 do f(p[" + FormatExpr(e) + "]) end"
+		prog, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		e2 := prog.Stmts[0].(*ForLoop).Body[0].(*LaunchStmt).Args[0].Index
+		c1 := Classify(e, "i", nil)
+		c2 := Classify(e2, "i", nil)
+		return c1 == c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

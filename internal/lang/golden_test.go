@@ -1,0 +1,51 @@
+package lang
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden report files")
+
+// TestGoldenReports compiles each testdata program and compares the
+// optimizer report against its checked-in golden file. Regenerate with
+//
+//	go test ./internal/lang -run TestGolden -update-golden
+func TestGoldenReports(t *testing.T) {
+	srcs, err := filepath.Glob("testdata/*.rg")
+	if err != nil || len(srcs) == 0 {
+		t.Fatalf("no testdata programs: %v", err)
+	}
+	for _, src := range srcs {
+		src := src
+		t.Run(filepath.Base(src), func(t *testing.T) {
+			data, err := os.ReadFile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := Compile(string(data))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			report := plan.Report()
+			golden := strings.TrimSuffix(src, ".rg") + ".report"
+			if *updateGolden {
+				if err := os.WriteFile(golden, []byte(report), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if report != string(want) {
+				t.Errorf("report drifted from golden file %s:\n--- got ---\n%s--- want ---\n%s",
+					golden, report, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,384 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/projection"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("for i = 0, 10 do foo(p[i %3]) end -- comment\nvar x = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind == TokEOF {
+			break
+		}
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"for", "i", "=", "0", ",", "10", "do", "foo", "(", "p", "[", "i", "%", "3", "]", ")", "end", "var", "x", "=", "2"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("tok %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("foo & bar"); err == nil {
+		t.Error("bad character should error")
+	}
+	if _, err := Lex("99999999999999999999999"); err == nil {
+		t.Error("overflow should error")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+const listing1 = `
+task foo(r) where reads(r), writes(r) do end
+task bar(q) where reads(q), writes(q) do end
+
+var N = 10
+for i = 0, N do -- parallel
+  foo(p[i])
+end
+
+for i = 0, N do -- parallel
+  bar(q[(2*i+1) % 21])
+end
+`
+
+const listing2 = `
+task foo(c1, c2) where reads(c1), writes(c2) do end
+
+for i = 0, 5 do
+  foo(p[i], q[i % 3])
+end
+`
+
+func TestParseListing1(t *testing.T) {
+	prog, err := Parse(listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Tasks) != 2 || len(prog.Stmts) != 3 {
+		t.Fatalf("tasks=%d stmts=%d", len(prog.Tasks), len(prog.Stmts))
+	}
+	loop, ok := prog.Stmts[1].(*ForLoop)
+	if !ok || loop.Var != "i" {
+		t.Fatalf("stmt 1 = %T", prog.Stmts[1])
+	}
+	if len(loop.Body) != 1 {
+		t.Fatalf("loop body = %d stmts", len(loop.Body))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"task do end",
+		"for i = 0 do end",
+		"for i = 0, 5 do foo(p[i])",
+		"foo(p[)",
+		"task f(r) where reads(r do end",
+		"task f(r) where reduces ?(r) do end",
+		"var = 3",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parse of %q should fail", src)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	bad := map[string]string{
+		"undeclared task":    "for i = 0, 5 do foo(p[i]) end",
+		"arity":              "task f(a, b) where reads(a), reads(b) do end\nf(p[0])",
+		"unknown param priv": "task f(a) where reads(b) do end",
+		"no privilege":       "task f(a) do end",
+		"redeclared":         "task f(a) where reads(a) do end\ntask f(a) where reads(a) do end",
+		"dup param":          "task f(a, a) where reads(a) do end",
+		"undefined var":      "task f(a) where reads(a) do end\nf(p[x])",
+	}
+	for name, src := range bad {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Errorf("%s: parse failed: %v", name, err)
+			continue
+		}
+		if _, err := Check(prog); err == nil {
+			t.Errorf("%s: check should fail", name)
+		}
+	}
+}
+
+func TestCheckMergesPrivileges(t *testing.T) {
+	prog, err := Parse("task f(a, b, c) where reads(a), writes(a), reads(b), reduces +(c) do end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := c.Access["f"]
+	if acc[0].Priv != privilege.ReadWrite {
+		t.Errorf("a: %v", acc[0].Priv)
+	}
+	if acc[1].Priv != privilege.Read {
+		t.Errorf("b: %v", acc[1].Priv)
+	}
+	if acc[2].Priv != privilege.Reduce || acc[2].RedOp != privilege.OpSumF64 {
+		t.Errorf("c: %v/%v", acc[2].Priv, acc[2].RedOp)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	parse := func(src string) Expr {
+		prog, err := Parse("task f(a) where writes(a) do end\nfor i = 0, 5 do f(p[" + src + "]) end")
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		loop := prog.Stmts[0].(*ForLoop)
+		return loop.Body[0].(*LaunchStmt).Args[0].Index
+	}
+	env := map[string]Class{"N": {Kind: projection.KindConstant, B: 7}}
+	cases := []struct {
+		src     string
+		kind    projection.Kind
+		a, b, m int64
+	}{
+		{"i", projection.KindIdentity, 1, 0, 0},
+		{"3", projection.KindConstant, 0, 3, 0},
+		{"N", projection.KindConstant, 0, 7, 0},
+		{"2*i+1", projection.KindAffine, 2, 1, 0},
+		{"i+i", projection.KindAffine, 2, 0, 0},
+		{"i-i", projection.KindConstant, 0, 0, 0},
+		{"(i+2) % 5", projection.KindModular, 1, 2, 5},
+		{"i % N", projection.KindModular, 1, 0, 7},
+		{"i*i", projection.KindOpaque, 0, 0, 0},
+		{"i/2", projection.KindOpaque, 0, 0, 0},
+		{"17 % 5", projection.KindConstant, 0, 2, 0},
+		{"-i+4", projection.KindAffine, -1, 4, 0},
+	}
+	for _, c := range cases {
+		got := Classify(parse(c.src), "i", env)
+		if got.Kind != c.kind {
+			t.Errorf("%q: kind = %v, want %v", c.src, got.Kind, c.kind)
+			continue
+		}
+		switch c.kind {
+		case projection.KindAffine:
+			if got.A != c.a || got.B != c.b {
+				t.Errorf("%q: affine %d*i%+d, want %d*i%+d", c.src, got.A, got.B, c.a, c.b)
+			}
+		case projection.KindConstant:
+			if got.B != c.b {
+				t.Errorf("%q: constant %d, want %d", c.src, got.B, c.b)
+			}
+		case projection.KindModular:
+			if got.A != c.a || got.B != c.b || got.Mod != c.m {
+				t.Errorf("%q: modular (%d,%d,%d), want (%d,%d,%d)", c.src, got.A, got.B, got.Mod, c.a, c.b, c.m)
+			}
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	prog, _ := Parse("task f(a) where writes(a) do end\nfor i = 0, 5 do f(p[(2*i+3) % 4]) end")
+	e := prog.Stmts[0].(*ForLoop).Body[0].(*LaunchStmt).Args[0].Index
+	v, err := Eval(e, map[string]int64{"i": 5})
+	if err != nil || v != 1 {
+		t.Errorf("eval = %d, %v (want 1)", v, err)
+	}
+	if _, err := Eval(e, map[string]int64{}); err == nil {
+		t.Error("unbound variable should error")
+	}
+}
+
+func TestPlanListing1Decisions(t *testing.T) {
+	plan, err := Compile(listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loops []*OpCandidateLoop
+	for _, op := range plan.Ops {
+		if l, ok := op.(*OpCandidateLoop); ok {
+			loops = append(loops, l)
+		}
+	}
+	if len(loops) != 2 {
+		t.Fatalf("candidate loops = %d, want 2", len(loops))
+	}
+	// foo(p[i]): identity over disjoint partition — static index launch.
+	if d := loops[0].Launches[0].Decision; d != DecideIndexLaunch {
+		t.Errorf("loop 1 decision = %v, want static index launch", d)
+	}
+	// bar(q[(2i+1)%21]): modular with stride 2 — dynamic check branch.
+	if d := loops[1].Launches[0].Decision; d != DecideDynamicBranch {
+		t.Errorf("loop 2 decision = %v, want dynamic branch", d)
+	}
+}
+
+func TestPlanListing2Rejected(t *testing.T) {
+	// The paper's Listing 2 walkthrough: i%3 over [0,5) with writes is
+	// statically rejected (modular with |D| > m is a pigeonhole failure).
+	plan, err := Compile(listing2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := plan.Ops[0].(*OpCandidateLoop)
+	lp := loop.Launches[0]
+	if lp.Decision != DecideTaskLoop {
+		t.Fatalf("decision = %v, want task loop; reason %q", lp.Decision, lp.Reason)
+	}
+	if !strings.Contains(lp.Reason, "non-injective") {
+		t.Errorf("reason = %q", lp.Reason)
+	}
+}
+
+func TestPlanCrossCheckStaticDisjoint(t *testing.T) {
+	// p[2i] write vs p[2i+1] read: same stride, different residue — the
+	// static cross-check proves disjoint images, no dynamic check needed.
+	src := `
+task f(a, b) where writes(a), reads(b) do end
+for i = 0, 5 do
+  f(p[2*i], p[2*i+1])
+end`
+	plan, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := plan.Ops[0].(*OpCandidateLoop).Launches[0]
+	if lp.Decision != DecideIndexLaunch {
+		t.Errorf("decision = %v (%s), want static index launch", lp.Decision, lp.Reason)
+	}
+}
+
+func TestPlanCrossCheckIdenticalImagesRejected(t *testing.T) {
+	src := `
+task f(a, b) where writes(a), reads(b) do end
+for i = 0, 5 do
+  f(p[i], p[i])
+end`
+	plan, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := plan.Ops[0].(*OpCandidateLoop).Launches[0]
+	if lp.Decision != DecideTaskLoop {
+		t.Errorf("decision = %v, want task loop", lp.Decision)
+	}
+}
+
+func TestPlanCrossCheckDynamicFallback(t *testing.T) {
+	// Different strides: image disjointness goes to the dynamic check.
+	src := `
+task f(a, b) where writes(a), reads(b) do end
+for i = 0, 4 do
+  f(p[2*i], p[3*i+1])
+end`
+	plan, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := plan.Ops[0].(*OpCandidateLoop).Launches[0]
+	if lp.Decision != DecideDynamicBranch {
+		t.Errorf("decision = %v, want dynamic branch", lp.Decision)
+	}
+}
+
+func TestPlanNestedLoopIsControlFlow(t *testing.T) {
+	src := `
+task f(a) where writes(a) do end
+for t = 0, 3 do
+  for i = 0, 5 do
+    f(p[i])
+  end
+end`
+	plan, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, ok := plan.Ops[0].(*OpControlLoop)
+	if !ok {
+		t.Fatalf("outer = %T, want control loop", plan.Ops[0])
+	}
+	inner, ok := outer.Body[0].(*OpCandidateLoop)
+	if !ok {
+		t.Fatalf("inner = %T, want candidate loop", outer.Body[0])
+	}
+	if inner.Launches[0].Decision != DecideIndexLaunch {
+		t.Errorf("inner decision = %v", inner.Launches[0].Decision)
+	}
+}
+
+func TestPlanDynamicBoundsForceDynamicCheck(t *testing.T) {
+	// Loop bound depends on an outer loop variable: the domain is not
+	// static, so write-functor verdicts are Unknown.
+	src := `
+task f(a) where writes(a) do end
+for t = 1, 4 do
+  for i = 0, t do
+    f(p[2*i])
+  end
+end`
+	plan, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := plan.Ops[0].(*OpControlLoop)
+	inner := outer.Body[0].(*OpCandidateLoop)
+	if d := inner.Launches[0].Decision; d != DecideDynamicBranch {
+		t.Errorf("decision = %v, want dynamic branch", d)
+	}
+}
+
+func TestPlanReducesPassSelfCheck(t *testing.T) {
+	src := `
+task f(a) where reduces +(a) do end
+for i = 0, 10 do
+  f(p[i % 3])
+end`
+	plan, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := plan.Ops[0].(*OpCandidateLoop).Launches[0]
+	if lp.Decision != DecideIndexLaunch {
+		t.Errorf("decision = %v (%s), want static (reductions commute)", lp.Decision, lp.Reason)
+	}
+}
+
+func TestReportMentionsDecisions(t *testing.T) {
+	plan, err := Compile(listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := plan.Report()
+	if !strings.Contains(rep, "index launch (static)") {
+		t.Errorf("report missing static decision:\n%s", rep)
+	}
+	if !strings.Contains(rep, "dynamic check") {
+		t.Errorf("report missing dynamic decision:\n%s", rep)
+	}
+}

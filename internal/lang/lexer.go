@@ -1,0 +1,73 @@
+package lang
+
+import (
+	"strconv"
+	"unicode"
+)
+
+// Lex tokenizes src. Comments run from "--" to end of line (Regent style).
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	runes := []rune(src)
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if runes[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(runes) {
+		c := runes[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '-' && i+1 < len(runes) && runes[i+1] == '-':
+			for i < len(runes) && runes[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(c) || c == '_':
+			startLine, startCol := line, col
+			j := i
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j]) || runes[j] == '_') {
+				j++
+			}
+			text := string(runes[i:j])
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: startLine, Col: startCol})
+			advance(j - i)
+		case unicode.IsDigit(c):
+			startLine, startCol := line, col
+			j := i
+			for j < len(runes) && unicode.IsDigit(runes[j]) {
+				j++
+			}
+			text := string(runes[i:j])
+			v, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return nil, errf(startLine, startCol, "integer %q out of range", text)
+			}
+			toks = append(toks, Token{Kind: TokInt, Text: text, Int: v, Line: startLine, Col: startCol})
+			advance(j - i)
+		default:
+			startLine, startCol := line, col
+			switch c {
+			case '(', ')', '[', ']', ',', '=', '+', '-', '*', '/', '%':
+				toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Line: startLine, Col: startCol})
+				advance(1)
+			default:
+				return nil, errf(startLine, startCol, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}

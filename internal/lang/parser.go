@@ -1,0 +1,308 @@
+package lang
+
+import "indexlaunch/internal/privilege"
+
+// Parse lexes and parses src into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		switch {
+		case p.cur().Is("task"):
+			td, err := p.taskDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Tasks = append(prog.Tasks, td)
+		default:
+			st, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			prog.Stmts = append(prog.Stmts, st)
+		}
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token        { return p.toks[p.pos] }
+func (p *parser) at(k TokKind) bool { return p.cur().Kind == k }
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(text string) (Token, error) {
+	t := p.cur()
+	if !t.Is(text) {
+		return t, errf(t.Line, t.Col, "expected %q, found %v", text, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) ident() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return t, errf(t.Line, t.Col, "expected identifier, found %v", t)
+	}
+	return p.next(), nil
+}
+
+// taskDecl := "task" IDENT "(" params ")" [ "where" privs ] "do" "end"
+func (p *parser) taskDecl() (*TaskDecl, error) {
+	kw, _ := p.expect("task")
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	td := &TaskDecl{Name: name.Text, Line: kw.Line}
+	for !p.cur().Is(")") {
+		param, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		td.Params = append(td.Params, param.Text)
+		if p.cur().Is(",") {
+			p.next()
+		}
+	}
+	p.next() // ")"
+	if p.cur().Is("where") {
+		p.next()
+		for {
+			pd, err := p.privDecl()
+			if err != nil {
+				return nil, err
+			}
+			td.Privs = append(td.Privs, pd)
+			if !p.cur().Is(",") {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect("do"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("end"); err != nil {
+		return nil, err
+	}
+	return td, nil
+}
+
+// privDecl := ("reads"|"writes"|"reduces" op) "(" IDENT ")"
+func (p *parser) privDecl() (PrivDecl, error) {
+	t := p.cur()
+	var pd PrivDecl
+	switch {
+	case t.Is("reads"):
+		pd.Priv = privilege.Read
+		p.next()
+	case t.Is("writes"):
+		pd.Priv = privilege.Write
+		p.next()
+	case t.Is("reduces"):
+		p.next()
+		op := p.next()
+		switch op.Text {
+		case "+":
+			pd.RedOp = privilege.OpSumF64
+		case "*":
+			pd.RedOp = privilege.OpProdF64
+		case "min":
+			pd.RedOp = privilege.OpMinF64
+		case "max":
+			pd.RedOp = privilege.OpMaxF64
+		default:
+			return pd, errf(op.Line, op.Col, "unknown reduction operator %v", op)
+		}
+		pd.Priv = privilege.Reduce
+	default:
+		return pd, errf(t.Line, t.Col, "expected privilege, found %v", t)
+	}
+	if _, err := p.expect("("); err != nil {
+		return pd, err
+	}
+	param, err := p.ident()
+	if err != nil {
+		return pd, err
+	}
+	pd.Param = param.Text
+	_, err = p.expect(")")
+	return pd, err
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Is("var"):
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarDecl{Name: name.Text, Init: init, Line: t.Line}, nil
+	case t.Is("for"):
+		return p.forLoop()
+	case t.Kind == TokIdent:
+		return p.launch()
+	default:
+		return nil, errf(t.Line, t.Col, "expected statement, found %v", t)
+	}
+}
+
+// forLoop := "for" IDENT "=" expr "," expr "do" { stmt } "end"
+func (p *parser) forLoop() (*ForLoop, error) {
+	kw, _ := p.expect("for")
+	v, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("="); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(","); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("do"); err != nil {
+		return nil, err
+	}
+	loop := &ForLoop{Var: v.Text, Lo: lo, Hi: hi, Line: kw.Line}
+	for !p.cur().Is("end") {
+		if p.at(TokEOF) {
+			return nil, errf(kw.Line, kw.Col, "unterminated for loop")
+		}
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		loop.Body = append(loop.Body, st)
+	}
+	p.next() // "end"
+	return loop, nil
+}
+
+// launch := IDENT "(" arg { "," arg } ")" ; arg := IDENT "[" expr "]"
+func (p *parser) launch() (*LaunchStmt, error) {
+	name, _ := p.ident()
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	ls := &LaunchStmt{Task: name.Text, Line: name.Line}
+	for !p.cur().Is(")") {
+		part, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("["); err != nil {
+			return nil, err
+		}
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		ls.Args = append(ls.Args, ArgExpr{Partition: part.Text, Index: idx})
+		if p.cur().Is(",") {
+			p.next()
+		}
+	}
+	p.next() // ")"
+	return ls, nil
+}
+
+// expr := term { ("+"|"-") term } ; term := unary { ("*"|"/"|"%") unary }
+func (p *parser) expr() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Is("+") || p.cur().Is("-") {
+		op := p.next().Text
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) term() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Is("*") || p.cur().Is("/") || p.cur().Is("%") {
+		op := p.next().Text
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Is("-"):
+		p.next()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: "-", L: &IntLit{Val: 0}, R: e}, nil
+	case t.Kind == TokInt:
+		p.next()
+		return &IntLit{Val: t.Int}, nil
+	case t.Kind == TokIdent:
+		p.next()
+		return &VarRef{Name: t.Text, Line: t.Line, Col: t.Col}, nil
+	case t.Is("("):
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errf(t.Line, t.Col, "expected expression, found %v", t)
+	}
+}

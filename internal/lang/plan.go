@@ -1,0 +1,365 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/projection"
+)
+
+// Decision is the optimizer's verdict for one loop launch.
+type Decision uint8
+
+// Loop launch decisions.
+const (
+	// DecideIndexLaunch: statically proven safe; execute as an index
+	// launch unconditionally (subject to the partition-disjointness check
+	// at binding time).
+	DecideIndexLaunch Decision = iota
+	// DecideDynamicBranch: emit the Listing-3 dynamic check and branch
+	// between the index launch and the fallback task loop at run time.
+	DecideDynamicBranch
+	// DecideTaskLoop: statically proven unsafe; always run the loop of
+	// individual launches.
+	DecideTaskLoop
+)
+
+// String names the decision as the report prints it.
+func (d Decision) String() string {
+	switch d {
+	case DecideIndexLaunch:
+		return "index launch (static)"
+	case DecideDynamicBranch:
+		return "index launch guarded by dynamic check"
+	case DecideTaskLoop:
+		return "task loop (statically rejected)"
+	default:
+		return fmt.Sprintf("decision(%d)", uint8(d))
+	}
+}
+
+// Plan is the optimized program.
+type Plan struct {
+	Checked *Checked
+	Ops     []PlanOp
+}
+
+// PlanOp is one operation of the plan.
+type PlanOp interface{ planOp() }
+
+// OpVar evaluates a variable declaration.
+type OpVar struct{ Decl *VarDecl }
+
+// OpSingleLaunch issues one task outside any candidate loop.
+type OpSingleLaunch struct{ Stmt *LaunchStmt }
+
+// OpControlLoop is a loop the optimizer left as sequential control flow
+// (its body contains nested loops or other non-launch statements).
+type OpControlLoop struct {
+	Loop *ForLoop
+	Body []PlanOp
+}
+
+// OpCandidateLoop is a loop whose body is task launches (plus simple
+// declarations); each launch carries its own decision.
+type OpCandidateLoop struct {
+	Loop     *ForLoop
+	Decls    []*VarDecl
+	Launches []*LaunchPlan
+}
+
+func (*OpVar) planOp()           {}
+func (*OpSingleLaunch) planOp()  {}
+func (*OpControlLoop) planOp()   {}
+func (*OpCandidateLoop) planOp() {}
+
+// LaunchPlan is the per-launch analysis result.
+type LaunchPlan struct {
+	Stmt     *LaunchStmt
+	Decision Decision
+	Reason   string
+	Args     []ArgPlan
+}
+
+// ArgPlan is the per-argument analysis result.
+type ArgPlan struct {
+	Partition string
+	Priv      privilege.Privilege
+	RedOp     privilege.OpID
+	Class     Class
+	// Verdict is the static injectivity verdict (meaningful for write
+	// privileges).
+	Verdict projection.Verdict
+	// NeedsDynamic marks arguments the dynamic check must cover.
+	NeedsDynamic bool
+}
+
+// BuildPlan runs the optimizer of §4 over a checked program: it finds
+// candidate loops, classifies every projection expression, applies the
+// static self- and cross-checks, and decides per launch between an
+// unconditional index launch, a dynamically guarded one, and a task loop.
+func BuildPlan(c *Checked) *Plan {
+	plan := &Plan{Checked: c}
+	consts := map[string]Class{}
+	plan.Ops = buildOps(c, c.Program.Stmts, consts, "")
+	return plan
+}
+
+func buildOps(c *Checked, stmts []Stmt, consts map[string]Class, outerLoopVar string) []PlanOp {
+	var ops []PlanOp
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *VarDecl:
+			consts[s.Name] = Classify(s.Init, outerLoopVar, consts)
+			ops = append(ops, &OpVar{Decl: s})
+		case *LaunchStmt:
+			ops = append(ops, &OpSingleLaunch{Stmt: s})
+		case *ForLoop:
+			ops = append(ops, buildLoop(c, s, consts))
+		}
+	}
+	return ops
+}
+
+func buildLoop(c *Checked, loop *ForLoop, consts map[string]Class) PlanOp {
+	// Candidate test: body holds only launches and variable declarations
+	// ("any loop ... whose body contains a task launch and other simple
+	// statements ... is eligible").
+	var decls []*VarDecl
+	var launches []*LaunchStmt
+	candidate := len(loop.Body) > 0
+	for _, st := range loop.Body {
+		switch s := st.(type) {
+		case *VarDecl:
+			decls = append(decls, s)
+		case *LaunchStmt:
+			launches = append(launches, s)
+		default:
+			candidate = false
+		}
+	}
+	if !candidate || len(launches) == 0 {
+		inner := copyClassEnv(consts)
+		return &OpControlLoop{Loop: loop, Body: buildOps(c, loop.Body, inner, loop.Var)}
+	}
+
+	// Classification environment: outer constants plus body declarations
+	// (classified as functions of the loop variable).
+	env := copyClassEnv(consts)
+	for _, d := range decls {
+		env[d.Name] = Classify(d.Init, loop.Var, env)
+	}
+
+	// Static loop bounds let the static checks reason over the exact
+	// domain; dynamic bounds force Unknown verdicts onto the dynamic path.
+	staticDomain, haveDomain := staticLoopDomain(loop, consts)
+
+	op := &OpCandidateLoop{Loop: loop, Decls: decls}
+	for _, ls := range launches {
+		op.Launches = append(op.Launches, analyzeLaunch(c, loop, ls, env, staticDomain, haveDomain))
+	}
+	return op
+}
+
+func staticLoopDomain(loop *ForLoop, consts map[string]Class) (domain.Domain, bool) {
+	lo := Classify(loop.Lo, "", consts)
+	hi := Classify(loop.Hi, "", consts)
+	if lo.Kind != projection.KindConstant || hi.Kind != projection.KindConstant {
+		return domain.Domain{}, false
+	}
+	return domain.Range1(lo.B, hi.B-1), true
+}
+
+func analyzeLaunch(c *Checked, loop *ForLoop, ls *LaunchStmt, env map[string]Class,
+	d domain.Domain, haveDomain bool) *LaunchPlan {
+
+	lp := &LaunchPlan{Stmt: ls}
+	access := c.Access[ls.Task]
+	reject := ""
+	needDynamic := false
+
+	for i, arg := range ls.Args {
+		ap := ArgPlan{
+			Partition: arg.Partition,
+			Priv:      access[i].Priv,
+			RedOp:     access[i].RedOp,
+			Class:     Classify(arg.Index, loop.Var, env),
+			Verdict:   projection.Unknown,
+		}
+		if ap.Priv.IsWrite() && ap.Priv != privilege.Reduce {
+			// Self-check: writes need an injective functor over the
+			// domain (partition disjointness is verified at bind time).
+			if haveDomain {
+				f := ap.Class.Functor(arg.Index, loop.Var, nil)
+				ap.Verdict = projection.StaticInjective(f, d)
+			}
+			switch ap.Verdict {
+			case projection.NotInjective:
+				reject = fmt.Sprintf("argument %d (%s[%s]) is statically non-injective",
+					i, arg.Partition, ap.Class)
+			case projection.Unknown:
+				ap.NeedsDynamic = true
+				needDynamic = true
+			}
+		}
+		lp.Args = append(lp.Args, ap)
+	}
+
+	// Cross-check: arguments sharing a partition with at least one write
+	// need the image-disjointness check unless the images are statically
+	// identical reads or the pair is all-read.
+	byPart := map[string][]int{}
+	for i, ap := range lp.Args {
+		byPart[ap.Partition] = append(byPart[ap.Partition], i)
+	}
+	for _, idxs := range byPart {
+		if len(idxs) < 2 {
+			continue
+		}
+		hasWrite := false
+		for _, i := range idxs {
+			if lp.Args[i].Priv.IsWrite() {
+				hasWrite = true
+			}
+		}
+		if !hasWrite {
+			continue
+		}
+		if allSameOpReductions(lp.Args, idxs) {
+			continue
+		}
+		if ok, why := staticImagesDisjoint(lp.Args, idxs); ok {
+			continue
+		} else if why != "" {
+			reject = why
+			continue
+		}
+		for _, i := range idxs {
+			lp.Args[i].NeedsDynamic = true
+		}
+		needDynamic = true
+	}
+
+	switch {
+	case reject != "":
+		lp.Decision = DecideTaskLoop
+		lp.Reason = reject
+	case needDynamic:
+		lp.Decision = DecideDynamicBranch
+		lp.Reason = "static analysis incomplete; emitting Listing-3 dynamic check"
+	default:
+		lp.Decision = DecideIndexLaunch
+		lp.Reason = "all arguments statically verified"
+	}
+	return lp
+}
+
+func allSameOpReductions(args []ArgPlan, idxs []int) bool {
+	var op privilege.OpID
+	for k, i := range idxs {
+		if args[i].Priv != privilege.Reduce {
+			return false
+		}
+		if k == 0 {
+			op = args[i].RedOp
+		} else if args[i].RedOp != op {
+			return false
+		}
+	}
+	return true
+}
+
+// staticImagesDisjoint proves image disjointness for pairs of affine
+// classes with equal strides and distinct offsets mod stride — e.g.
+// p[2i] vs p[2i+1]. It returns (false, reason) to reject statically
+// identical write images, and (false, "") when the question must go to the
+// dynamic check.
+func staticImagesDisjoint(args []ArgPlan, idxs []int) (bool, string) {
+	for a := 0; a < len(idxs); a++ {
+		for b := a + 1; b < len(idxs); b++ {
+			ai, bi := args[idxs[a]], args[idxs[b]]
+			if !ai.Priv.IsWrite() && !bi.Priv.IsWrite() {
+				continue
+			}
+			ca, cb := ai.Class, bi.Class
+			if !affineLike(ca) || !affineLike(cb) {
+				return false, ""
+			}
+			if ca.A == cb.A && ca.B == cb.B {
+				return false, fmt.Sprintf("arguments select identical sub-collections of %q", ai.Partition)
+			}
+			if ca.A != cb.A || ca.A == 0 {
+				return false, "" // differing strides: dynamic check decides
+			}
+			if mod(ca.B-cb.B, abs64(ca.A)) == 0 {
+				// Same residue class with the same stride: images collide.
+				return false, fmt.Sprintf("argument images on %q statically overlap", ai.Partition)
+			}
+		}
+	}
+	return true, ""
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func copyClassEnv(env map[string]Class) map[string]Class {
+	out := make(map[string]Class, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// Report renders a human-readable summary of every loop decision, in the
+// spirit of a compiler's optimization remarks.
+func (p *Plan) Report() string {
+	var b strings.Builder
+	var walk func(ops []PlanOp, depth int)
+	walk = func(ops []PlanOp, depth int) {
+		indent := strings.Repeat("  ", depth)
+		for _, op := range ops {
+			switch o := op.(type) {
+			case *OpCandidateLoop:
+				fmt.Fprintf(&b, "%sloop at line %d over %s:\n", indent, o.Loop.Line, o.Loop.Var)
+				for _, lp := range o.Launches {
+					fmt.Fprintf(&b, "%s  %s: %s — %s\n", indent, lp.Stmt.Task, lp.Decision, lp.Reason)
+					for i, ap := range lp.Args {
+						dyn := ""
+						if ap.NeedsDynamic {
+							dyn = " [dynamic check]"
+						}
+						fmt.Fprintf(&b, "%s    arg %d: %s[%s] %s%s\n",
+							indent, i, ap.Partition, ap.Class, ap.Priv, dyn)
+					}
+				}
+			case *OpControlLoop:
+				fmt.Fprintf(&b, "%sloop at line %d over %s: control flow\n", indent, o.Loop.Line, o.Loop.Var)
+				walk(o.Body, depth+1)
+			case *OpSingleLaunch:
+				fmt.Fprintf(&b, "%ssingle launch of %s at line %d\n", indent, o.Stmt.Task, o.Stmt.Line)
+			}
+		}
+	}
+	walk(p.Ops, 0)
+	return b.String()
+}
+
+// Compile parses, checks and optimizes src in one step.
+func Compile(src string) (*Plan, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	checked, err := Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return BuildPlan(checked), nil
+}

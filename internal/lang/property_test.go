@@ -1,0 +1,150 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/projection"
+)
+
+// randExpr builds a random expression over the loop variable "i" and
+// literals, with bounded depth.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return &VarRef{Name: "i"}
+		}
+		return &IntLit{Val: int64(rng.Intn(9) + 1)}
+	}
+	ops := []string{"+", "-", "*", "%", "/"}
+	return &BinOp{
+		Op: ops[rng.Intn(len(ops))],
+		L:  randExpr(rng, depth-1),
+		R:  randExpr(rng, depth-1),
+	}
+}
+
+// TestClassificationSemanticsProperty: whatever class the optimizer assigns
+// to a random expression, the class's closed form must agree with direct
+// evaluation at every point — i.e. the static analysis never mis-models an
+// expression (Unknown/opaque is always allowed; a wrong affine form never).
+func TestClassificationSemanticsProperty(t *testing.T) {
+	f := func(seed int64, probe uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randExpr(rng, 3)
+		cls := Classify(e, "i", nil)
+		i := int64(probe % 50)
+		got, err := Eval(e, map[string]int64{"i": i})
+		if err != nil {
+			// Division/modulo by a zero subexpression: Classify must not
+			// have claimed an analyzable form whose evaluation faults with
+			// a *constant* divisor (it only accepts positive constant
+			// divisors), so any fault implies a non-constant divisor,
+			// which classifies opaque.
+			return cls.Kind == projection.KindOpaque
+		}
+		switch cls.Kind {
+		case projection.KindConstant:
+			return got == cls.B
+		case projection.KindIdentity:
+			return got == i
+		case projection.KindAffine:
+			return got == cls.A*i+cls.B
+		case projection.KindModular:
+			v := (cls.A*i + cls.B) % cls.Mod
+			if v < 0 {
+				v += cls.Mod
+			}
+			return got == v
+		default:
+			return true // opaque makes no claim
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFunctorMatchesEvalProperty: the projection functor constructed from a
+// classified expression computes the same values as the expression itself.
+func TestFunctorMatchesEvalProperty(t *testing.T) {
+	f := func(seed int64, probe uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randExpr(rng, 3)
+		cls := Classify(e, "i", nil)
+		fn := cls.Functor(e, "i", map[string]int64{})
+		i := int64(probe % 40)
+		want, err := Eval(e, map[string]int64{"i": i})
+		got := fn.Project(domain.Pt1(i)).X()
+		if err != nil {
+			// The opaque closure maps evaluation faults to a sentinel
+			// far outside any color space.
+			return got < -1<<60
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanDecisionsSoundProperty: for random single-argument write launches
+// over random static domains, a DecideIndexLaunch verdict implies the
+// functor really is injective over the domain.
+func TestPlanDecisionsSoundProperty(t *testing.T) {
+	f := func(seed int64, span uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randExpr(rng, 2)
+		hi := int64(span%12) + 1
+		src := fmt.Sprintf(
+			"task f(a) where reads(a), writes(a) do end\nfor i = 0, %d do f(p[%s]) end",
+			hi, render(e))
+		plan, err := Compile(src)
+		if err != nil {
+			return true // un-renderable forms are out of scope
+		}
+		loop, ok := plan.Ops[0].(*OpCandidateLoop)
+		if !ok {
+			return true
+		}
+		lp := loop.Launches[0]
+		if lp.Decision != DecideIndexLaunch {
+			return true // dynamic/rejected verdicts carry their own checks
+		}
+		// Statically accepted: brute-force injectivity must hold. A
+		// faulting evaluation (e.g. modulo by a zero subexpression) maps
+		// to the out-of-bounds sentinel and cannot collide, so it is not
+		// an injectivity violation.
+		seen := map[int64]bool{}
+		for i := int64(0); i < hi; i++ {
+			v, err := Eval(lp.Stmt.Args[0].Index, map[string]int64{"i": i})
+			if err != nil {
+				continue
+			}
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+// render prints an expression back to source form.
+func render(e Expr) string {
+	switch ex := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", ex.Val)
+	case *VarRef:
+		return ex.Name
+	case *BinOp:
+		return fmt.Sprintf("(%s %s %s)", render(ex.L), ex.Op, render(ex.R))
+	}
+	return "?"
+}

@@ -1,0 +1,145 @@
+package lang
+
+import (
+	"fmt"
+
+	"indexlaunch/internal/privilege"
+)
+
+// ParamAccess is the merged declared access of one task parameter.
+type ParamAccess struct {
+	Priv  privilege.Privilege
+	RedOp privilege.OpID
+}
+
+// Checked is a semantically validated program with resolved task
+// signatures.
+type Checked struct {
+	Program *Program
+	// Access[task][param index] is the merged privilege of each parameter.
+	Access map[string][]ParamAccess
+}
+
+// Check validates the program: unique task names, privileges referencing
+// declared parameters, launches of declared tasks with matching arity, and
+// variables declared before use.
+func Check(prog *Program) (*Checked, error) {
+	c := &Checked{Program: prog, Access: map[string][]ParamAccess{}}
+	for _, td := range prog.Tasks {
+		if _, dup := c.Access[td.Name]; dup {
+			return nil, errf(td.Line, 1, "task %q redeclared", td.Name)
+		}
+		seen := map[string]int{}
+		for i, p := range td.Params {
+			if _, dup := seen[p]; dup {
+				return nil, errf(td.Line, 1, "task %q has duplicate parameter %q", td.Name, p)
+			}
+			seen[p] = i
+		}
+		access := make([]ParamAccess, len(td.Params))
+		for _, pd := range td.Privs {
+			i, ok := seen[pd.Param]
+			if !ok {
+				return nil, errf(td.Line, 1, "task %q declares privilege on unknown parameter %q", td.Name, pd.Param)
+			}
+			access[i] = mergeAccess(access[i], pd)
+		}
+		for i, a := range access {
+			if a.Priv == privilege.None {
+				return nil, errf(td.Line, 1, "task %q parameter %q has no declared privilege", td.Name, td.Params[i])
+			}
+		}
+		c.Access[td.Name] = access
+	}
+
+	scope := map[string]bool{}
+	if err := checkStmts(c, prog.Stmts, scope); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func mergeAccess(a ParamAccess, pd PrivDecl) ParamAccess {
+	switch {
+	case pd.Priv == privilege.Reduce:
+		a.Priv = privilege.Reduce
+		a.RedOp = pd.RedOp
+	case a.Priv == privilege.Read && pd.Priv == privilege.Write,
+		a.Priv == privilege.Write && pd.Priv == privilege.Read:
+		a.Priv = privilege.ReadWrite
+	case a.Priv == privilege.None:
+		a.Priv = pd.Priv
+	case a.Priv == pd.Priv:
+		// duplicate clause, keep
+	default:
+		a.Priv = privilege.ReadWrite
+	}
+	return a
+}
+
+func checkStmts(c *Checked, stmts []Stmt, scope map[string]bool) error {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *VarDecl:
+			if err := checkExpr(s.Init, scope); err != nil {
+				return err
+			}
+			scope[s.Name] = true
+		case *ForLoop:
+			if err := checkExpr(s.Lo, scope); err != nil {
+				return err
+			}
+			if err := checkExpr(s.Hi, scope); err != nil {
+				return err
+			}
+			inner := copyScope(scope)
+			inner[s.Var] = true
+			if err := checkStmts(c, s.Body, inner); err != nil {
+				return err
+			}
+		case *LaunchStmt:
+			access, ok := c.Access[s.Task]
+			if !ok {
+				return errf(s.Line, 1, "launch of undeclared task %q", s.Task)
+			}
+			if len(s.Args) != len(access) {
+				return errf(s.Line, 1, "task %q expects %d arguments, launch passes %d",
+					s.Task, len(access), len(s.Args))
+			}
+			for _, a := range s.Args {
+				if err := checkExpr(a.Index, scope); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("lang: unknown statement %T", st)
+		}
+	}
+	return nil
+}
+
+func checkExpr(e Expr, scope map[string]bool) error {
+	switch ex := e.(type) {
+	case *IntLit:
+		return nil
+	case *VarRef:
+		if !scope[ex.Name] {
+			return errf(ex.Line, ex.Col, "undefined variable %q", ex.Name)
+		}
+		return nil
+	case *BinOp:
+		if err := checkExpr(ex.L, scope); err != nil {
+			return err
+		}
+		return checkExpr(ex.R, scope)
+	}
+	return fmt.Errorf("lang: unknown expression %T", e)
+}
+
+func copyScope(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s)+1)
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+-- The paper's Listings 1 and 2 plus cross-check cases.
+task foo(r) where reads(r), writes(r) do end
+task bar(q) where reads(q), writes(q) do end
+task baz(c1, c2) where reads(c1), writes(c2) do end
+task two(a, b) where writes(a), reads(b) do end
+
+var N = 10
+for i = 0, N do
+  foo(p[i])
+end
+
+for i = 0, N do
+  bar(q[(3*i+2) % 32])
+end
+
+for i = 0, 5 do
+  baz(p[i], q[i % 3])
+end
+
+for i = 0, 5 do
+  two(p[2*i], p[2*i+1])
+end
+
+for t = 0, 2 do
+  for i = 0, N do
+    foo(p[i])
+  end
+end

@@ -1,0 +1,77 @@
+// Package lang implements a small Regent-like language and the hybrid
+// index-launch optimizer of paper §4. Programs declare tasks with
+// privileges and launch them from loops:
+//
+//	task foo(r, s) where reads(r), writes(s) do end
+//
+//	for i = 0, N do
+//	  foo(p[i], q[(i+2) % N])
+//	end
+//
+// The compiler front-end (lexer, parser, semantic checks) builds an AST;
+// the optimizer detects loops eligible to become index launches, classifies
+// each argument's projection expression (constant / identity / affine /
+// modular / opaque), statically proves or refutes safety where it can, and
+// emits a plan in which unresolved launches are guarded by the generated
+// dynamic check and a fallback task loop — the program transformation of
+// Listing 3. The interpreter executes plans against real runtime bindings.
+package lang
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokKeyword
+	TokSymbol
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokInt:
+		return fmt.Sprintf("%d", t.Int)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Is reports whether the token is the given keyword or symbol.
+func (t Token) Is(text string) bool {
+	return (t.Kind == TokKeyword || t.Kind == TokSymbol) && t.Text == text
+}
+
+var keywords = map[string]bool{
+	"task": true, "where": true, "do": true, "end": true,
+	"for": true, "var": true,
+	"reads": true, "writes": true, "reduces": true,
+}
+
+// Error is a positioned front-end diagnostic.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

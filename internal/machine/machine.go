@@ -1,0 +1,138 @@
+// Package machine describes the simulated cluster used by the scaling
+// experiments: nodes with a dedicated runtime-analysis core and one or more
+// accelerator processors, a latency/bandwidth network, and the broadcast
+// trees used to distribute slices in centralized (non-DCR) mode.
+//
+// The machine description stands in for Piz Daint in the paper's evaluation
+// (one Xeon + one P100 per node, Aries interconnect); see DESIGN.md for the
+// substitution argument.
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network models a point-to-point interconnect with uniform latency and
+// bandwidth. Messages cost Latency + bytes/Bandwidth seconds.
+type Network struct {
+	// LatencySec is the one-way small-message latency in seconds.
+	LatencySec float64
+	// BytesPerSec is the per-link bandwidth.
+	BytesPerSec float64
+}
+
+// Transfer returns the time to move bytes between two distinct nodes.
+// Transfers within a node are free.
+func (n Network) Transfer(src, dst int, bytes float64) float64 {
+	if src == dst {
+		return 0
+	}
+	return n.LatencySec + bytes/n.BytesPerSec
+}
+
+// Aries returns network constants loosely modeled on a Cray Aries
+// interconnect: ~1.3 µs latency, ~10 GB/s effective per-link bandwidth.
+func Aries() Network {
+	return Network{LatencySec: 1.3e-6, BytesPerSec: 10e9}
+}
+
+// Spec describes a homogeneous cluster.
+type Spec struct {
+	// Nodes is the node count.
+	Nodes int
+	// GPUs is the number of accelerator processors per node (Piz Daint: 1).
+	GPUs int
+	// Net is the interconnect.
+	Net Network
+}
+
+// PizDaint returns a cluster spec shaped like the paper's machine at the
+// given node count.
+func PizDaint(nodes int) Spec {
+	return Spec{Nodes: nodes, GPUs: 1, Net: Aries()}
+}
+
+// Validate reports configuration errors.
+func (s Spec) Validate() error {
+	if s.Nodes < 1 {
+		return fmt.Errorf("machine: spec requires >= 1 node, got %d", s.Nodes)
+	}
+	if s.GPUs < 1 {
+		return fmt.Errorf("machine: spec requires >= 1 GPU per node, got %d", s.GPUs)
+	}
+	if s.Net.BytesPerSec <= 0 || s.Net.LatencySec < 0 {
+		return fmt.Errorf("machine: invalid network %+v", s.Net)
+	}
+	return nil
+}
+
+// BroadcastDepth returns the number of tree hops from the root (node 0) to
+// node n in a binary broadcast tree over nodes 0..Nodes-1: node 0 is depth
+// 0, nodes 1–2 depth 1, 3–6 depth 2, and so on. Distributing one message to
+// all nodes therefore takes O(log N) hop times, the well-known result the
+// paper builds on (§5, §7).
+// Nodes are arranged with node i's children at 2i+1 and 2i+2, so the depth
+// of node n is floor(log2(n+1)).
+func BroadcastDepth(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(math.Floor(math.Log2(float64(n) + 1)))
+}
+
+// TreeDepth returns the total depth of a binary broadcast tree over n nodes:
+// the number of sequential hop rounds needed to reach every node.
+func TreeDepth(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return BroadcastDepth(n - 1)
+}
+
+// NearCubicFactor factors n into (a, b, c) with a·b·c == n and the three
+// factors as close as possible, preferring a <= b <= c. Used to lay out
+// node grids for 3-d domains (e.g. DOM sweeps).
+func NearCubicFactor(n int) (int, int, int) {
+	if n < 1 {
+		return 1, 1, 1
+	}
+	best := [3]int{1, 1, n}
+	bestScore := math.Inf(1)
+	for a := 1; a*a*a <= n; a++ {
+		if n%a != 0 {
+			continue
+		}
+		rem := n / a
+		for b := a; b*b <= rem; b++ {
+			if rem%b != 0 {
+				continue
+			}
+			c := rem / b
+			score := float64(c - a)
+			if score < bestScore {
+				bestScore = score
+				best = [3]int{a, b, c}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// NearSquareFactor factors n into (a, b) with a·b == n, a <= b, minimizing
+// b-a. Used for 2-d node grids (stencil).
+func NearSquareFactor(n int) (int, int) {
+	if n < 1 {
+		return 1, 1
+	}
+	a := int(math.Sqrt(float64(n)))
+	for ; a > 1; a-- {
+		if n%a == 0 {
+			break
+		}
+	}
+	if a < 1 {
+		a = 1
+	}
+	return a, n / a
+}

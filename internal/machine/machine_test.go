@@ -1,0 +1,97 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNetworkTransfer(t *testing.T) {
+	n := Network{LatencySec: 1e-6, BytesPerSec: 1e9}
+	if got := n.Transfer(0, 0, 1e6); got != 0 {
+		t.Errorf("intra-node transfer = %v, want 0", got)
+	}
+	want := 1e-6 + 1e6/1e9
+	if got := n.Transfer(0, 1, 1e6); got != want {
+		t.Errorf("transfer = %v, want %v", got, want)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := PizDaint(16).Validate(); err != nil {
+		t.Errorf("PizDaint spec invalid: %v", err)
+	}
+	bad := []Spec{
+		{Nodes: 0, GPUs: 1, Net: Aries()},
+		{Nodes: 1, GPUs: 0, Net: Aries()},
+		{Nodes: 1, GPUs: 1, Net: Network{LatencySec: -1, BytesPerSec: 1}},
+		{Nodes: 1, GPUs: 1, Net: Network{LatencySec: 0, BytesPerSec: 0}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should be invalid", i)
+		}
+	}
+}
+
+func TestBroadcastDepth(t *testing.T) {
+	want := map[int]int{0: 0, 1: 1, 2: 1, 3: 2, 6: 2, 7: 3, 14: 3, 15: 4, 1022: 9, 1023: 10}
+	for n, d := range want {
+		if got := BroadcastDepth(n); got != d {
+			t.Errorf("depth(%d) = %d, want %d", n, got, d)
+		}
+	}
+}
+
+func TestTreeDepthLogarithmic(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 1024: 10}
+	for n, d := range cases {
+		if got := TreeDepth(n); got != d {
+			t.Errorf("TreeDepth(%d) = %d, want %d", n, got, d)
+		}
+	}
+}
+
+// Property: broadcast depth grows monotonically and logarithmically.
+func TestBroadcastDepthMonotonicProperty(t *testing.T) {
+	f := func(a uint16) bool {
+		n := int(a)
+		return BroadcastDepth(n) <= BroadcastDepth(n+1) &&
+			BroadcastDepth(n+1) <= BroadcastDepth(n)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearCubicFactor(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 12, 16, 27, 32, 64, 100, 512, 1024} {
+		a, b, c := NearCubicFactor(n)
+		if a*b*c != n {
+			t.Errorf("n=%d: %d*%d*%d != n", n, a, b, c)
+		}
+		if a > b || b > c {
+			t.Errorf("n=%d: factors not ordered: %d,%d,%d", n, a, b, c)
+		}
+	}
+	if a, b, c := NearCubicFactor(64); a != 4 || b != 4 || c != 4 {
+		t.Errorf("64 = %d*%d*%d, want 4*4*4", a, b, c)
+	}
+	if a, b, c := NearCubicFactor(8); a != 2 || b != 2 || c != 2 {
+		t.Errorf("8 = %d*%d*%d, want 2*2*2", a, b, c)
+	}
+}
+
+func TestNearSquareFactor(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 9, 12, 16, 100, 512, 1024} {
+		a, b := NearSquareFactor(n)
+		if a*b != n || a > b {
+			t.Errorf("n=%d: %d*%d", n, a, b)
+		}
+	}
+	if a, b := NearSquareFactor(16); a != 4 || b != 4 {
+		t.Errorf("16 = %d*%d", a, b)
+	}
+	if a, b := NearSquareFactor(512); a != 16 || b != 32 {
+		t.Errorf("512 = %d*%d, want 16*32", a, b)
+	}
+}

@@ -1,0 +1,71 @@
+// Package privilege defines the access privileges tasks declare on their
+// collection arguments (paper §2) and the interference predicate that drives
+// both the index-launch safety checks and inter-launch dependence analysis.
+package privilege
+
+import "fmt"
+
+// Privilege is the kind of access a task declares on a collection argument.
+type Privilege uint8
+
+const (
+	// None declares no access; arguments with None never interfere.
+	None Privilege = iota
+	// Read declares read-only access.
+	Read
+	// Write declares write-only access.
+	Write
+	// ReadWrite declares mutable access.
+	ReadWrite
+	// Reduce declares application of a commutative reduction operator.
+	// Two Reduce privileges with the same operator commute.
+	Reduce
+)
+
+// String returns the privilege keyword as it appears in task declarations.
+func (p Privilege) String() string {
+	switch p {
+	case None:
+		return "none"
+	case Read:
+		return "reads"
+	case Write:
+		return "writes"
+	case ReadWrite:
+		return "reads writes"
+	case Reduce:
+		return "reduces"
+	default:
+		return fmt.Sprintf("privilege(%d)", uint8(p))
+	}
+}
+
+// IsRead reports whether the privilege includes read access.
+func (p Privilege) IsRead() bool { return p == Read || p == ReadWrite }
+
+// IsWrite reports whether the privilege includes write access. Reductions
+// are counted as writes for the purpose of safety checks, following §4 of
+// the paper ("we consider reductions to be writes for the purposes of these
+// checks").
+func (p Privilege) IsWrite() bool { return p == Write || p == ReadWrite || p == Reduce }
+
+// Valid reports whether p is one of the declared privilege constants.
+func (p Privilege) Valid() bool { return p <= Reduce }
+
+// Interferes reports whether two accesses to overlapping data with the given
+// privileges (and reduction operator IDs, meaningful only when the privilege
+// is Reduce) must be ordered. Read-read never interferes; reduce-reduce with
+// the same operator commutes; every other combination involving a write
+// interferes.
+func Interferes(a Privilege, aOp OpID, b Privilege, bOp OpID) bool {
+	if a == None || b == None {
+		return false
+	}
+	if a == Read && b == Read {
+		return false
+	}
+	if a == Reduce && b == Reduce {
+		return aOp != bOp
+	}
+	return true
+}

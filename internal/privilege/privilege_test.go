@@ -1,0 +1,155 @@
+package privilege
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrivilegePredicates(t *testing.T) {
+	cases := []struct {
+		p               Privilege
+		isRead, isWrite bool
+	}{
+		{None, false, false},
+		{Read, true, false},
+		{Write, false, true},
+		{ReadWrite, true, true},
+		{Reduce, false, true}, // reductions count as writes for checks
+	}
+	for _, c := range cases {
+		if got := c.p.IsRead(); got != c.isRead {
+			t.Errorf("%v.IsRead = %v, want %v", c.p, got, c.isRead)
+		}
+		if got := c.p.IsWrite(); got != c.isWrite {
+			t.Errorf("%v.IsWrite = %v, want %v", c.p, got, c.isWrite)
+		}
+		if !c.p.Valid() {
+			t.Errorf("%v should be valid", c.p)
+		}
+	}
+	if Privilege(99).Valid() {
+		t.Error("privilege 99 should be invalid")
+	}
+}
+
+func TestInterferes(t *testing.T) {
+	cases := []struct {
+		a    Privilege
+		aOp  OpID
+		b    Privilege
+		bOp  OpID
+		want bool
+	}{
+		{Read, OpNone, Read, OpNone, false},
+		{Read, OpNone, Write, OpNone, true},
+		{Write, OpNone, Read, OpNone, true},
+		{Write, OpNone, Write, OpNone, true},
+		{ReadWrite, OpNone, Read, OpNone, true},
+		{Reduce, OpSumF64, Reduce, OpSumF64, false},
+		{Reduce, OpSumF64, Reduce, OpProdF64, true},
+		{Reduce, OpSumF64, Read, OpNone, true},
+		{Reduce, OpSumF64, Write, OpNone, true},
+		{None, OpNone, Write, OpNone, false},
+		{Write, OpNone, None, OpNone, false},
+	}
+	for _, c := range cases {
+		if got := Interferes(c.a, c.aOp, c.b, c.bOp); got != c.want {
+			t.Errorf("Interferes(%v/%d, %v/%d) = %v, want %v", c.a, c.aOp, c.b, c.bOp, got, c.want)
+		}
+	}
+}
+
+// Property: interference is symmetric.
+func TestInterferesSymmetryProperty(t *testing.T) {
+	f := func(a, b uint8, aOp, bOp uint8) bool {
+		pa := Privilege(a % 5)
+		pb := Privilege(b % 5)
+		oa := OpID(aOp % 3)
+		ob := OpID(bOp % 3)
+		return Interferes(pa, oa, pb, ob) == Interferes(pb, ob, pa, oa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuiltinReductionOps(t *testing.T) {
+	cases := []struct {
+		id      OpID
+		a, b    float64
+		wantF64 float64
+		ai, bi  int64
+		wantI64 int64
+	}{
+		{OpSumF64, 2, 3, 5, 2, 3, 5},
+		{OpProdF64, 2, 3, 6, 2, 3, 6},
+		{OpMinF64, 2, 3, 2, 2, 3, 2},
+		{OpMaxF64, 2, 3, 3, 2, 3, 3},
+		{OpSumI64, 2, 3, 5, 2, 3, 5},
+		{OpMinI64, -1, 5, -1, -1, 5, -1},
+	}
+	for _, c := range cases {
+		op := MustOp(c.id)
+		if got := op.FoldF64(c.a, c.b); got != c.wantF64 {
+			t.Errorf("%s FoldF64(%v,%v) = %v, want %v", op.Name(), c.a, c.b, got, c.wantF64)
+		}
+		if got := op.FoldI64(c.ai, c.bi); got != c.wantI64 {
+			t.Errorf("%s FoldI64(%v,%v) = %v, want %v", op.Name(), c.ai, c.bi, got, c.wantI64)
+		}
+	}
+}
+
+func TestReductionIdentities(t *testing.T) {
+	for _, id := range []OpID{OpSumF64, OpProdF64, OpMinF64, OpMaxF64, OpSumI64, OpProdI64, OpMinI64, OpMaxI64} {
+		op := MustOp(id)
+		for _, v := range []float64{0, 1, -3.5, math.Pi} {
+			if got := op.FoldF64(op.IdentityF64(), v); got != v {
+				t.Errorf("%s: fold(identity, %v) = %v", op.Name(), v, got)
+			}
+		}
+		for _, v := range []int64{0, 1, -7, 1 << 40} {
+			if got := op.FoldI64(op.IdentityI64(), v); got != v {
+				t.Errorf("%s: foldI64(identity, %v) = %v", op.Name(), v, got)
+			}
+		}
+	}
+}
+
+// Property: built-in folds are commutative.
+func TestReductionCommutativityProperty(t *testing.T) {
+	f := func(a, b int32, which uint8) bool {
+		ids := []OpID{OpSumF64, OpMinF64, OpMaxF64, OpSumI64, OpMinI64, OpMaxI64}
+		op := MustOp(ids[int(which)%len(ids)])
+		fa, fb := float64(a), float64(b)
+		if op.FoldF64(fa, fb) != op.FoldF64(fb, fa) {
+			return false
+		}
+		return op.FoldI64(int64(a), int64(b)) == op.FoldI64(int64(b), int64(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegisterAndLookupOp(t *testing.T) {
+	id := RegisterOp(&customXor{})
+	op, err := LookupOp(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := op.FoldI64(0b1100, 0b1010); got != 0b0110 {
+		t.Errorf("xor fold = %b", got)
+	}
+	if _, err := LookupOp(OpID(9999)); err == nil {
+		t.Error("unknown op should error")
+	}
+}
+
+type customXor struct{}
+
+func (customXor) Name() string                 { return "xor" }
+func (customXor) IdentityF64() float64         { return 0 }
+func (customXor) FoldF64(a, b float64) float64 { return float64(int64(a) ^ int64(b)) }
+func (customXor) IdentityI64() int64           { return 0 }
+func (customXor) FoldI64(a, b int64) int64     { return a ^ b }

@@ -1,0 +1,138 @@
+package privilege
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// OpID names a registered reduction operator. The zero value OpNone means
+// "no operator" and is the correct value for non-Reduce privileges.
+type OpID uint16
+
+// Built-in reduction operator IDs.
+const (
+	OpNone OpID = iota
+	OpSumF64
+	OpProdF64
+	OpMinF64
+	OpMaxF64
+	OpSumI64
+	OpProdI64
+	OpMinI64
+	OpMaxI64
+	// opFirstUser is the first ID handed out by RegisterOp.
+	opFirstUser OpID = 1 << 8
+)
+
+// ReductionOp is a commutative, associative fold over values of a single
+// field kind. Implementations must be safe for concurrent use (they are
+// called from multiple executor goroutines folding into disjoint elements).
+type ReductionOp interface {
+	// Name returns a short diagnostic name such as "+f64".
+	Name() string
+	// IdentityF64 returns the identity element when folding float64 values.
+	IdentityF64() float64
+	// FoldF64 returns the fold of two float64 values.
+	FoldF64(a, b float64) float64
+	// IdentityI64 returns the identity element when folding int64 values.
+	IdentityI64() int64
+	// FoldI64 returns the fold of two int64 values.
+	FoldI64(a, b int64) int64
+}
+
+type opEntry struct {
+	name    string
+	idF64   float64
+	foldF64 func(a, b float64) float64
+	idI64   int64
+	foldI64 func(a, b int64) int64
+}
+
+func (e *opEntry) Name() string                 { return e.name }
+func (e *opEntry) IdentityF64() float64         { return e.idF64 }
+func (e *opEntry) FoldF64(a, b float64) float64 { return e.foldF64(a, b) }
+func (e *opEntry) IdentityI64() int64           { return e.idI64 }
+func (e *opEntry) FoldI64(a, b int64) int64     { return e.foldI64(a, b) }
+
+var (
+	opMu   sync.RWMutex
+	ops    = map[OpID]ReductionOp{}
+	nextID = opFirstUser
+)
+
+func init() {
+	builtin := map[OpID]*opEntry{
+		OpSumF64: {name: "+f64", idF64: 0,
+			foldF64: func(a, b float64) float64 { return a + b },
+			idI64:   0, foldI64: func(a, b int64) int64 { return a + b }},
+		OpProdF64: {name: "*f64", idF64: 1,
+			foldF64: func(a, b float64) float64 { return a * b },
+			idI64:   1, foldI64: func(a, b int64) int64 { return a * b }},
+		OpMinF64: {name: "min f64", idF64: math.Inf(1),
+			foldF64: math.Min,
+			idI64:   math.MaxInt64, foldI64: minI64},
+		OpMaxF64: {name: "max f64", idF64: math.Inf(-1),
+			foldF64: math.Max,
+			idI64:   math.MinInt64, foldI64: maxI64},
+		OpSumI64: {name: "+i64", idF64: 0,
+			foldF64: func(a, b float64) float64 { return a + b },
+			idI64:   0, foldI64: func(a, b int64) int64 { return a + b }},
+		OpProdI64: {name: "*i64", idF64: 1,
+			foldF64: func(a, b float64) float64 { return a * b },
+			idI64:   1, foldI64: func(a, b int64) int64 { return a * b }},
+		OpMinI64: {name: "min i64", idF64: math.Inf(1),
+			foldF64: math.Min,
+			idI64:   math.MaxInt64, foldI64: minI64},
+		OpMaxI64: {name: "max i64", idF64: math.Inf(-1),
+			foldF64: math.Max,
+			idI64:   math.MinInt64, foldI64: maxI64},
+	}
+	for id, e := range builtin {
+		ops[id] = e
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RegisterOp registers a user-defined reduction operator and returns its ID.
+func RegisterOp(op ReductionOp) OpID {
+	opMu.Lock()
+	defer opMu.Unlock()
+	id := nextID
+	nextID++
+	ops[id] = op
+	return id
+}
+
+// LookupOp returns the reduction operator registered under id.
+func LookupOp(id OpID) (ReductionOp, error) {
+	opMu.RLock()
+	defer opMu.RUnlock()
+	op, ok := ops[id]
+	if !ok {
+		return nil, fmt.Errorf("privilege: unknown reduction op %d", id)
+	}
+	return op, nil
+}
+
+// MustOp is LookupOp for operators known to exist; it panics otherwise.
+func MustOp(id OpID) ReductionOp {
+	op, err := LookupOp(id)
+	if err != nil {
+		panic(err)
+	}
+	return op
+}

@@ -1,0 +1,127 @@
+package projection
+
+import (
+	"fmt"
+
+	"indexlaunch/internal/domain"
+)
+
+// Verdict is the result of the static injectivity analysis.
+type Verdict uint8
+
+// Static analysis verdicts. Unknown defers the decision to the dynamic check
+// (package safety) per the paper's hybrid design (§4).
+const (
+	// Injective: statically proven injective over the launch domain.
+	Injective Verdict = iota
+	// NotInjective: statically proven to collide over the launch domain.
+	NotInjective
+	// Unknown: the static analysis cannot decide; run the dynamic check.
+	Unknown
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Injective:
+		return "injective"
+	case NotInjective:
+		return "not-injective"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+// StaticInjective attempts to prove or refute the injectivity of f over the
+// launch domain d at "compile time" (paper §4: "a simple static analysis
+// that can recognize trivial projection functors like constant (not
+// injective), identity (injective), or the slightly more general affine
+// case").
+//
+// The analysis is deliberately conservative: anything it cannot resolve is
+// Unknown, to be settled by the precise dynamic check.
+func StaticInjective(f Functor, d domain.Domain) Verdict {
+	if d.Volume() <= 1 {
+		return Injective // at most one task; nothing can collide
+	}
+	desc := f.Describe()
+	switch desc.Kind {
+	case KindIdentity:
+		return Injective
+	case KindConstant:
+		return NotInjective
+	case KindAffine:
+		return staticAffine(desc, d)
+	case KindModular:
+		return staticModular(desc, d)
+	default:
+		return Unknown
+	}
+}
+
+func staticAffine(desc Desc, d domain.Domain) Verdict {
+	if desc.OutDim < desc.InDim {
+		// A dimension-reducing affine map may or may not be injective: a
+		// plane projection collides over a dense cube, while a row-major
+		// linearization (strides matching extents) is injective. Deciding
+		// requires relating the matrix to the domain's extents, which we
+		// leave to the precise dynamic check.
+		return Unknown
+	}
+	// Square part: injective over all of Z^n iff det(A) != 0. We only check
+	// the top InDim×InDim block when OutDim >= InDim; extra output rows can
+	// only help injectivity, so det != 0 on any InDim×InDim row subset
+	// proves it. For simplicity we test the leading block, then fall back
+	// to Unknown (not NotInjective) if it is singular.
+	det := detN(desc.A, desc.InDim)
+	if det != 0 {
+		return Injective
+	}
+	if desc.InDim == 1 && desc.OutDim == 1 {
+		// Degenerate 1-d affine is a constant.
+		return NotInjective
+	}
+	return Unknown
+}
+
+func staticModular(desc Desc, d domain.Domain) Verdict {
+	// (a·i + b) mod m over a dense 1-d domain of volume v:
+	// with |a| = 1 the map is injective iff v <= m; a cyclic shift cannot
+	// collide within one period. Other strides require reasoning about
+	// gcd(a, m) and are left to the dynamic check.
+	if d.Sparse() || d.Dim() != 1 {
+		return Unknown
+	}
+	v := d.Volume()
+	if desc.MulA == 1 || desc.MulA == -1 {
+		if v <= desc.Mod {
+			return Injective
+		}
+		return NotInjective // pigeonhole: more points than residues
+	}
+	if desc.MulA == 0 {
+		return NotInjective
+	}
+	if v > desc.Mod {
+		return NotInjective // pigeonhole regardless of stride
+	}
+	return Unknown
+}
+
+// detN computes the determinant of the leading n×n block of a.
+func detN(a [domain.MaxDim][domain.MaxDim]int64, n int) int64 {
+	switch n {
+	case 1:
+		return a[0][0]
+	case 2:
+		return a[0][0]*a[1][1] - a[0][1]*a[1][0]
+	case 3:
+		return a[0][0]*(a[1][1]*a[2][2]-a[1][2]*a[2][1]) -
+			a[0][1]*(a[1][0]*a[2][2]-a[1][2]*a[2][0]) +
+			a[0][2]*(a[1][0]*a[2][1]-a[1][1]*a[2][0])
+	default:
+		panic(fmt.Sprintf("projection: detN with n=%d", n))
+	}
+}

@@ -1,0 +1,258 @@
+// Package projection implements projection functors: pure functions that map
+// a task's index within a launch domain to the color of the sub-collection
+// the task requires (paper §1, §3). The package also provides the static
+// classifier used by the hybrid analysis — trivial functors (constant,
+// identity, affine) are resolved at "compile time", everything else is
+// deferred to the dynamic check in package safety.
+package projection
+
+import (
+	"fmt"
+
+	"indexlaunch/internal/domain"
+)
+
+// Kind classifies a functor for the static analysis.
+type Kind uint8
+
+// Functor kinds, ordered roughly by analyzability.
+const (
+	// KindConstant maps every launch point to one color.
+	KindConstant Kind = iota
+	// KindIdentity maps each launch point to itself.
+	KindIdentity
+	// KindAffine computes out = A·in + b over integer coordinates.
+	KindAffine
+	// KindModular computes (a·i + b) mod m in one dimension.
+	KindModular
+	// KindOpaque is any functor the static analysis cannot inspect.
+	KindOpaque
+)
+
+// String returns the kind name used in diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindConstant:
+		return "constant"
+	case KindIdentity:
+		return "identity"
+	case KindAffine:
+		return "affine"
+	case KindModular:
+		return "modular"
+	case KindOpaque:
+		return "opaque"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Desc is the static description of a functor. Only the fields relevant to
+// the Kind are meaningful.
+type Desc struct {
+	Kind   Kind
+	InDim  int
+	OutDim int
+	// Affine data: Out[i] = sum_j A[i][j]·In[j] + B[i]. Identity and
+	// Constant are special cases but are described by their own kinds.
+	A [domain.MaxDim][domain.MaxDim]int64
+	B [domain.MaxDim]int64
+	// Modular data (1-d): (MulA·i + MulB) mod Mod.
+	MulA, MulB, Mod int64
+}
+
+// Functor maps launch-domain points to partition colors.
+//
+// Project must be a pure function: the runtime memoizes results and
+// replicated (DCR) shards must evaluate it to identical values.
+type Functor interface {
+	// Project returns the color selected for launch point p.
+	Project(p domain.Point) domain.Point
+	// Describe returns the static description used by the classifier.
+	Describe() Desc
+	// Name returns a short diagnostic name.
+	Name() string
+}
+
+// Identity returns the identity functor for dim-dimensional launch domains.
+func Identity(dim int) Functor { return identity{dim: dim} }
+
+type identity struct{ dim int }
+
+func (f identity) Project(p domain.Point) domain.Point { return p }
+func (f identity) Name() string                        { return "identity" }
+func (f identity) Describe() Desc {
+	return Desc{Kind: KindIdentity, InDim: f.dim, OutDim: f.dim}
+}
+
+// Constant returns the functor mapping every launch point to c.
+func Constant(c domain.Point) Functor { return constant{c: c} }
+
+type constant struct{ c domain.Point }
+
+func (f constant) Project(domain.Point) domain.Point { return f.c }
+func (f constant) Name() string                      { return fmt.Sprintf("const %v", f.c) }
+func (f constant) Describe() Desc {
+	return Desc{Kind: KindConstant, InDim: f.c.Dim, OutDim: f.c.Dim}
+}
+
+// Affine1D returns the 1-d functor i -> a·i + b.
+func Affine1D(a, b int64) Functor { return affine1d{a: a, b: b} }
+
+type affine1d struct{ a, b int64 }
+
+func (f affine1d) Project(p domain.Point) domain.Point {
+	return domain.Pt1(f.a*p.X() + f.b)
+}
+func (f affine1d) Name() string { return fmt.Sprintf("%d*i%+d", f.a, f.b) }
+func (f affine1d) Describe() Desc {
+	d := Desc{Kind: KindAffine, InDim: 1, OutDim: 1}
+	d.A[0][0] = f.a
+	d.B[0] = f.b
+	return d
+}
+
+// Affine returns the general functor out = A·in + b where A is outDim×inDim.
+func Affine(a [domain.MaxDim][domain.MaxDim]int64, b [domain.MaxDim]int64, inDim, outDim int) Functor {
+	if inDim < 1 || inDim > domain.MaxDim || outDim < 1 || outDim > domain.MaxDim {
+		panic(fmt.Sprintf("projection: Affine with inDim=%d outDim=%d", inDim, outDim))
+	}
+	return affineND{a: a, b: b, in: inDim, out: outDim}
+}
+
+type affineND struct {
+	a   [domain.MaxDim][domain.MaxDim]int64
+	b   [domain.MaxDim]int64
+	in  int
+	out int
+}
+
+func (f affineND) Project(p domain.Point) domain.Point {
+	out := domain.Point{Dim: f.out}
+	for i := 0; i < f.out; i++ {
+		v := f.b[i]
+		for j := 0; j < f.in; j++ {
+			v += f.a[i][j] * p.C[j]
+		}
+		out.C[i] = v
+	}
+	return out
+}
+func (f affineND) Name() string { return fmt.Sprintf("affine %dd->%dd", f.in, f.out) }
+func (f affineND) Describe() Desc {
+	return Desc{Kind: KindAffine, InDim: f.in, OutDim: f.out, A: f.a, B: f.b}
+}
+
+// Modular1D returns the 1-d functor i -> (a·i + b) mod m, with a canonical
+// non-negative result. It panics if m <= 0.
+func Modular1D(a, b, m int64) Functor {
+	if m <= 0 {
+		panic(fmt.Sprintf("projection: Modular1D with modulus %d", m))
+	}
+	return modular1d{a: a, b: b, m: m}
+}
+
+type modular1d struct{ a, b, m int64 }
+
+func (f modular1d) Project(p domain.Point) domain.Point {
+	v := (f.a*p.X() + f.b) % f.m
+	if v < 0 {
+		v += f.m
+	}
+	return domain.Pt1(v)
+}
+func (f modular1d) Name() string { return fmt.Sprintf("(%d*i%+d) mod %d", f.a, f.b, f.m) }
+func (f modular1d) Describe() Desc {
+	return Desc{Kind: KindModular, InDim: 1, OutDim: 1, MulA: f.a, MulB: f.b, Mod: f.m}
+}
+
+// Quadratic1D returns the 1-d functor i -> a·i² + b·i + c. It is opaque to
+// the static analysis (the paper benchmarks it as a dynamic-check case).
+func Quadratic1D(a, b, c int64) Functor { return quadratic1d{a: a, b: b, c: c} }
+
+type quadratic1d struct{ a, b, c int64 }
+
+func (f quadratic1d) Project(p domain.Point) domain.Point {
+	x := p.X()
+	return domain.Pt1(f.a*x*x + f.b*x + f.c)
+}
+func (f quadratic1d) Name() string { return fmt.Sprintf("%d*i^2%+d*i%+d", f.a, f.b, f.c) }
+func (f quadratic1d) Describe() Desc {
+	return Desc{Kind: KindOpaque, InDim: 1, OutDim: 1}
+}
+
+// Func wraps an arbitrary Go function as an opaque functor; the hybrid
+// analysis will fall back to the dynamic check for it.
+func Func(name string, inDim, outDim int, fn func(domain.Point) domain.Point) Functor {
+	return opaque{name: name, in: inDim, out: outDim, fn: fn}
+}
+
+type opaque struct {
+	name    string
+	in, out int
+	fn      func(domain.Point) domain.Point
+}
+
+func (f opaque) Project(p domain.Point) domain.Point { return f.fn(p) }
+func (f opaque) Name() string                        { return f.name }
+func (f opaque) Describe() Desc {
+	return Desc{Kind: KindOpaque, InDim: f.in, OutDim: f.out}
+}
+
+// Plane selects which coordinate a DropTo2D projection discards.
+type Plane uint8
+
+// Planes for DropTo2D, named by the coordinates they keep.
+const (
+	PlaneXY Plane = iota // keep (x, y), drop z
+	PlaneYZ              // keep (y, z), drop x
+	PlaneXZ              // keep (x, z), drop y
+)
+
+// DropTo2D returns the 3-d → 2-d projection keeping the named plane. This is
+// the non-trivial functor class used by the DOM radiation sweeps in Soleil-X
+// (paper §6.2.3): it projects a 3-d diagonal slice onto the 2-d plane used
+// for the exchange data, and is injective only when the launch domain
+// contains no duplicate pairs in the kept coordinates — a property a static
+// compiler cannot easily verify but the dynamic check verifies trivially.
+func DropTo2D(plane Plane) Functor {
+	var a [domain.MaxDim][domain.MaxDim]int64
+	switch plane {
+	case PlaneXY:
+		a[0][0], a[1][1] = 1, 1
+	case PlaneYZ:
+		a[0][1], a[1][2] = 1, 1
+	case PlaneXZ:
+		a[0][0], a[1][2] = 1, 1
+	default:
+		panic(fmt.Sprintf("projection: unknown plane %d", plane))
+	}
+	return affineND{a: a, in: 3, out: 2}
+}
+
+// Compose returns g ∘ f (f applied first). The composition is opaque unless
+// both parts are affine, in which case the composed affine description is
+// computed so the static analysis can still resolve it.
+func Compose(g, f Functor) Functor {
+	gd, fd := g.Describe(), f.Describe()
+	if gd.Kind == KindAffine && fd.Kind == KindAffine && fd.OutDim == gd.InDim {
+		var a [domain.MaxDim][domain.MaxDim]int64
+		var b [domain.MaxDim]int64
+		for i := 0; i < gd.OutDim; i++ {
+			b[i] = gd.B[i]
+			for j := 0; j < gd.InDim; j++ {
+				b[i] += gd.A[i][j] * fd.B[j]
+				for k := 0; k < fd.InDim; k++ {
+					a[i][k] += gd.A[i][j] * fd.A[j][k]
+				}
+			}
+		}
+		return affineND{a: a, b: b, in: fd.InDim, out: gd.OutDim}
+	}
+	return opaque{
+		name: fmt.Sprintf("%s∘%s", g.Name(), f.Name()),
+		in:   fd.InDim,
+		out:  gd.OutDim,
+		fn:   func(p domain.Point) domain.Point { return g.Project(f.Project(p)) },
+	}
+}

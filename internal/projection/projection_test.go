@@ -1,0 +1,275 @@
+package projection
+
+import (
+	"testing"
+	"testing/quick"
+
+	"indexlaunch/internal/domain"
+)
+
+func TestIdentityFunctor(t *testing.T) {
+	f := Identity(2)
+	p := domain.Pt2(3, 4)
+	if got := f.Project(p); !got.Eq(p) {
+		t.Errorf("identity(%v) = %v", p, got)
+	}
+	if f.Describe().Kind != KindIdentity {
+		t.Error("kind should be identity")
+	}
+}
+
+func TestConstantFunctor(t *testing.T) {
+	c := domain.Pt1(7)
+	f := Constant(c)
+	for _, x := range []int64{0, 1, 100} {
+		if got := f.Project(domain.Pt1(x)); !got.Eq(c) {
+			t.Errorf("const(%d) = %v", x, got)
+		}
+	}
+	if f.Describe().Kind != KindConstant {
+		t.Error("kind should be constant")
+	}
+}
+
+func TestAffine1D(t *testing.T) {
+	f := Affine1D(3, -2)
+	if got := f.Project(domain.Pt1(5)); !got.Eq(domain.Pt1(13)) {
+		t.Errorf("affine(5) = %v", got)
+	}
+	d := f.Describe()
+	if d.Kind != KindAffine || d.A[0][0] != 3 || d.B[0] != -2 {
+		t.Errorf("describe = %+v", d)
+	}
+}
+
+func TestModular1D(t *testing.T) {
+	f := Modular1D(1, 2, 5) // (i+2) mod 5
+	cases := map[int64]int64{0: 2, 3: 0, 4: 1, 8: 0, -1: 1}
+	for in, want := range cases {
+		if got := f.Project(domain.Pt1(in)); got.X() != want {
+			t.Errorf("mod(%d) = %d, want %d", in, got.X(), want)
+		}
+	}
+}
+
+func TestModular1DPanicsOnBadModulus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("modulus 0 should panic")
+		}
+	}()
+	Modular1D(1, 0, 0)
+}
+
+func TestQuadratic1D(t *testing.T) {
+	f := Quadratic1D(1, 1, 1) // i^2+i+1
+	if got := f.Project(domain.Pt1(3)); got.X() != 13 {
+		t.Errorf("quad(3) = %d", got.X())
+	}
+	if f.Describe().Kind != KindOpaque {
+		t.Error("quadratic should be opaque to static analysis")
+	}
+}
+
+func TestDropTo2D(t *testing.T) {
+	p := domain.Pt3(1, 2, 3)
+	cases := []struct {
+		plane Plane
+		want  domain.Point
+	}{
+		{PlaneXY, domain.Pt2(1, 2)},
+		{PlaneYZ, domain.Pt2(2, 3)},
+		{PlaneXZ, domain.Pt2(1, 3)},
+	}
+	for _, c := range cases {
+		if got := DropTo2D(c.plane).Project(p); !got.Eq(c.want) {
+			t.Errorf("plane %d: %v, want %v", c.plane, got, c.want)
+		}
+	}
+}
+
+func TestComposeAffineStaysAffine(t *testing.T) {
+	f := Affine1D(2, 1)  // 2i+1
+	g := Affine1D(3, -1) // 3j-1
+	h := Compose(g, f)   // 3(2i+1)-1 = 6i+2
+	if got := h.Project(domain.Pt1(4)); got.X() != 26 {
+		t.Errorf("compose(4) = %d, want 26", got.X())
+	}
+	d := h.Describe()
+	if d.Kind != KindAffine || d.A[0][0] != 6 || d.B[0] != 2 {
+		t.Errorf("composed describe = %+v", d)
+	}
+}
+
+func TestComposeOpaqueFallback(t *testing.T) {
+	f := Quadratic1D(1, 0, 0)
+	g := Affine1D(2, 0)
+	h := Compose(g, f) // 2i^2
+	if got := h.Project(domain.Pt1(3)); got.X() != 18 {
+		t.Errorf("compose(3) = %d", got.X())
+	}
+	if h.Describe().Kind != KindOpaque {
+		t.Error("composition through opaque should be opaque")
+	}
+}
+
+func TestFuncFunctor(t *testing.T) {
+	f := Func("swap", 2, 2, func(p domain.Point) domain.Point {
+		return domain.Pt2(p.Y(), p.X())
+	})
+	if got := f.Project(domain.Pt2(1, 2)); !got.Eq(domain.Pt2(2, 1)) {
+		t.Errorf("swap = %v", got)
+	}
+	if f.Describe().Kind != KindOpaque {
+		t.Error("Func should be opaque")
+	}
+	if f.Name() != "swap" {
+		t.Errorf("name = %q", f.Name())
+	}
+}
+
+func TestStaticInjectiveTrivialCases(t *testing.T) {
+	d := domain.Range1(0, 9)
+	cases := []struct {
+		name string
+		f    Functor
+		want Verdict
+	}{
+		{"identity", Identity(1), Injective},
+		{"constant", Constant(domain.Pt1(3)), NotInjective},
+		{"affine nonzero", Affine1D(2, 5), Injective},
+		{"affine degenerate", Affine1D(0, 5), NotInjective},
+		{"quadratic", Quadratic1D(1, 0, 0), Unknown},
+		{"opaque", Func("f", 1, 1, func(p domain.Point) domain.Point { return p }), Unknown},
+	}
+	for _, c := range cases {
+		if got := StaticInjective(c.f, d); got != c.want {
+			t.Errorf("%s: verdict = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestStaticInjectiveSingletonDomain(t *testing.T) {
+	d := domain.Range1(5, 5)
+	// Even a constant functor is injective over a single point.
+	if got := StaticInjective(Constant(domain.Pt1(0)), d); got != Injective {
+		t.Errorf("singleton: %v", got)
+	}
+}
+
+func TestStaticInjectiveModular(t *testing.T) {
+	cases := []struct {
+		f    Functor
+		d    domain.Domain
+		want Verdict
+	}{
+		// (i+k) mod N over [0,N) is injective — the paper's Table 2 case.
+		{Modular1D(1, 3, 10), domain.Range1(0, 9), Injective},
+		// i%3 over [0,5) is the paper's Listing 2 counterexample.
+		{Modular1D(1, 0, 3), domain.Range1(0, 4), NotInjective},
+		// stride 2 within period: left to the dynamic check.
+		{Modular1D(2, 0, 10), domain.Range1(0, 4), Unknown},
+		// stride 2, more points than residues: pigeonhole.
+		{Modular1D(2, 0, 4), domain.Range1(0, 9), NotInjective},
+		{Modular1D(0, 1, 5), domain.Range1(0, 4), NotInjective},
+	}
+	for i, c := range cases {
+		if got := StaticInjective(c.f, c.d); got != c.want {
+			t.Errorf("case %d (%s over %v): %v, want %v", i, c.f.Name(), c.d, got, c.want)
+		}
+	}
+}
+
+func TestStaticInjectiveAffineND(t *testing.T) {
+	// Rotation-like integer map (x,y) -> (y, x): det = -1, injective.
+	var a [domain.MaxDim][domain.MaxDim]int64
+	a[0][1], a[1][0] = 1, 1
+	f := Affine(a, [domain.MaxDim]int64{}, 2, 2)
+	d2 := domain.FromRect(domain.Rect2(0, 0, 3, 3))
+	if got := StaticInjective(f, d2); got != Injective {
+		t.Errorf("swap: %v", got)
+	}
+	// Singular 2-d map (x,y) -> (x+y, x+y).
+	var s [domain.MaxDim][domain.MaxDim]int64
+	s[0][0], s[0][1], s[1][0], s[1][1] = 1, 1, 1, 1
+	g := Affine(s, [domain.MaxDim]int64{}, 2, 2)
+	if got := StaticInjective(g, d2); got != Unknown {
+		t.Errorf("singular: %v (static cannot refute over arbitrary domains)", got)
+	}
+}
+
+func TestStaticInjectiveDimensionReducing(t *testing.T) {
+	f := DropTo2D(PlaneXY)
+	// A plane drop over a dense cube is in fact non-injective, but a
+	// dimension-reducing matrix can also be a (injective) linearization,
+	// so the static verdict must stay Unknown and defer to the dynamic
+	// check.
+	dense := domain.FromRect(domain.Rect3(0, 0, 0, 2, 2, 2))
+	if got := StaticInjective(f, dense); got != Unknown {
+		t.Errorf("dense cube through plane drop: %v, want unknown", got)
+	}
+	// Diagonal slices have no duplicate (x,y) pairs, but only the dynamic
+	// check can see that.
+	diag := domain.DiagonalSlice3(domain.Rect3(0, 0, 0, 2, 2, 2), 3)
+	if got := StaticInjective(f, diag); got != Unknown {
+		t.Errorf("diagonal slice: %v, want unknown", got)
+	}
+}
+
+// Property: static Injective verdicts are never wrong — brute-force agree.
+func TestStaticInjectiveSoundnessProperty(t *testing.T) {
+	f := func(a int8, b int8, m uint8, span uint8) bool {
+		mod := int64(m%20) + 1
+		fn := Modular1D(int64(a%5), int64(b), mod)
+		d := domain.Range1(0, int64(span%30))
+		verdict := StaticInjective(fn, d)
+		actual := bruteForceInjective(fn, d)
+		switch verdict {
+		case Injective:
+			return actual
+		case NotInjective:
+			return !actual
+		default:
+			return true // Unknown is always sound
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func bruteForceInjective(f Functor, d domain.Domain) bool {
+	seen := map[domain.Point]bool{}
+	ok := true
+	d.Each(func(p domain.Point) bool {
+		v := f.Project(p)
+		if seen[v] {
+			ok = false
+			return false
+		}
+		seen[v] = true
+		return true
+	})
+	return ok
+}
+
+// Property: affine 1-d static verdicts agree with brute force.
+func TestStaticAffineSoundnessProperty(t *testing.T) {
+	f := func(a int8, b int8, span uint8) bool {
+		fn := Affine1D(int64(a), int64(b))
+		d := domain.Range1(0, int64(span%40))
+		verdict := StaticInjective(fn, d)
+		actual := bruteForceInjective(fn, d)
+		switch verdict {
+		case Injective:
+			return actual
+		case NotInjective:
+			return !actual
+		default:
+			return true
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

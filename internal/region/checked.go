@@ -1,0 +1,83 @@
+package region
+
+import (
+	"fmt"
+
+	"indexlaunch/internal/domain"
+)
+
+// Checked accessors wrap the raw field accessors with a region-domain
+// membership test on every access. Partitions are views onto shared root
+// storage, so nothing in the raw accessor stops a buggy task from writing
+// outside the subregion it declared — the classic hard-to-find bug in
+// region-based programs. Checked accessors turn that bug into an immediate,
+// descriptive panic; use them in tests and debug builds.
+
+// CheckedAccF64 is a bounds-checked float64 accessor limited to one
+// region's domain.
+type CheckedAccF64 struct {
+	acc    AccF64
+	region *Region
+}
+
+// CheckedFieldF64 returns a bounds-checked accessor for the field on r.
+func CheckedFieldF64(r *Region, id FieldID) (CheckedAccF64, error) {
+	acc, err := FieldF64(r, id)
+	if err != nil {
+		return CheckedAccF64{}, err
+	}
+	return CheckedAccF64{acc: acc, region: r}, nil
+}
+
+func (a CheckedAccF64) check(p domain.Point, op string) {
+	if !a.region.Domain.Contains(p) {
+		panic(fmt.Sprintf("region: %s of %v outside region %s with domain %v",
+			op, p, a.region, a.region.Domain))
+	}
+}
+
+// Get returns the element at p, panicking if p is outside the region.
+func (a CheckedAccF64) Get(p domain.Point) float64 {
+	a.check(p, "read")
+	return a.acc.Get(p)
+}
+
+// Set stores v at p, panicking if p is outside the region.
+func (a CheckedAccF64) Set(p domain.Point, v float64) {
+	a.check(p, "write")
+	a.acc.Set(p, v)
+}
+
+// CheckedAccI64 is the int64 analog of CheckedAccF64.
+type CheckedAccI64 struct {
+	acc    AccI64
+	region *Region
+}
+
+// CheckedFieldI64 returns a bounds-checked int64 accessor for the field on r.
+func CheckedFieldI64(r *Region, id FieldID) (CheckedAccI64, error) {
+	acc, err := FieldI64(r, id)
+	if err != nil {
+		return CheckedAccI64{}, err
+	}
+	return CheckedAccI64{acc: acc, region: r}, nil
+}
+
+func (a CheckedAccI64) check(p domain.Point, op string) {
+	if !a.region.Domain.Contains(p) {
+		panic(fmt.Sprintf("region: %s of %v outside region %s with domain %v",
+			op, p, a.region, a.region.Domain))
+	}
+}
+
+// Get returns the element at p, panicking if p is outside the region.
+func (a CheckedAccI64) Get(p domain.Point) int64 {
+	a.check(p, "read")
+	return a.acc.Get(p)
+}
+
+// Set stores v at p, panicking if p is outside the region.
+func (a CheckedAccI64) Set(p domain.Point, v int64) {
+	a.check(p, "write")
+	a.acc.Set(p, v)
+}

@@ -1,0 +1,78 @@
+package region
+
+import (
+	"strings"
+	"testing"
+
+	"indexlaunch/internal/domain"
+)
+
+func TestCheckedAccessorsInBounds(t *testing.T) {
+	tree := grid2d(t, 4)
+	blocks, _ := tree.PartitionBlock2D(tree.Root(), "b", 2, 2)
+	sub := blocks.MustSubregion(domain.Pt2(0, 0))
+	accF, err := CheckedFieldF64(sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accF.Set(domain.Pt2(1, 1), 5)
+	if got := accF.Get(domain.Pt2(1, 1)); got != 5 {
+		t.Errorf("round trip = %v", got)
+	}
+	accI, err := CheckedFieldI64(sub, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accI.Set(domain.Pt2(0, 1), 9)
+	if got := accI.Get(domain.Pt2(0, 1)); got != 9 {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestCheckedAccessorPanicsOutsideSubregion(t *testing.T) {
+	tree := grid2d(t, 4)
+	blocks, _ := tree.PartitionBlock2D(tree.Root(), "b", 2, 2)
+	sub := blocks.MustSubregion(domain.Pt2(0, 0)) // covers [0,1]x[0,1]
+	acc, err := CheckedFieldF64(sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("out-of-subregion write should panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "outside region") {
+			t.Errorf("panic message: %v", r)
+		}
+	}()
+	// Point (3,3) is inside the ROOT domain (raw accessors would silently
+	// clobber a neighbor's tile) but outside this subregion.
+	acc.Set(domain.Pt2(3, 3), 1)
+}
+
+func TestCheckedAccessorPanicsOnRead(t *testing.T) {
+	tree := grid2d(t, 4)
+	blocks, _ := tree.PartitionBlock2D(tree.Root(), "b", 2, 2)
+	sub := blocks.MustSubregion(domain.Pt2(1, 1))
+	acc, err := CheckedFieldI64(sub, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-subregion read should panic")
+		}
+	}()
+	_ = acc.Get(domain.Pt2(0, 0))
+}
+
+func TestCheckedAccessorFieldErrors(t *testing.T) {
+	tree := grid2d(t, 2)
+	if _, err := CheckedFieldF64(tree.Root(), 99); err == nil {
+		t.Error("missing field should error")
+	}
+	if _, err := CheckedFieldI64(tree.Root(), 0); err == nil {
+		t.Error("kind mismatch should error")
+	}
+}

@@ -1,0 +1,155 @@
+package region
+
+import (
+	"fmt"
+
+	"indexlaunch/internal/domain"
+)
+
+// Dependent partitioning (paper §2, citing Treichler et al. [29]): deriving
+// partitions from data rather than from index arithmetic. Two primitives
+// cover the unstructured use cases in this repository:
+//
+//   - PartitionByFieldI64 colors each element by the value of one of its
+//     int64 fields (e.g. a precomputed owner id).
+//   - PartitionImageI64 partitions a *target* collection by the image of a
+//     pointer field under an existing partition of a *source* collection —
+//     how the circuit derives each piece's ghost nodes from its wires'
+//     endpoint fields.
+
+// PartitionByFieldI64 partitions parent by the value of the given int64
+// field: element e lands in the subregion colored Pt1(field(e)). Colors
+// outside colorSpace are an error. The result is always disjoint (each
+// element has one field value) and complete over parent.
+func (t *Tree) PartitionByFieldI64(parent *Region, name string, colorSpace domain.Domain, field FieldID) (*Partition, error) {
+	acc, err := FieldI64(parent, field)
+	if err != nil {
+		return nil, err
+	}
+	buckets := map[domain.Point][]domain.Point{}
+	var badColor *domain.Point
+	parent.Domain.Each(func(p domain.Point) bool {
+		c := domain.Pt1(acc.Get(p))
+		if !colorSpace.Contains(c) {
+			badColor = &c
+			return false
+		}
+		buckets[c] = append(buckets[c], p)
+		return true
+	})
+	if badColor != nil {
+		return nil, fmt.Errorf("region: PartitionByFieldI64(%q): field value %v outside color space %v",
+			name, *badColor, colorSpace)
+	}
+	coloring := Coloring{}
+	for c, pts := range buckets {
+		coloring[c] = domain.FromPoints(pts)
+	}
+	return t.PartitionByColoring(parent, name, colorSpace, coloring)
+}
+
+// PartitionImageI64 computes, for each color c of srcPart, the set of
+// target elements pointed at by the given int64 field of the source
+// subregion — the image partition image(srcPart, field) over target. Field
+// values index the 1-d target collection. Images of different colors may
+// overlap, so the result is typically aliased.
+//
+// The optional exclude partition subtracts exclude's subregion of the same
+// color from each image — the standard "ghost = image minus private" idiom.
+func PartitionImageI64(target *Tree, name string, srcPart *Partition, field FieldID, exclude *Partition) (*Partition, error) {
+	if target.Domain.Dim() != 1 {
+		return nil, fmt.Errorf("region: PartitionImageI64 requires a 1-d target collection")
+	}
+	coloring := Coloring{}
+	var err error
+	srcPart.ColorSpace.Each(func(c domain.Point) bool {
+		var src *Region
+		src, err = srcPart.Subregion(c)
+		if err != nil {
+			return false
+		}
+		var acc AccI64
+		acc, err = FieldI64(src, field)
+		if err != nil {
+			return false
+		}
+		var excluded func(domain.Point) bool
+		if exclude != nil {
+			var ex *Region
+			ex, err = exclude.Subregion(c)
+			if err != nil {
+				return false
+			}
+			excluded = ex.Domain.Contains
+		} else {
+			excluded = func(domain.Point) bool { return false }
+		}
+		seen := map[int64]bool{}
+		var pts []domain.Point
+		ok := true
+		src.Domain.Each(func(p domain.Point) bool {
+			v := acc.Get(p)
+			tp := domain.Pt1(v)
+			if !target.Domain.Contains(tp) {
+				err = fmt.Errorf("region: PartitionImageI64(%q): field value %d outside target %v",
+					name, v, target.Domain)
+				ok = false
+				return false
+			}
+			if !seen[v] && !excluded(tp) {
+				seen[v] = true
+				pts = append(pts, tp)
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+		coloring[c] = domain.FromPoints(pts)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return target.PartitionByColoring(target.Root(), name, srcPart.ColorSpace, coloring)
+}
+
+// UnionPartitions builds a partition whose subregion for each color is the
+// union of the operands' subregions for that color. All operands must share
+// a color space and partition the same tree. Used to form "private + ghost"
+// views.
+func UnionPartitions(name string, parts ...*Partition) (*Partition, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("region: UnionPartitions with no operands")
+	}
+	first := parts[0]
+	tree := first.Parent.Tree
+	for _, p := range parts[1:] {
+		if p.Parent.Tree != tree {
+			return nil, fmt.Errorf("region: UnionPartitions operands span trees %q and %q",
+				tree.Name, p.Parent.Tree.Name)
+		}
+		if !p.ColorSpace.Eq(first.ColorSpace) {
+			return nil, fmt.Errorf("region: UnionPartitions operands have mismatched color spaces")
+		}
+	}
+	coloring := Coloring{}
+	var err error
+	first.ColorSpace.Each(func(c domain.Point) bool {
+		var pts []domain.Point
+		for _, p := range parts {
+			var sub *Region
+			sub, err = p.Subregion(c)
+			if err != nil {
+				return false
+			}
+			pts = append(pts, sub.Domain.Points()...)
+		}
+		coloring[c] = domain.FromPoints(pts)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tree.PartitionByColoring(first.Parent, name, first.ColorSpace, coloring)
+}

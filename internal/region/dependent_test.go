@@ -1,0 +1,177 @@
+package region
+
+import (
+	"testing"
+
+	"indexlaunch/internal/domain"
+)
+
+// buildPointerSetup creates a source collection of 12 elements in 3 blocks
+// whose "ptr" field points into a 9-element target collection.
+func buildPointerSetup(t *testing.T) (*Tree, *Partition, *Tree) {
+	t.Helper()
+	srcFields := MustFieldSpace(Field{ID: 0, Name: "ptr", Kind: I64})
+	src := MustNewTree("src", domain.Range1(0, 11), srcFields)
+	srcPart, err := src.PartitionEqual(src.Root(), "blocks", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgtFields := MustFieldSpace(Field{ID: 0, Name: "v", Kind: F64})
+	tgt := MustNewTree("tgt", domain.Range1(0, 8), tgtFields)
+
+	// Block 0 (elems 0-3) points at {0,1}; block 1 at {1,2,3}; block 2 at
+	// {8}.
+	ptr := MustFieldI64(src.Root(), 0)
+	vals := []int64{0, 1, 0, 1, 1, 2, 3, 1, 8, 8, 8, 8}
+	for i, v := range vals {
+		ptr.Set(domain.Pt1(int64(i)), v)
+	}
+	return src, srcPart, tgt
+}
+
+func TestPartitionImageI64(t *testing.T) {
+	_, srcPart, tgt := buildPointerSetup(t)
+	img, err := PartitionImageI64(tgt, "image", srcPart, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64][]int64{
+		0: {0, 1},
+		1: {1, 2, 3},
+		2: {8},
+	}
+	for c, elems := range want {
+		sub := img.MustSubregion(domain.Pt1(c))
+		if sub.Volume() != int64(len(elems)) {
+			t.Errorf("color %d: volume = %d, want %d", c, sub.Volume(), len(elems))
+		}
+		for _, e := range elems {
+			if !sub.Domain.Contains(domain.Pt1(e)) {
+				t.Errorf("color %d: missing element %d", c, e)
+			}
+		}
+	}
+	// Images of blocks 0 and 1 overlap at element 1 → aliased.
+	if img.Disjoint() {
+		t.Error("overlapping images must make the partition aliased")
+	}
+}
+
+func TestPartitionImageI64WithExclude(t *testing.T) {
+	_, srcPart, tgt := buildPointerSetup(t)
+	// Exclude partition: target block c = [3c, 3c+2].
+	excl, err := tgt.PartitionEqual(tgt.Root(), "private", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := PartitionImageI64(tgt, "ghost", srcPart, 0, excl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 0's raw image is {0,1}; both lie in private block 0 → empty.
+	if sub := img.MustSubregion(domain.Pt1(0)); !sub.Domain.Empty() {
+		t.Errorf("color 0 ghost should be empty, got %v", sub.Domain)
+	}
+	// Block 1's raw image {1,2,3} minus private block 1 ([3,5]) = {1,2}.
+	sub := img.MustSubregion(domain.Pt1(1))
+	if sub.Volume() != 2 || !sub.Domain.Contains(domain.Pt1(1)) || !sub.Domain.Contains(domain.Pt1(2)) {
+		t.Errorf("color 1 ghost = %v, want {1,2}", sub.Domain)
+	}
+	// Block 2's raw image {8} minus private block 2 ([6,8]) = empty.
+	if sub := img.MustSubregion(domain.Pt1(2)); !sub.Domain.Empty() {
+		t.Errorf("color 2 ghost should be empty, got %v", sub.Domain)
+	}
+}
+
+func TestPartitionImageI64OutOfRange(t *testing.T) {
+	src, srcPart, tgt := buildPointerSetup(t)
+	ptr := MustFieldI64(src.Root(), 0)
+	ptr.Set(domain.Pt1(0), 99) // outside target
+	if _, err := PartitionImageI64(tgt, "bad", srcPart, 0, nil); err == nil {
+		t.Error("out-of-range pointer should error")
+	}
+}
+
+func TestPartitionByFieldI64(t *testing.T) {
+	fields := MustFieldSpace(
+		Field{ID: 0, Name: "owner", Kind: I64},
+		Field{ID: 1, Name: "v", Kind: F64},
+	)
+	tree := MustNewTree("owned", domain.Range1(0, 9), fields)
+	owner := MustFieldI64(tree.Root(), 0)
+	// Elements alternate between owners 0 and 1; element 9 belongs to 2.
+	for i := int64(0); i < 9; i++ {
+		owner.Set(domain.Pt1(i), i%2)
+	}
+	owner.Set(domain.Pt1(9), 2)
+
+	p, err := tree.PartitionByFieldI64(tree.Root(), "byowner", domain.Range1(0, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Disjoint() || !p.Complete() {
+		t.Errorf("field partition: disjoint=%v complete=%v", p.Disjoint(), p.Complete())
+	}
+	if v := p.MustSubregion(domain.Pt1(0)).Volume(); v != 5 {
+		t.Errorf("owner 0 volume = %d, want 5", v)
+	}
+	if v := p.MustSubregion(domain.Pt1(2)).Volume(); v != 1 {
+		t.Errorf("owner 2 volume = %d, want 1", v)
+	}
+}
+
+func TestPartitionByFieldI64BadColor(t *testing.T) {
+	fields := MustFieldSpace(Field{ID: 0, Name: "owner", Kind: I64})
+	tree := MustNewTree("owned", domain.Range1(0, 3), fields)
+	MustFieldI64(tree.Root(), 0).Set(domain.Pt1(2), 7)
+	if _, err := tree.PartitionByFieldI64(tree.Root(), "bad", domain.Range1(0, 1), 0); err == nil {
+		t.Error("field value outside color space should error")
+	}
+}
+
+func TestUnionPartitions(t *testing.T) {
+	fields := MustFieldSpace(Field{ID: 0, Name: "v", Kind: F64})
+	tree := MustNewTree("u", domain.Range1(0, 9), fields)
+	a, err := tree.PartitionByColoring(tree.Root(), "a", domain.Range1(0, 1), Coloring{
+		domain.Pt1(0): domain.Range1(0, 2),
+		domain.Pt1(1): domain.Range1(5, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tree.PartitionByColoring(tree.Root(), "b", domain.Range1(0, 1), Coloring{
+		domain.Pt1(0): domain.Range1(2, 4),
+		domain.Pt1(1): domain.Range1(7, 9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := UnionPartitions("a+b", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := u.MustSubregion(domain.Pt1(0)).Volume(); v != 5 { // 0-2 ∪ 2-4
+		t.Errorf("color 0 union volume = %d, want 5", v)
+	}
+	if v := u.MustSubregion(domain.Pt1(1)).Volume(); v != 5 { // 5-6 ∪ 7-9
+		t.Errorf("color 1 union volume = %d, want 5", v)
+	}
+}
+
+func TestUnionPartitionsValidation(t *testing.T) {
+	if _, err := UnionPartitions("none"); err == nil {
+		t.Error("no operands should error")
+	}
+	fields := MustFieldSpace(Field{ID: 0, Name: "v", Kind: F64})
+	t1 := MustNewTree("t1", domain.Range1(0, 9), fields)
+	t2 := MustNewTree("t2", domain.Range1(0, 9), fields)
+	a, _ := t1.PartitionEqual(t1.Root(), "a", 2)
+	b, _ := t2.PartitionEqual(t2.Root(), "b", 2)
+	if _, err := UnionPartitions("cross", a, b); err == nil {
+		t.Error("operands from different trees should error")
+	}
+	c, _ := t1.PartitionEqual(t1.Root(), "c", 5)
+	if _, err := UnionPartitions("shape", a, c); err == nil {
+		t.Error("mismatched color spaces should error")
+	}
+}

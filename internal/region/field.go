@@ -1,0 +1,92 @@
+// Package region implements the data model of the paper's programming model
+// (§2): collections of objects organized as logical regions, partitions that
+// name subsets of a collection (disjoint or aliased), and physical storage
+// with typed field accessors.
+//
+// A region tree has a single root collection that owns the storage. Logical
+// regions are views: a subset of the root index space plus the shared field
+// space. Partitions group subregion views under a color space; different
+// partitions of the same collection are different views onto the same
+// underlying data.
+package region
+
+import "fmt"
+
+// FieldID names a field within a field space.
+type FieldID uint32
+
+// Kind is the element type of a field.
+type Kind uint8
+
+// Supported field element kinds.
+const (
+	F64 Kind = iota // float64 elements
+	I64             // int64 elements
+)
+
+// String returns the Go-like name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case F64:
+		return "float64"
+	case I64:
+		return "int64"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Field describes one field of a field space.
+type Field struct {
+	ID   FieldID
+	Name string
+	Kind Kind
+}
+
+// FieldSpace is an ordered set of fields shared by every region in a tree.
+type FieldSpace struct {
+	fields []Field
+	byID   map[FieldID]int
+}
+
+// NewFieldSpace returns a field space over the given fields. Field IDs must
+// be unique.
+func NewFieldSpace(fields ...Field) (*FieldSpace, error) {
+	fs := &FieldSpace{byID: make(map[FieldID]int, len(fields))}
+	for _, f := range fields {
+		if _, dup := fs.byID[f.ID]; dup {
+			return nil, fmt.Errorf("region: duplicate field id %d (%q)", f.ID, f.Name)
+		}
+		fs.byID[f.ID] = len(fs.fields)
+		fs.fields = append(fs.fields, f)
+	}
+	return fs, nil
+}
+
+// MustFieldSpace is NewFieldSpace that panics on error; intended for
+// statically known field lists.
+func MustFieldSpace(fields ...Field) *FieldSpace {
+	fs, err := NewFieldSpace(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+// Fields returns the fields in declaration order.
+func (fs *FieldSpace) Fields() []Field { return fs.fields }
+
+// Lookup returns the field with the given ID.
+func (fs *FieldSpace) Lookup(id FieldID) (Field, bool) {
+	i, ok := fs.byID[id]
+	if !ok {
+		return Field{}, false
+	}
+	return fs.fields[i], true
+}
+
+// Has reports whether the field space contains the given field ID.
+func (fs *FieldSpace) Has(id FieldID) bool {
+	_, ok := fs.byID[id]
+	return ok
+}

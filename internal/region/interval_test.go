@@ -1,0 +1,127 @@
+package region
+
+import (
+	"testing"
+	"testing/quick"
+
+	"indexlaunch/internal/domain"
+)
+
+func TestIntervalsOfDense1D(t *testing.T) {
+	root := domain.Rect1(0, 99)
+	ivs := IntervalsOf(domain.Range1(10, 19), root)
+	if len(ivs) != 1 || ivs[0] != (Interval{10, 19}) {
+		t.Errorf("ivs = %v", ivs)
+	}
+}
+
+func TestIntervalsOfDense2D(t *testing.T) {
+	root := domain.Rect2(0, 0, 3, 9) // rows of length 10
+	sub := domain.FromRect(domain.Rect2(1, 2, 2, 5))
+	ivs := IntervalsOf(sub, root)
+	want := []Interval{{12, 15}, {22, 25}}
+	if len(ivs) != len(want) {
+		t.Fatalf("ivs = %v, want %v", ivs, want)
+	}
+	for i := range want {
+		if ivs[i] != want[i] {
+			t.Errorf("ivs[%d] = %v, want %v", i, ivs[i], want[i])
+		}
+	}
+}
+
+func TestIntervalsOfFullWidthRowsMerge(t *testing.T) {
+	root := domain.Rect2(0, 0, 3, 4)
+	sub := domain.FromRect(domain.Rect2(1, 0, 2, 4)) // two full rows
+	ivs := IntervalsOf(sub, root)
+	if len(ivs) != 1 || ivs[0] != (Interval{5, 14}) {
+		t.Errorf("full-width rows should merge: %v", ivs)
+	}
+}
+
+func TestIntervalsOfSparse(t *testing.T) {
+	root := domain.Rect1(0, 99)
+	sub := domain.FromPoints([]domain.Point{
+		domain.Pt1(5), domain.Pt1(6), domain.Pt1(7), domain.Pt1(20), domain.Pt1(22),
+	})
+	ivs := IntervalsOf(sub, root)
+	want := []Interval{{5, 7}, {20, 20}, {22, 22}}
+	if len(ivs) != len(want) {
+		t.Fatalf("ivs = %v", ivs)
+	}
+	for i := range want {
+		if ivs[i] != want[i] {
+			t.Errorf("ivs[%d] = %v, want %v", i, ivs[i], want[i])
+		}
+	}
+}
+
+func TestIntervalsOf3D(t *testing.T) {
+	root := domain.Rect3(0, 0, 0, 2, 2, 2)
+	sub := domain.FromRect(domain.Rect3(0, 0, 0, 2, 2, 2))
+	ivs := IntervalsOf(sub, root)
+	if len(ivs) != 1 || ivs[0] != (Interval{0, 26}) {
+		t.Errorf("whole cube should be one interval: %v", ivs)
+	}
+}
+
+func TestIntervalsOfEmpty(t *testing.T) {
+	if ivs := IntervalsOf(domain.FromPoints(nil), domain.Rect1(0, 9)); ivs != nil {
+		t.Errorf("empty domain: %v", ivs)
+	}
+}
+
+func TestIntervalsOverlap(t *testing.T) {
+	a := []Interval{{0, 4}, {10, 14}}
+	b := []Interval{{5, 9}, {15, 20}}
+	c := []Interval{{14, 14}}
+	if IntervalsOverlap(a, b) {
+		t.Error("a and b should not overlap")
+	}
+	if !IntervalsOverlap(a, c) {
+		t.Error("a and c should overlap at 14")
+	}
+	if IntervalsOverlap(nil, a) || IntervalsOverlap(a, nil) {
+		t.Error("nil never overlaps")
+	}
+}
+
+func TestIntervalsVolume(t *testing.T) {
+	if v := IntervalsVolume([]Interval{{0, 4}, {10, 10}}); v != 6 {
+		t.Errorf("volume = %d", v)
+	}
+	if v := IntervalsVolume(nil); v != 0 {
+		t.Errorf("volume = %d", v)
+	}
+}
+
+// Property: interval volume equals domain volume, and point membership in the
+// domain matches index membership in the intervals.
+func TestIntervalsOfVolumeProperty(t *testing.T) {
+	f := func(lox, loy uint8, w, h uint8) bool {
+		root := domain.Rect2(0, 0, 19, 19)
+		sub := domain.Rect2(int64(lox%10), int64(loy%10),
+			int64(lox%10)+int64(w%10), int64(loy%10)+int64(h%10))
+		d := domain.FromRect(sub)
+		ivs := IntervalsOf(d, root)
+		return IntervalsVolume(ivs) == d.Volume()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IntervalsOverlap agrees with Domain.Overlaps for 1-d domains.
+func TestIntervalsOverlapAgreementProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint8) bool {
+		root := domain.Rect1(0, 511)
+		da := domain.Range1(int64(a1), int64(a1)+int64(a2%16))
+		db := domain.Range1(int64(b1), int64(b1)+int64(b2%16))
+		ia := IntervalsOf(da, root)
+		ib := IntervalsOf(db, root)
+		return IntervalsOverlap(ia, ib) == da.Overlaps(db)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+package region
+
+import (
+	"fmt"
+	"sort"
+
+	"indexlaunch/internal/domain"
+)
+
+// PartitionID identifies a partition within its tree; like RegionID it is
+// deterministic across replicated construction.
+type PartitionID struct {
+	Tree  TreeID
+	Index uint32
+}
+
+func (id PartitionID) String() string { return fmt.Sprintf("p%d.%d", id.Tree, id.Index) }
+
+// Partition divides a region into subregions indexed by a color space
+// (paper §2). A partition is disjoint when no object appears in more than
+// one subregion, and complete when every parent object appears in at least
+// one. Aliased (non-disjoint) partitions — e.g. halo partitions — are legal
+// views but never satisfy write-privilege self-checks.
+type Partition struct {
+	ID         PartitionID
+	Parent     *Region
+	ColorSpace domain.Domain
+	Name       string
+
+	children map[domain.Point]*Region
+	disjoint bool
+	complete bool
+}
+
+// Disjoint reports whether the partition's subregions are pairwise disjoint.
+// Disjointness is determined at construction time, matching the paper's
+// assumption that "the compiler and runtime have a procedure for determining
+// the disjointness of partitions".
+func (p *Partition) Disjoint() bool { return p.disjoint }
+
+// Complete reports whether the subregions cover the parent region.
+func (p *Partition) Complete() bool { return p.complete }
+
+// Subregion returns the subregion for the given color. Colors outside the
+// color space return an error.
+func (p *Partition) Subregion(color domain.Point) (*Region, error) {
+	r, ok := p.children[color]
+	if !ok {
+		return nil, fmt.Errorf("region: partition %s has no subregion for color %v", p.ID, color)
+	}
+	return r, nil
+}
+
+// MustSubregion is Subregion that panics on unknown colors.
+func (p *Partition) MustSubregion(color domain.Point) *Region {
+	r, err := p.Subregion(color)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Volume returns the number of subregions.
+func (p *Partition) Volume() int64 { return p.ColorSpace.Volume() }
+
+func (p *Partition) String() string {
+	kind := "aliased"
+	if p.disjoint {
+		kind = "disjoint"
+	}
+	if p.Name != "" {
+		return fmt.Sprintf("%s(%s,%s)", p.Name, p.ID, kind)
+	}
+	return fmt.Sprintf("%s(%s)", p.ID, kind)
+}
+
+// Coloring maps each color of a color space to the domain of the subregion
+// it names. It is the fully general partitioning input; the convenience
+// constructors below build colorings for the common structured cases.
+type Coloring map[domain.Point]domain.Domain
+
+// PartitionByColoring creates a partition of parent from an explicit
+// coloring. Every colored domain must lie inside the parent region.
+// Disjointness and completeness are computed exactly from the coloring.
+func (t *Tree) PartitionByColoring(parent *Region, name string, colorSpace domain.Domain, coloring Coloring) (*Partition, error) {
+	if parent.Tree != t {
+		return nil, fmt.Errorf("region: parent %s is not in tree %q", parent, t.Name)
+	}
+	p := &Partition{
+		ID:         PartitionID{Tree: t.ID, Index: t.nextPartition.Add(1)},
+		Parent:     parent,
+		ColorSpace: colorSpace,
+		Name:       name,
+		children:   make(map[domain.Point]*Region, colorSpace.Volume()),
+	}
+	var err error
+	colorSpace.Each(func(c domain.Point) bool {
+		dom, ok := coloring[c]
+		if !ok {
+			dom = domain.FromPoints(nil)
+		}
+		var sub *Region
+		sub, err = t.makeSubregion(parent, dom, fmt.Sprintf("%s[%v]", name, c))
+		if err != nil {
+			return false
+		}
+		p.children[c] = sub
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.disjoint, p.complete = p.computeStructure()
+	return p, nil
+}
+
+func (t *Tree) makeSubregion(parent *Region, dom domain.Domain, name string) (*Region, error) {
+	if !dom.Empty() {
+		inParent := true
+		dom.Each(func(pt domain.Point) bool {
+			if !parent.Domain.Contains(pt) {
+				inParent = false
+				return false
+			}
+			return true
+		})
+		if !inParent {
+			return nil, fmt.Errorf("region: subregion %q escapes parent %s", name, parent)
+		}
+	}
+	return t.newRegion(dom, name), nil
+}
+
+// computeStructure determines disjointness and completeness exactly using
+// the linearized interval views of the children.
+func (p *Partition) computeStructure() (disjoint, complete bool) {
+	var childVol, unionVol int64
+	var all []Interval
+	for _, sub := range p.children {
+		ivs := sub.Intervals()
+		childVol += IntervalsVolume(ivs)
+		all = append(all, ivs...)
+	}
+	merged := normalizeIntervals(all)
+	unionVol = IntervalsVolume(merged)
+	disjoint = childVol == unionVol
+	parentVol := IntervalsVolume(p.Parent.Intervals())
+	complete = unionVol == parentVol
+	return disjoint, complete
+}
+
+func normalizeIntervals(ivs []Interval) []Interval {
+	if len(ivs) <= 1 {
+		return ivs
+	}
+	sorted := make([]Interval, len(ivs))
+	copy(sorted, ivs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+	out := sorted[:1]
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo <= last.Hi { // strict overlap only (not mere adjacency)
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// PartitionEqual block-partitions a dense 1-d region into n near-equal
+// contiguous subregions colored 0..n-1. The result is disjoint and complete.
+func (t *Tree) PartitionEqual(parent *Region, name string, n int) (*Partition, error) {
+	if parent.Domain.Sparse() || parent.Domain.Dim() != 1 {
+		return nil, fmt.Errorf("region: PartitionEqual requires a dense 1-d parent, got %v", parent.Domain)
+	}
+	chunks := parent.Domain.Split(n)
+	coloring := make(Coloring, n)
+	for i, c := range chunks {
+		coloring[domain.Pt1(int64(i))] = c
+	}
+	return t.PartitionByColoring(parent, name, domain.Range1(0, int64(n-1)), coloring)
+}
+
+// PartitionBlock2D partitions a dense 2-d region into an nx × ny grid of
+// near-equal tiles colored by their grid position. Disjoint and complete.
+func (t *Tree) PartitionBlock2D(parent *Region, name string, nx, ny int) (*Partition, error) {
+	b := parent.Domain.Bounds()
+	if parent.Domain.Sparse() || b.Dim() != 2 {
+		return nil, fmt.Errorf("region: PartitionBlock2D requires a dense 2-d parent, got %v", parent.Domain)
+	}
+	coloring := Coloring{}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			lox, hix := blockRange(b.Lo.C[0], b.Hi.C[0], nx, i)
+			loy, hiy := blockRange(b.Lo.C[1], b.Hi.C[1], ny, j)
+			coloring[domain.Pt2(int64(i), int64(j))] = domain.FromRect(domain.Rect2(lox, loy, hix, hiy))
+		}
+	}
+	return t.PartitionByColoring(parent, name, domain.FromRect(domain.Rect2(0, 0, int64(nx-1), int64(ny-1))), coloring)
+}
+
+// PartitionBlock3D partitions a dense 3-d region into an nx × ny × nz grid.
+func (t *Tree) PartitionBlock3D(parent *Region, name string, nx, ny, nz int) (*Partition, error) {
+	b := parent.Domain.Bounds()
+	if parent.Domain.Sparse() || b.Dim() != 3 {
+		return nil, fmt.Errorf("region: PartitionBlock3D requires a dense 3-d parent, got %v", parent.Domain)
+	}
+	coloring := Coloring{}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				lox, hix := blockRange(b.Lo.C[0], b.Hi.C[0], nx, i)
+				loy, hiy := blockRange(b.Lo.C[1], b.Hi.C[1], ny, j)
+				loz, hiz := blockRange(b.Lo.C[2], b.Hi.C[2], nz, k)
+				coloring[domain.Pt3(int64(i), int64(j), int64(k))] =
+					domain.FromRect(domain.Rect3(lox, loy, loz, hix, hiy, hiz))
+			}
+		}
+	}
+	return t.PartitionByColoring(parent, name, domain.FromRect(domain.Rect3(0, 0, 0, int64(nx-1), int64(ny-1), int64(nz-1))), coloring)
+}
+
+// PartitionHalo2D builds the aliased "halo" partition matching a
+// PartitionBlock2D of the same shape: each tile grown by radius cells in
+// every direction, clamped to the parent bounds. Halo partitions of adjacent
+// tiles overlap, so the result is aliased (the paper's stencil example §2).
+func (t *Tree) PartitionHalo2D(parent *Region, name string, nx, ny int, radius int64) (*Partition, error) {
+	b := parent.Domain.Bounds()
+	if parent.Domain.Sparse() || b.Dim() != 2 {
+		return nil, fmt.Errorf("region: PartitionHalo2D requires a dense 2-d parent, got %v", parent.Domain)
+	}
+	coloring := Coloring{}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			lox, hix := blockRange(b.Lo.C[0], b.Hi.C[0], nx, i)
+			loy, hiy := blockRange(b.Lo.C[1], b.Hi.C[1], ny, j)
+			grown := domain.Rect2(lox-radius, loy-radius, hix+radius, hiy+radius).Intersect(b)
+			coloring[domain.Pt2(int64(i), int64(j))] = domain.FromRect(grown)
+		}
+	}
+	return t.PartitionByColoring(parent, name, domain.FromRect(domain.Rect2(0, 0, int64(nx-1), int64(ny-1))), coloring)
+}
+
+// PartitionHalo3D builds the aliased halo partition matching a
+// PartitionBlock3D of the same shape: each brick grown by radius cells in
+// every direction, clamped to the parent bounds.
+func (t *Tree) PartitionHalo3D(parent *Region, name string, nx, ny, nz int, radius int64) (*Partition, error) {
+	b := parent.Domain.Bounds()
+	if parent.Domain.Sparse() || b.Dim() != 3 {
+		return nil, fmt.Errorf("region: PartitionHalo3D requires a dense 3-d parent, got %v", parent.Domain)
+	}
+	coloring := Coloring{}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				lox, hix := blockRange(b.Lo.C[0], b.Hi.C[0], nx, i)
+				loy, hiy := blockRange(b.Lo.C[1], b.Hi.C[1], ny, j)
+				loz, hiz := blockRange(b.Lo.C[2], b.Hi.C[2], nz, k)
+				grown := domain.Rect3(lox-radius, loy-radius, loz-radius,
+					hix+radius, hiy+radius, hiz+radius).Intersect(b)
+				coloring[domain.Pt3(int64(i), int64(j), int64(k))] = domain.FromRect(grown)
+			}
+		}
+	}
+	return t.PartitionByColoring(parent, name, domain.FromRect(domain.Rect3(0, 0, 0, int64(nx-1), int64(ny-1), int64(nz-1))), coloring)
+}
+
+// blockRange splits the inclusive range [lo, hi] into n near-equal blocks
+// and returns the bounds of block i. Leading blocks absorb the remainder.
+func blockRange(lo, hi int64, n, i int) (blo, bhi int64) {
+	total := hi - lo + 1
+	base := total / int64(n)
+	rem := total % int64(n)
+	start := lo + int64(i)*base + min64(int64(i), rem)
+	size := base
+	if int64(i) < rem {
+		size++
+	}
+	return start, start + size - 1
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

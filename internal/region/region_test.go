@@ -1,0 +1,296 @@
+package region
+
+import (
+	"testing"
+
+	"indexlaunch/internal/domain"
+)
+
+func grid2d(t *testing.T, n int64) *Tree {
+	t.Helper()
+	fs := MustFieldSpace(
+		Field{ID: 0, Name: "val", Kind: F64},
+		Field{ID: 1, Name: "cnt", Kind: I64},
+	)
+	tree, err := NewTree("grid", domain.FromRect(domain.Rect2(0, 0, n-1, n-1)), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestNewTreeValidation(t *testing.T) {
+	fs := MustFieldSpace(Field{ID: 0, Name: "v", Kind: F64})
+	if _, err := NewTree("sparse", domain.FromPoints([]domain.Point{domain.Pt1(1)}), fs); err == nil {
+		t.Error("sparse root should be rejected")
+	}
+	if _, err := NewTree("empty", domain.Range1(0, -1), fs); err == nil {
+		t.Error("empty root should be rejected")
+	}
+}
+
+func TestFieldSpaceDuplicateID(t *testing.T) {
+	_, err := NewFieldSpace(Field{ID: 3, Name: "a"}, Field{ID: 3, Name: "b"})
+	if err == nil {
+		t.Error("duplicate field id should error")
+	}
+}
+
+func TestFieldSpaceLookup(t *testing.T) {
+	fs := MustFieldSpace(Field{ID: 7, Name: "x", Kind: I64})
+	f, ok := fs.Lookup(7)
+	if !ok || f.Name != "x" || f.Kind != I64 {
+		t.Errorf("Lookup = %+v, %v", f, ok)
+	}
+	if _, ok := fs.Lookup(8); ok {
+		t.Error("missing field should not be found")
+	}
+	if !fs.Has(7) || fs.Has(8) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestRootRegion(t *testing.T) {
+	tree := grid2d(t, 4)
+	root := tree.Root()
+	if root.Volume() != 16 {
+		t.Errorf("root volume = %d", root.Volume())
+	}
+	ivs := root.Intervals()
+	if len(ivs) != 1 || ivs[0] != (Interval{0, 15}) {
+		t.Errorf("root intervals = %v", ivs)
+	}
+}
+
+func TestPartitionEqual(t *testing.T) {
+	fs := MustFieldSpace(Field{ID: 0, Name: "v", Kind: F64})
+	tree := MustNewTree("line", domain.Range1(0, 99), fs)
+	p, err := tree.PartitionEqual(tree.Root(), "blocks", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Disjoint() || !p.Complete() {
+		t.Errorf("disjoint=%v complete=%v, want true/true", p.Disjoint(), p.Complete())
+	}
+	var total int64
+	for i := int64(0); i < 4; i++ {
+		sub := p.MustSubregion(domain.Pt1(i))
+		if sub.Volume() != 25 {
+			t.Errorf("block %d volume = %d", i, sub.Volume())
+		}
+		total += sub.Volume()
+	}
+	if total != 100 {
+		t.Errorf("total = %d", total)
+	}
+	if _, err := p.Subregion(domain.Pt1(4)); err == nil {
+		t.Error("out-of-space color should error")
+	}
+}
+
+func TestPartitionBlock2D(t *testing.T) {
+	tree := grid2d(t, 10)
+	p, err := tree.PartitionBlock2D(tree.Root(), "tiles", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Disjoint() || !p.Complete() {
+		t.Errorf("disjoint=%v complete=%v", p.Disjoint(), p.Complete())
+	}
+	if p.Volume() != 6 {
+		t.Errorf("volume = %d", p.Volume())
+	}
+	var total int64
+	p.ColorSpace.Each(func(c domain.Point) bool {
+		total += p.MustSubregion(c).Volume()
+		return true
+	})
+	if total != 100 {
+		t.Errorf("tiles cover %d cells", total)
+	}
+}
+
+func TestPartitionHalo2DIsAliased(t *testing.T) {
+	tree := grid2d(t, 12)
+	halo, err := tree.PartitionHalo2D(tree.Root(), "halo", 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halo.Disjoint() {
+		t.Error("halo partition should be aliased")
+	}
+	if !halo.Complete() {
+		t.Error("halo partition should be complete")
+	}
+	// Each halo tile should strictly contain the matching block tile.
+	blocks, err := tree.PartitionBlock2D(tree.Root(), "blocks", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks.ColorSpace.Each(func(c domain.Point) bool {
+		b := blocks.MustSubregion(c)
+		h := halo.MustSubregion(c)
+		if h.Volume() <= b.Volume() {
+			t.Errorf("halo tile %v (%d) not larger than block (%d)", c, h.Volume(), b.Volume())
+		}
+		if !h.Domain.Bounds().ContainsRect(b.Domain.Bounds()) {
+			t.Errorf("halo tile %v does not contain block", c)
+		}
+		return true
+	})
+}
+
+func TestPartitionByColoringEscapeRejected(t *testing.T) {
+	tree := grid2d(t, 4)
+	_, err := tree.PartitionByColoring(tree.Root(), "bad", domain.Range1(0, 0), Coloring{
+		domain.Pt1(0): domain.FromRect(domain.Rect2(0, 0, 4, 4)), // escapes 0..3
+	})
+	if err == nil {
+		t.Error("escaping coloring should error")
+	}
+}
+
+func TestPartitionIncomplete(t *testing.T) {
+	fs := MustFieldSpace(Field{ID: 0, Name: "v", Kind: F64})
+	tree := MustNewTree("line", domain.Range1(0, 9), fs)
+	p, err := tree.PartitionByColoring(tree.Root(), "partial", domain.Range1(0, 1), Coloring{
+		domain.Pt1(0): domain.Range1(0, 2),
+		domain.Pt1(1): domain.Range1(5, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Disjoint() {
+		t.Error("should be disjoint")
+	}
+	if p.Complete() {
+		t.Error("should be incomplete")
+	}
+}
+
+func TestPartitionMissingColorIsEmpty(t *testing.T) {
+	fs := MustFieldSpace(Field{ID: 0, Name: "v", Kind: F64})
+	tree := MustNewTree("line", domain.Range1(0, 9), fs)
+	p, err := tree.PartitionByColoring(tree.Root(), "holey", domain.Range1(0, 2), Coloring{
+		domain.Pt1(0): domain.Range1(0, 4),
+		domain.Pt1(2): domain.Range1(5, 9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := p.MustSubregion(domain.Pt1(1))
+	if !sub.Domain.Empty() {
+		t.Errorf("uncolored subregion should be empty, got %v", sub.Domain)
+	}
+	if !p.Disjoint() || !p.Complete() {
+		t.Errorf("disjoint=%v complete=%v", p.Disjoint(), p.Complete())
+	}
+}
+
+func TestPartitionBlock3D(t *testing.T) {
+	fs := MustFieldSpace(Field{ID: 0, Name: "v", Kind: F64})
+	tree := MustNewTree("cube", domain.FromRect(domain.Rect3(0, 0, 0, 5, 5, 5)), fs)
+	p, err := tree.PartitionBlock3D(tree.Root(), "bricks", 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Disjoint() || !p.Complete() {
+		t.Errorf("disjoint=%v complete=%v", p.Disjoint(), p.Complete())
+	}
+	if p.Volume() != 12 {
+		t.Errorf("volume = %d", p.Volume())
+	}
+}
+
+func TestRegionOverlaps(t *testing.T) {
+	tree := grid2d(t, 8)
+	blocks, _ := tree.PartitionBlock2D(tree.Root(), "b", 2, 2)
+	halo, _ := tree.PartitionHalo2D(tree.Root(), "h", 2, 2, 1)
+	b00 := blocks.MustSubregion(domain.Pt2(0, 0))
+	b11 := blocks.MustSubregion(domain.Pt2(1, 1))
+	h00 := halo.MustSubregion(domain.Pt2(0, 0))
+	if b00.Overlaps(b11) {
+		t.Error("disjoint blocks should not overlap")
+	}
+	if !h00.Overlaps(b11) {
+		t.Error("halo(0,0) should overlap block(1,1) at the corner")
+	}
+	other := grid2d(t, 8)
+	if b00.Overlaps(other.Root()) {
+		t.Error("regions in different trees never overlap")
+	}
+}
+
+func TestAccessorsSharedStorage(t *testing.T) {
+	tree := grid2d(t, 4)
+	blocks, _ := tree.PartitionBlock2D(tree.Root(), "b", 2, 2)
+	sub := blocks.MustSubregion(domain.Pt2(0, 0))
+	acc := MustFieldF64(sub, 0)
+	acc.Set(domain.Pt2(1, 1), 42)
+	rootAcc := MustFieldF64(tree.Root(), 0)
+	if got := rootAcc.Get(domain.Pt2(1, 1)); got != 42 {
+		t.Errorf("write through subregion not visible at root: %v", got)
+	}
+}
+
+func TestAccessorKindMismatch(t *testing.T) {
+	tree := grid2d(t, 2)
+	if _, err := FieldF64(tree.Root(), 1); err == nil {
+		t.Error("f64 accessor on i64 field should error")
+	}
+	if _, err := FieldI64(tree.Root(), 0); err == nil {
+		t.Error("i64 accessor on f64 field should error")
+	}
+	if _, err := FieldF64(tree.Root(), 99); err == nil {
+		t.Error("missing field should error")
+	}
+}
+
+func TestFillAndSum(t *testing.T) {
+	tree := grid2d(t, 4)
+	if err := FillF64(tree.Root(), 0, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	s, err := SumF64(tree.Root(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 40 {
+		t.Errorf("sum = %v, want 40", s)
+	}
+	if err := FillI64(tree.Root(), 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	acc := MustFieldI64(tree.Root(), 1)
+	if got := acc.Get(domain.Pt2(3, 3)); got != 3 {
+		t.Errorf("i64 fill = %d", got)
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	build := func() ([]PartitionID, []RegionID) {
+		fs := MustFieldSpace(Field{ID: 0, Name: "v", Kind: F64})
+		tree := MustNewTree("line", domain.Range1(0, 9), fs)
+		p1, _ := tree.PartitionEqual(tree.Root(), "a", 2)
+		p2, _ := tree.PartitionEqual(tree.Root(), "b", 5)
+		var rids []RegionID
+		p1.ColorSpace.Each(func(c domain.Point) bool {
+			r := p1.MustSubregion(c)
+			rids = append(rids, RegionID{Tree: 0, Index: r.ID.Index}) // normalize tree id
+			return true
+		})
+		return []PartitionID{{Index: p1.ID.Index}, {Index: p2.ID.Index}}, rids
+	}
+	pa, ra := build()
+	pb, rb := build()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Errorf("partition ids differ between identical builds: %v vs %v", pa[i], pb[i])
+		}
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Errorf("region ids differ between identical builds: %v vs %v", ra[i], rb[i])
+		}
+	}
+}

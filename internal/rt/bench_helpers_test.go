@@ -1,0 +1,27 @@
+package rt
+
+import (
+	"testing"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/projection"
+	"indexlaunch/internal/region"
+)
+
+// benchLaunch builds a 64-point read-only index launch over a fresh
+// collection for issuance benchmarks.
+func benchLaunch(tb testing.TB, r *Runtime, task core.TaskID) *core.IndexLaunch {
+	tb.Helper()
+	fs := region.MustFieldSpace(region.Field{ID: 0, Name: "v", Kind: region.F64})
+	tree := region.MustNewTree("bench", domain.Range1(0, 63), fs)
+	part, err := tree.PartitionEqual(tree.Root(), "blocks", 64)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return core.MustForall("bench", task, domain.Range1(0, 63), core.Requirement{
+		Partition: part, Functor: projection.Identity(1),
+		Priv: privilege.Read, Fields: []region.FieldID{0},
+	})
+}

@@ -1,0 +1,193 @@
+package rt
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/region"
+)
+
+// Bulk tracing implements the paper's stated future work (§6.2.1): "a
+// deeper integration with Legion's tracing feature to enable tracing to
+// work with bulk task launches, such that the benefits of index launches
+// can be enjoyed, even without DCR."
+//
+// Standard tracing memoizes dependencies at individual-task granularity,
+// which forces an index launch to expand before distribution. Bulk tracing
+// memoizes at *launch* granularity instead: the capture records, for every
+// launch in the trace, which earlier launches it depends on (by merging the
+// point-level dependence edges the version map produced); replays wire each
+// launch's point tasks to the merged completion events of the depended-on
+// launches — one dependence decision per launch, not per task, so the
+// compact representation survives replay.
+//
+// The trade-off is precision: launch-level dependencies over-synchronize
+// point tasks that were independent at point granularity (e.g. halo
+// exchanges become launch barriers during replay). Correctness is
+// unaffected; pipelining across launches shrinks. Enable with
+// Config.BulkTracing alongside Tracing.
+
+type launchSig struct {
+	task   core.TaskID
+	points int
+}
+
+type bulkTemplate struct {
+	id       uint64
+	sigs     []launchSig
+	deps     [][]int // intra-trace launch-index dependencies per launch
+	external []bool  // launch had dependencies from outside the trace
+	writes   map[fieldKey][]region.Interval
+	reads    map[fieldKey][]region.Interval
+}
+
+type bulkState struct {
+	mode traceMode
+	tmpl *bulkTemplate
+
+	// Capture: map from a point task's completion event to the index of
+	// the launch (within the trace) that issued it.
+	evLaunch map[*Event]int
+	// Pending per-launch dependence accumulation during capture.
+	curDeps     map[int]struct{}
+	curExternal bool
+
+	// Replay state.
+	cursor   int
+	done     []*Event // merged completion event per replayed launch
+	pointEvs []*Event // accumulates the current launch's point events
+	startEv  *Event
+}
+
+// beginBulkTrace starts or replays a bulk trace episode.
+func (r *Runtime) beginBulkTrace(id uint64) error {
+	if tmpl, ok := r.bulkStore[id]; ok {
+		var boundary []*Event
+		for key, ivs := range tmpl.writes {
+			boundary = append(boundary, r.vm.lastEvents(key.tree, key.field, ivs)...)
+		}
+		for key, ivs := range tmpl.reads {
+			boundary = append(boundary, r.vm.lastEvents(key.tree, key.field, ivs)...)
+		}
+		r.bulk = &bulkState{
+			mode:    traceReplaying,
+			tmpl:    tmpl,
+			done:    make([]*Event, len(tmpl.sigs)),
+			startEv: Merge(boundary...),
+		}
+		return nil
+	}
+	r.bulk = &bulkState{
+		mode: traceCapturing,
+		tmpl: &bulkTemplate{
+			id:     id,
+			writes: map[fieldKey][]region.Interval{},
+			reads:  map[fieldKey][]region.Interval{},
+		},
+		evLaunch: map[*Event]int{},
+		curDeps:  map[int]struct{}{},
+	}
+	return nil
+}
+
+// endBulkTrace finishes the current bulk episode.
+func (r *Runtime) endBulkTrace(id uint64) error {
+	bs := r.bulk
+	r.bulk = nil
+	switch bs.mode {
+	case traceCapturing:
+		bs.tmpl.id = id
+		if r.bulkStore == nil {
+			r.bulkStore = map[uint64]*bulkTemplate{}
+		}
+		r.bulkStore[id] = bs.tmpl
+		atomic.AddInt64(&r.captures, 1)
+	case traceReplaying:
+		if bs.cursor != len(bs.tmpl.sigs) {
+			return fmt.Errorf("rt: bulk trace %d replay issued %d of %d launches",
+				id, bs.cursor, len(bs.tmpl.sigs))
+		}
+		terminal := Merge(bs.done...)
+		for key, ivs := range bs.tmpl.writes {
+			r.vm.bulkWrite(key.tree, key.field, ivs, terminal)
+		}
+		for key, ivs := range bs.tmpl.reads {
+			r.vm.access(key.tree, key.field, ivs, privilege.Read, privilege.OpNone, terminal)
+		}
+		r.outstanding = append(r.outstanding, terminal)
+		atomic.AddInt64(&r.replays, 1)
+	}
+	return nil
+}
+
+// bulkCaptureDep records one point-level dependence edge during capture,
+// coarsened to launch granularity.
+func (bs *bulkState) captureDep(dep *Event) {
+	if idx, ok := bs.evLaunch[dep]; ok {
+		bs.curDeps[idx] = struct{}{}
+	} else {
+		bs.curExternal = true
+	}
+}
+
+// bulkCapturePoint records one issued point task's regions and event.
+func (bs *bulkState) capturePoint(ev *Event, prs []PhysicalRegion) {
+	bs.evLaunch[ev] = len(bs.tmpl.sigs) // index of the launch being captured
+	for _, pr := range prs {
+		ivs := pr.Region.Intervals()
+		for _, f := range pr.Fields {
+			key := fieldKey{tree: pr.Region.Tree.ID, field: f}
+			if pr.Priv.IsWrite() {
+				bs.tmpl.writes[key] = append(bs.tmpl.writes[key], ivs...)
+			} else {
+				bs.tmpl.reads[key] = append(bs.tmpl.reads[key], ivs...)
+			}
+		}
+	}
+}
+
+// captureLaunchDone seals the per-launch dependence record during capture.
+func (bs *bulkState) captureLaunchDone(task core.TaskID, points int) {
+	deps := make([]int, 0, len(bs.curDeps))
+	for d := range bs.curDeps {
+		deps = append(deps, d)
+	}
+	bs.tmpl.sigs = append(bs.tmpl.sigs, launchSig{task: task, points: points})
+	bs.tmpl.deps = append(bs.tmpl.deps, deps)
+	bs.tmpl.external = append(bs.tmpl.external, bs.curExternal)
+	bs.curDeps = map[int]struct{}{}
+	bs.curExternal = false
+}
+
+// replayLaunchDeps returns the shared precondition events for every point
+// task of the next replayed launch.
+func (bs *bulkState) replayLaunchDeps(task core.TaskID, points int) []*Event {
+	if bs.cursor >= len(bs.tmpl.sigs) {
+		panic(fmt.Sprintf("rt: bulk trace %d replay issued more launches than captured (%d)",
+			bs.tmpl.id, len(bs.tmpl.sigs)))
+	}
+	sig := bs.tmpl.sigs[bs.cursor]
+	if sig.task != task || sig.points != points {
+		panic(fmt.Sprintf("rt: bulk trace %d replay diverged at launch %d: captured task %d/%d pts, replayed task %d/%d pts",
+			bs.tmpl.id, bs.cursor, sig.task, sig.points, task, points))
+	}
+	var deps []*Event
+	for _, j := range bs.tmpl.deps[bs.cursor] {
+		deps = append(deps, bs.done[j])
+	}
+	if bs.tmpl.external[bs.cursor] {
+		deps = append(deps, bs.startEv)
+	}
+	return deps
+}
+
+// replayLaunchDone seals the merged completion event of the just-replayed
+// launch. The input slice is copied: callers reuse its backing array for
+// the next launch, while the merge goroutine reads it asynchronously.
+func (bs *bulkState) replayLaunchDone(pointEvents []*Event) {
+	evs := append([]*Event(nil), pointEvents...)
+	bs.done[bs.cursor] = Merge(evs...)
+	bs.cursor++
+}

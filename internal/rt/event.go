@@ -1,0 +1,76 @@
+// Package rt implements a Legion-like task runtime (paper §5): tasks are
+// issued in program order, analyzed for dependencies through a region-tree
+// version map, distributed to (simulated) nodes via sharding or slicing
+// functors, and executed on per-node worker pools once their precondition
+// events have triggered.
+//
+// The runtime executes real Go task functions against real region data; it
+// is the substrate for the examples and the correctness tests. The
+// distributed *cost* behaviour of the pipeline (who pays issuance, analysis
+// and distribution overhead at scale) is modeled separately in
+// internal/sim, which replays the same pipeline against a discrete-event
+// cluster model.
+package rt
+
+import "sync"
+
+// Event is a one-shot completion signal. Events order task execution: each
+// task carries a set of precondition events and triggers its own completion
+// event when it finishes. The zero value is not usable; create events with
+// NewEvent or use Completed.
+type Event struct {
+	ch   chan struct{}
+	once sync.Once
+}
+
+// NewEvent returns an untriggered event.
+func NewEvent() *Event { return &Event{ch: make(chan struct{})} }
+
+// Completed returns a pre-triggered event; tasks with no preconditions
+// depend on it.
+func Completed() *Event {
+	e := NewEvent()
+	e.Trigger()
+	return e
+}
+
+// Trigger fires the event. Triggering is idempotent.
+func (e *Event) Trigger() { e.once.Do(func() { close(e.ch) }) }
+
+// Done reports whether the event has triggered without blocking.
+func (e *Event) Done() bool {
+	select {
+	case <-e.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the event triggers.
+func (e *Event) Wait() { <-e.ch }
+
+// WaitAll blocks until every event in evs has triggered.
+func WaitAll(evs []*Event) {
+	for _, e := range evs {
+		e.Wait()
+	}
+}
+
+// Merge returns an event that triggers once all inputs have triggered.
+// Merging zero events yields a completed event; merging one returns it
+// unchanged.
+func Merge(evs ...*Event) *Event {
+	switch len(evs) {
+	case 0:
+		return Completed()
+	case 1:
+		return evs[0]
+	}
+	out := NewEvent()
+	go func() {
+		WaitAll(evs)
+		out.Trigger()
+	}()
+	return out
+}

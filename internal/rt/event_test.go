@@ -1,0 +1,78 @@
+package rt
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventTriggerDone(t *testing.T) {
+	e := NewEvent()
+	if e.Done() {
+		t.Error("new event should not be done")
+	}
+	e.Trigger()
+	if !e.Done() {
+		t.Error("triggered event should be done")
+	}
+	e.Trigger() // idempotent
+	e.Wait()    // returns immediately
+}
+
+func TestCompletedEvent(t *testing.T) {
+	if !Completed().Done() {
+		t.Error("Completed should be done")
+	}
+}
+
+func TestMergeZeroAndOne(t *testing.T) {
+	if !Merge().Done() {
+		t.Error("merge of nothing is complete")
+	}
+	e := NewEvent()
+	if Merge(e) != e {
+		t.Error("merge of one event is itself")
+	}
+}
+
+func TestMergeWaitsForAll(t *testing.T) {
+	a, b := NewEvent(), NewEvent()
+	m := Merge(a, b)
+	a.Trigger()
+	select {
+	case <-time.After(10 * time.Millisecond):
+	case <-waitCh(m):
+		t.Fatal("merge fired before all inputs")
+	}
+	b.Trigger()
+	select {
+	case <-waitCh(m):
+	case <-time.After(time.Second):
+		t.Fatal("merge never fired")
+	}
+}
+
+func waitCh(e *Event) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		e.Wait()
+		close(ch)
+	}()
+	return ch
+}
+
+func TestFutureGetF64(t *testing.T) {
+	f := newFuture()
+	go f.complete(EncodeF64(3.5), nil)
+	v, err := f.GetF64()
+	if err != nil || v != 3.5 {
+		t.Errorf("GetF64 = %v, %v", v, err)
+	}
+}
+
+func TestFutureGetF64BadPayload(t *testing.T) {
+	f := newFuture()
+	f.complete([]byte{1, 2}, nil)
+	if _, err := f.GetF64(); err == nil {
+		t.Error("short payload should error")
+	}
+}

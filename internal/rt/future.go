@@ -1,0 +1,117 @@
+package rt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"indexlaunch/internal/domain"
+)
+
+// Future is the eventual result of a single task: an opaque byte payload or
+// an error. Futures are safe for concurrent use.
+type Future struct {
+	ev  *Event
+	mu  sync.Mutex
+	val []byte
+	err error
+}
+
+func newFuture() *Future { return &Future{ev: NewEvent()} }
+
+func (f *Future) complete(val []byte, err error) {
+	f.mu.Lock()
+	f.val, f.err = val, err
+	f.mu.Unlock()
+	f.ev.Trigger()
+}
+
+// Event returns the future's completion event.
+func (f *Future) Event() *Event { return f.ev }
+
+// Get blocks until the task completes and returns its payload.
+func (f *Future) Get() ([]byte, error) {
+	f.ev.Wait()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.val, f.err
+}
+
+// GetF64 decodes the payload as a little-endian float64.
+func (f *Future) GetF64() (float64, error) {
+	b, err := f.Get()
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != 8 {
+		return 0, fmt.Errorf("rt: future payload is %d bytes, want 8", len(b))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// EncodeF64 renders v as a task result payload decodable by GetF64.
+func EncodeF64(v float64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+	return b
+}
+
+// FutureMap is the result of an index launch: one future per launch point.
+type FutureMap struct {
+	futures map[domain.Point]*Future
+	done    *Event
+}
+
+func newFutureMap() *FutureMap {
+	return &FutureMap{futures: map[domain.Point]*Future{}}
+}
+
+// At returns the future for launch point p.
+func (m *FutureMap) At(p domain.Point) (*Future, error) {
+	f, ok := m.futures[p]
+	if !ok {
+		return nil, fmt.Errorf("rt: future map has no point %v", p)
+	}
+	return f, nil
+}
+
+// Event returns an event that triggers when every point task completes.
+func (m *FutureMap) Event() *Event { return m.done }
+
+// Wait blocks until every point task completes and returns the first error
+// encountered (in canonical point order), if any.
+func (m *FutureMap) Wait() error {
+	m.done.Wait()
+	for _, f := range m.futures {
+		if _, err := f.Get(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SumF64 waits for every point task and sums their float64 payloads — the
+// common "future map reduction" idiom for residuals and diagnostics.
+func (m *FutureMap) SumF64() (float64, error) {
+	if err := m.Wait(); err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, f := range m.futures {
+		v, err := f.GetF64()
+		if err != nil {
+			return 0, err
+		}
+		s += v
+	}
+	return s, nil
+}
+
+func (m *FutureMap) seal() {
+	evs := make([]*Event, 0, len(m.futures))
+	for _, f := range m.futures {
+		evs = append(evs, f.ev)
+	}
+	m.done = Merge(evs...)
+}

@@ -1,0 +1,94 @@
+package rt
+
+import (
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+)
+
+// Mapper controls all distribution decisions the runtime makes (paper §5:
+// "distribution in Legion is entirely under the control of the end user").
+// In DCR mode the runtime consults ShardPoint (the sharding functor); in
+// centralized mode it consults Slice (the slicing functor).
+type Mapper interface {
+	// ShardPoint is the sharding functor: it returns the node that owns
+	// launch point p of a launch over domain d, for a machine of nodes
+	// nodes. It must be a pure function — every replicated shard evaluates
+	// it independently and the results must agree.
+	ShardPoint(d domain.Domain, p domain.Point, nodes int) int
+
+	// Slice is the slicing functor: it decomposes a launch domain into
+	// slices assigned to nodes. Slicing may be recursive in Legion; here a
+	// single-level decomposition is produced and the broadcast tree over
+	// slices is handled by the distribution stage.
+	Slice(d domain.Domain, nodes int) []Slice
+
+	// SelectProcessor picks the processor index within a node for a task.
+	SelectProcessor(node int, task core.TaskID, p domain.Point, procs int) int
+}
+
+// Slice names a sub-domain of an index launch assigned to one node.
+type Slice struct {
+	Domain domain.Domain
+	Node   int
+}
+
+// BlockMapper is the default mapper: contiguous blocks of the launch domain
+// are assigned to consecutive nodes, and point tasks round-robin across a
+// node's processors. Its sharding and slicing functors agree with each
+// other, so DCR and non-DCR runs place tasks identically.
+type BlockMapper struct{}
+
+// ShardPoint implements Mapper with a block distribution: point i of |D|
+// goes to node floor(i·nodes/|D|).
+func (BlockMapper) ShardPoint(d domain.Domain, p domain.Point, nodes int) int {
+	vol := d.Volume()
+	if vol == 0 {
+		return 0
+	}
+	// Rank of p within the domain. Dense domains use row-major rank; sparse
+	// domains use sorted rank. Cost is O(log |D|) for sparse, O(1) dense.
+	rank := rankOf(d, p)
+	return int(rank * int64(nodes) / vol)
+}
+
+// Slice implements Mapper by splitting the domain into one near-equal block
+// per node, skipping empty blocks.
+func (BlockMapper) Slice(d domain.Domain, nodes int) []Slice {
+	chunks := d.Split(nodes)
+	out := make([]Slice, 0, len(chunks))
+	for n, c := range chunks {
+		if !c.Empty() {
+			out = append(out, Slice{Domain: c, Node: n})
+		}
+	}
+	return out
+}
+
+// SelectProcessor implements Mapper with a round-robin by point rank.
+func (BlockMapper) SelectProcessor(node int, task core.TaskID, p domain.Point, procs int) int {
+	if procs <= 1 {
+		return 0
+	}
+	h := uint64(p.X())*2654435761 + uint64(p.Y())*40503 + uint64(p.Z())*97
+	return int(h % uint64(procs))
+}
+
+func rankOf(d domain.Domain, p domain.Point) int64 {
+	if !d.Sparse() {
+		return d.Bounds().Index(p)
+	}
+	lo, hi := int64(0), d.Volume()-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		q := d.PointAt(mid)
+		switch {
+		case q.Eq(p):
+			return mid
+		case q.Less(p):
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return 0 // point not in domain; callers validate beforehand
+}

@@ -1,0 +1,440 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/region"
+	"indexlaunch/internal/safety"
+)
+
+// Config selects the runtime's execution mode. The four evaluation
+// configurations of the paper's figures are the cartesian product of DCR
+// and IndexLaunches.
+type Config struct {
+	// Nodes is the number of simulated nodes; tasks are distributed across
+	// them by the mapper. Must be >= 1.
+	Nodes int
+	// ProcsPerNode bounds concurrent task execution per node. Must be >= 1.
+	ProcsPerNode int
+	// DCR selects dynamic control replication: point tasks are assigned to
+	// nodes by the mapper's sharding functor. When false, the centralized
+	// path assigns whole slices via the slicing functor.
+	DCR bool
+	// IndexLaunches keeps launches compact through analysis. When false,
+	// every index launch is expanded into individual single-task launches
+	// at issuance, as in the paper's "No IDX" configurations.
+	IndexLaunches bool
+	// Tracing enables capture/replay of dependence analysis between
+	// BeginTrace/EndTrace markers.
+	Tracing bool
+	// BulkTracing switches tracing to launch granularity (the paper's
+	// stated future work): replays keep index launches compact by wiring
+	// launch-level dependencies instead of per-task templates. Requires
+	// Tracing.
+	BulkTracing bool
+	// VerifyLaunches runs the hybrid safety analysis on every index launch
+	// at issuance; launches that fail are demoted to sequentially-issued
+	// task loops (the generated branch of Listing 3).
+	VerifyLaunches bool
+	// Checks configures the hybrid analysis when VerifyLaunches is set.
+	Checks safety.Options
+	// Mapper controls distribution; nil selects BlockMapper.
+	Mapper Mapper
+}
+
+// Stats counts runtime pipeline activity; read them with Runtime.Stats.
+type Stats struct {
+	// LaunchCalls counts ExecuteIndex invocations; SingleCalls counts
+	// ExecuteSingle invocations.
+	LaunchCalls int64
+	SingleCalls int64
+	// IndexLaunched counts launches processed compactly; Expanded counts
+	// launches expanded at issuance (No-IDX mode or safety fallback).
+	IndexLaunched int64
+	Expanded      int64
+	// Fallbacks counts launches demoted to task loops by a failed check.
+	Fallbacks int64
+	// TasksExecuted counts completed point tasks.
+	TasksExecuted int64
+	// VersionQueries / DepEdges mirror the version map counters.
+	VersionQueries int64
+	DepEdges       int64
+	// DynamicCheckEvals counts projection-functor evaluations spent in
+	// dynamic safety checks.
+	DynamicCheckEvals int64
+	// TraceCaptures / TraceReplays count completed trace episodes.
+	TraceCaptures int64
+	TraceReplays  int64
+	// AnalysisSkipped counts point tasks whose dependence analysis was
+	// satisfied from a trace template instead of the version map.
+	AnalysisSkipped int64
+}
+
+// Runtime is a single-process implementation of the paper's runtime
+// pipeline. Methods that issue work (ExecuteIndex, ExecuteSingle, fences and
+// trace markers) must be called from one goroutine, preserving the implicit
+// program order of the sequential-semantics programming model; task bodies
+// themselves run concurrently on the worker pool.
+type Runtime struct {
+	cfg    Config
+	mapper Mapper
+
+	tasks  []taskEntry
+	byName map[string]core.TaskID
+
+	vm    *versionMap
+	slots []chan struct{} // per-node processor slots
+
+	issueMu     sync.Mutex
+	reduceMu    sync.Mutex
+	outstanding []*Event
+	trace       *traceState
+	traceStore  map[uint64]*traceTemplate
+	bulk        *bulkState
+	bulkStore   map[uint64]*bulkTemplate
+
+	// Per-launch bulk-trace scratch, valid while issueMu is held.
+	pendingBulkDeps []*Event
+	pendingPointEvs []*Event
+
+	tasksExecuted atomic.Int64
+	dynEvals      int64
+	captures      int64
+	replays       int64
+	skipped       int64
+	launchCalls   int64
+	singleCalls   int64
+	indexLaunched int64
+	expanded      int64
+	fallbacks     int64
+}
+
+type taskEntry struct {
+	name string
+	fn   TaskFn
+}
+
+// New creates a runtime. Invalid configurations are rejected.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("rt: config requires Nodes >= 1, got %d", cfg.Nodes)
+	}
+	if cfg.ProcsPerNode < 1 {
+		return nil, fmt.Errorf("rt: config requires ProcsPerNode >= 1, got %d", cfg.ProcsPerNode)
+	}
+	m := cfg.Mapper
+	if m == nil {
+		m = BlockMapper{}
+	}
+	r := &Runtime{
+		cfg:    cfg,
+		mapper: m,
+		byName: map[string]core.TaskID{},
+		vm:     newVersionMap(),
+		slots:  make([]chan struct{}, cfg.Nodes),
+	}
+	for i := range r.slots {
+		r.slots[i] = make(chan struct{}, cfg.ProcsPerNode)
+	}
+	return r, nil
+}
+
+// MustNew is New that panics on config errors.
+func MustNew(cfg Config) *Runtime {
+	r, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// RegisterTask registers a task variant and returns its ID. Task names must
+// be unique.
+func (r *Runtime) RegisterTask(name string, fn TaskFn) (core.TaskID, error) {
+	if _, dup := r.byName[name]; dup {
+		return 0, fmt.Errorf("rt: task %q already registered", name)
+	}
+	id := core.TaskID(len(r.tasks))
+	r.tasks = append(r.tasks, taskEntry{name: name, fn: fn})
+	r.byName[name] = id
+	return id, nil
+}
+
+// MustRegisterTask is RegisterTask that panics on error.
+func (r *Runtime) MustRegisterTask(name string, fn TaskFn) core.TaskID {
+	id, err := r.RegisterTask(name, fn)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Config returns the runtime's configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Stats returns a snapshot of the pipeline counters.
+func (r *Runtime) Stats() Stats {
+	r.vm.mu.Lock()
+	vq, de := r.vm.queries, r.vm.deps
+	r.vm.mu.Unlock()
+	return Stats{
+		LaunchCalls:       atomic.LoadInt64(&r.launchCalls),
+		SingleCalls:       atomic.LoadInt64(&r.singleCalls),
+		IndexLaunched:     atomic.LoadInt64(&r.indexLaunched),
+		Expanded:          atomic.LoadInt64(&r.expanded),
+		Fallbacks:         atomic.LoadInt64(&r.fallbacks),
+		TasksExecuted:     r.tasksExecuted.Load(),
+		VersionQueries:    vq,
+		DepEdges:          de,
+		DynamicCheckEvals: atomic.LoadInt64(&r.dynEvals),
+		TraceCaptures:     atomic.LoadInt64(&r.captures),
+		TraceReplays:      atomic.LoadInt64(&r.replays),
+		AnalysisSkipped:   atomic.LoadInt64(&r.skipped),
+	}
+}
+
+// ExecuteIndex issues an index launch and returns its future map. The
+// launch is analyzed, distributed and executed asynchronously; Wait on the
+// future map (or a fence) to observe completion.
+func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
+	r.issueMu.Lock()
+	defer r.issueMu.Unlock()
+	atomic.AddInt64(&r.launchCalls, 1)
+
+	if int(l.Task) >= len(r.tasks) {
+		return nil, fmt.Errorf("rt: launch %q names unregistered task %d", l.Tag, l.Task)
+	}
+
+	useIndex := r.cfg.IndexLaunches
+	if useIndex && r.cfg.VerifyLaunches && !r.replaying() && !r.bulkReplaying() {
+		res := l.Verify(r.cfg.Checks)
+		atomic.AddInt64(&r.dynEvals, res.DynamicEvaluations)
+		if !res.Safe {
+			// Listing 3's else-branch: run the original task loop.
+			atomic.AddInt64(&r.fallbacks, 1)
+			useIndex = false
+		}
+	}
+
+	if useIndex {
+		atomic.AddInt64(&r.indexLaunched, 1)
+	} else {
+		atomic.AddInt64(&r.expanded, 1)
+	}
+
+	// Distribution: compute the node for every point. With DCR the
+	// sharding functor is evaluated per point (memoizable, no
+	// communication); without DCR the slicing functor produces per-node
+	// slices. Either way the real runtime ends with a point → node
+	// assignment; the cost difference between the two paths is modeled in
+	// internal/sim.
+	assign := r.assignNodes(l.Domain)
+
+	if r.bulkReplaying() {
+		r.pendingBulkDeps = r.bulk.replayLaunchDeps(l.Task, int(l.Parallelism()))
+	}
+	r.pendingPointEvs = r.pendingPointEvs[:0]
+
+	fm := newFutureMap()
+	err := l.Each(func(pt core.PointTask) bool {
+		prs := make([]PhysicalRegion, len(pt.Regions))
+		for i, reg := range pt.Regions {
+			req := l.Requirements[i]
+			prs[i] = PhysicalRegion{Region: reg, Priv: req.Priv, RedOp: req.RedOp, Fields: req.Fields}
+		}
+		node := assign(pt.Point)
+		fut := r.issuePoint(l.Task, l.Tag, pt.Point, node, prs, l.ArgsAt(pt.Point))
+		fm.futures[pt.Point] = fut
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case r.trace != nil:
+		r.trace.noteLaunch(len(fm.futures))
+	case r.bulkCapturing():
+		r.bulk.captureLaunchDone(l.Task, len(fm.futures))
+	case r.bulkReplaying():
+		r.bulk.replayLaunchDone(r.pendingPointEvs)
+		r.pendingBulkDeps = nil
+	}
+	fm.seal()
+	return fm, nil
+}
+
+func (r *Runtime) bulkCapturing() bool { return r.bulk != nil && r.bulk.mode == traceCapturing }
+func (r *Runtime) bulkReplaying() bool { return r.bulk != nil && r.bulk.mode == traceReplaying }
+
+// SingleReq is a region requirement of a single-task launch: a concrete
+// region rather than a ⟨partition, functor⟩ pair.
+type SingleReq struct {
+	Region *region.Region
+	Priv   privilege.Privilege
+	RedOp  privilege.OpID
+	Fields []region.FieldID
+}
+
+// ExecuteSingle issues one task. The task is placed on the node selected by
+// the sharding functor for a singleton domain.
+func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, args []byte) (*Future, error) {
+	r.issueMu.Lock()
+	defer r.issueMu.Unlock()
+	atomic.AddInt64(&r.singleCalls, 1)
+	if int(task) >= len(r.tasks) {
+		return nil, fmt.Errorf("rt: single launch %q names unregistered task %d", tag, task)
+	}
+	prs := make([]PhysicalRegion, len(reqs))
+	for i, req := range reqs {
+		if req.Region == nil {
+			return nil, fmt.Errorf("rt: single launch %q requirement %d has nil region", tag, i)
+		}
+		prs[i] = PhysicalRegion{Region: req.Region, Priv: req.Priv, RedOp: req.RedOp, Fields: req.Fields}
+	}
+	p := domain.Pt1(0)
+	node := r.mapper.ShardPoint(domain.Range1(0, 0), p, r.cfg.Nodes)
+	if r.bulkReplaying() {
+		r.pendingBulkDeps = r.bulk.replayLaunchDeps(task, 1)
+		r.pendingPointEvs = r.pendingPointEvs[:0]
+	}
+	fut := r.issuePoint(task, tag, p, node, prs, args)
+	switch {
+	case r.trace != nil:
+		r.trace.noteLaunch(1)
+	case r.bulkCapturing():
+		r.bulk.captureLaunchDone(task, 1)
+	case r.bulkReplaying():
+		r.bulk.replayLaunchDone(r.pendingPointEvs)
+		r.pendingBulkDeps = nil
+	}
+	return fut, nil
+}
+
+// assignNodes returns the point → node assignment for a launch domain.
+func (r *Runtime) assignNodes(d domain.Domain) func(domain.Point) int {
+	if r.cfg.DCR {
+		return func(p domain.Point) int {
+			n := r.mapper.ShardPoint(d, p, r.cfg.Nodes)
+			return clampNode(n, r.cfg.Nodes)
+		}
+	}
+	slices := r.mapper.Slice(d, r.cfg.Nodes)
+	return func(p domain.Point) int {
+		for _, s := range slices {
+			if s.Domain.Contains(p) {
+				return clampNode(s.Node, r.cfg.Nodes)
+			}
+		}
+		return 0
+	}
+}
+
+func clampNode(n, nodes int) int {
+	if n < 0 {
+		return 0
+	}
+	if n >= nodes {
+		return nodes - 1
+	}
+	return n
+}
+
+// issuePoint performs per-point dependence analysis (or trace replay) and
+// hands the task to the executor. Caller holds issueMu.
+func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node int,
+	prs []PhysicalRegion, args []byte) *Future {
+
+	fut := newFuture()
+	ev := fut.ev
+
+	var deps []*Event
+	switch {
+	case r.replaying():
+		deps = r.trace.replayDeps(task, p, ev)
+		atomic.AddInt64(&r.skipped, 1)
+	case r.bulkReplaying():
+		deps = r.pendingBulkDeps
+		r.pendingPointEvs = append(r.pendingPointEvs, ev)
+		atomic.AddInt64(&r.skipped, 1)
+	default:
+		depSet := map[*Event]struct{}{}
+		for _, pr := range prs {
+			ivs := pr.Region.Intervals()
+			for _, f := range pr.Fields {
+				for _, d := range r.vm.access(pr.Region.Tree.ID, f, ivs, pr.Priv, pr.RedOp, ev) {
+					depSet[d] = struct{}{}
+				}
+			}
+		}
+		deps = make([]*Event, 0, len(depSet))
+		for d := range depSet {
+			deps = append(deps, d)
+		}
+		if r.capturing() {
+			r.trace.recordOp(task, p, ev, deps, prs)
+		}
+		if r.bulkCapturing() {
+			for _, d := range deps {
+				r.bulk.captureDep(d)
+			}
+			r.bulk.capturePoint(ev, prs)
+		}
+	}
+
+	r.outstanding = append(r.outstanding, ev)
+	r.pruneOutstanding()
+
+	ctx := &Context{Point: p, Node: node, Task: task, Args: args, regions: prs}
+	fn := r.tasks[task].fn
+	go func() {
+		WaitAll(deps)
+		slot := r.slots[node]
+		slot <- struct{}{}
+		defer func() { <-slot }()
+		val, err := fn(ctx)
+		if len(ctx.reducers) > 0 || len(ctx.reducersI64) > 0 {
+			r.reduceMu.Lock()
+			ctx.flushReductions()
+			r.reduceMu.Unlock()
+		}
+		r.tasksExecuted.Add(1)
+		fut.complete(val, err)
+	}()
+	return fut
+}
+
+func (r *Runtime) pruneOutstanding() {
+	if len(r.outstanding) < 4096 {
+		return
+	}
+	kept := r.outstanding[:0]
+	for _, e := range r.outstanding {
+		if !e.Done() {
+			kept = append(kept, e)
+		}
+	}
+	r.outstanding = kept
+}
+
+// Fence blocks until every previously issued task has completed — an
+// execution fence in Legion terms.
+func (r *Runtime) Fence() {
+	r.issueMu.Lock()
+	waiting := make([]*Event, len(r.outstanding))
+	copy(waiting, r.outstanding)
+	r.outstanding = r.outstanding[:0]
+	r.issueMu.Unlock()
+	WaitAll(waiting)
+}
+
+func (r *Runtime) taskName(id core.TaskID) string {
+	if int(id) < len(r.tasks) {
+		return r.tasks[id].name
+	}
+	return fmt.Sprintf("task%d", id)
+}

@@ -1,0 +1,553 @@
+package rt
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/projection"
+	"indexlaunch/internal/region"
+)
+
+const fieldVal region.FieldID = 0
+
+func lineSetup(t *testing.T, n int64, parts int) (*region.Tree, *region.Partition) {
+	t.Helper()
+	fs := region.MustFieldSpace(region.Field{ID: fieldVal, Name: "v", Kind: region.F64})
+	tree := region.MustNewTree("line", domain.Range1(0, n-1), fs)
+	p, err := tree.PartitionEqual(tree.Root(), "blocks", parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, p
+}
+
+func allConfigs() []Config {
+	var out []Config
+	for _, dcr := range []bool{false, true} {
+		for _, idx := range []bool{false, true} {
+			out = append(out, Config{
+				Nodes: 4, ProcsPerNode: 2, DCR: dcr, IndexLaunches: idx,
+				VerifyLaunches: true,
+			})
+		}
+	}
+	return out
+}
+
+func cfgName(c Config) string {
+	name := "noDCR"
+	if c.DCR {
+		name = "DCR"
+	}
+	if c.IndexLaunches {
+		return name + "+IDX"
+	}
+	return name + "+noIDX"
+}
+
+// incrementTask adds 1 to every element of its read-write region argument.
+func incrementTask(ctx *Context) ([]byte, error) {
+	acc, err := ctx.WriteF64(0, fieldVal)
+	if err != nil {
+		return nil, err
+	}
+	pr, _ := ctx.Region(0)
+	pr.Region.Domain.Each(func(p domain.Point) bool {
+		acc.Set(p, acc.Get(p)+1)
+		return true
+	})
+	return nil, nil
+}
+
+func TestExecuteIndexAllConfigs(t *testing.T) {
+	for _, cfg := range allConfigs() {
+		cfg := cfg
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			r := MustNew(cfg)
+			tid := r.MustRegisterTask("inc", incrementTask)
+			tree, p := lineSetup(t, 100, 10)
+			launch := core.MustForall("inc", tid, domain.Range1(0, 9), core.Requirement{
+				Partition: p, Functor: projection.Identity(1),
+				Priv: privilege.ReadWrite, Fields: []region.FieldID{fieldVal},
+			})
+			// Three dependent rounds: every element must end at exactly 3.
+			for i := 0; i < 3; i++ {
+				fm, err := r.ExecuteIndex(launch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = fm
+			}
+			r.Fence()
+			sum, err := region.SumF64(tree.Root(), fieldVal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum != 300 {
+				t.Errorf("sum = %v, want 300", sum)
+			}
+			st := r.Stats()
+			if st.TasksExecuted != 30 {
+				t.Errorf("tasks executed = %d, want 30", st.TasksExecuted)
+			}
+			if cfg.IndexLaunches && st.IndexLaunched != 3 {
+				t.Errorf("index launched = %d, want 3", st.IndexLaunched)
+			}
+			if !cfg.IndexLaunches && st.Expanded != 3 {
+				t.Errorf("expanded = %d, want 3", st.Expanded)
+			}
+		})
+	}
+}
+
+func TestDependentLaunchesAreOrdered(t *testing.T) {
+	// Producer writes block values; consumer reads producer's block i and
+	// writes into a second collection. Verifies cross-launch RAW ordering.
+	r := MustNew(Config{Nodes: 3, ProcsPerNode: 4, DCR: true, IndexLaunches: true})
+	src, srcPart := lineSetup(t, 60, 6)
+	dst, dstPart := lineSetup(t, 60, 6)
+	_ = src
+
+	produce := r.MustRegisterTask("produce", func(ctx *Context) ([]byte, error) {
+		acc, err := ctx.WriteF64(0, fieldVal)
+		if err != nil {
+			return nil, err
+		}
+		pr, _ := ctx.Region(0)
+		pr.Region.Domain.Each(func(p domain.Point) bool {
+			acc.Set(p, float64(ctx.Point.X()+1))
+			return true
+		})
+		return nil, nil
+	})
+	consume := r.MustRegisterTask("consume", func(ctx *Context) ([]byte, error) {
+		in, err := ctx.ReadF64(0, fieldVal)
+		if err != nil {
+			return nil, err
+		}
+		out, err := ctx.WriteF64(1, fieldVal)
+		if err != nil {
+			return nil, err
+		}
+		pr, _ := ctx.Region(0)
+		pr.Region.Domain.Each(func(p domain.Point) bool {
+			out.Set(p, in.Get(p)*2)
+			return true
+		})
+		return nil, nil
+	})
+
+	d := domain.Range1(0, 5)
+	lp := core.MustForall("produce", produce, d, core.Requirement{
+		Partition: srcPart, Functor: projection.Identity(1),
+		Priv: privilege.Write, Fields: []region.FieldID{fieldVal},
+	})
+	lc := core.MustForall("consume", consume, d,
+		core.Requirement{Partition: srcPart, Functor: projection.Identity(1),
+			Priv: privilege.Read, Fields: []region.FieldID{fieldVal}},
+		core.Requirement{Partition: dstPart, Functor: projection.Identity(1),
+			Priv: privilege.Write, Fields: []region.FieldID{fieldVal}},
+	)
+	if _, err := r.ExecuteIndex(lp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ExecuteIndex(lc); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence()
+	acc := region.MustFieldF64(dst.Root(), fieldVal)
+	for b := int64(0); b < 6; b++ {
+		want := float64(b+1) * 2
+		for x := b * 10; x < (b+1)*10; x++ {
+			if got := acc.Get(domain.Pt1(x)); got != want {
+				t.Fatalf("dst[%d] = %v, want %v", x, got, want)
+			}
+		}
+	}
+}
+
+func TestUnsafeLaunchFallsBackAndStaysCorrect(t *testing.T) {
+	// The Listing 2 pattern: write through q[i%3] over [0,6). As an index
+	// launch this is unsafe; the runtime demotes it to a task loop whose
+	// version-map analysis serializes the conflicting writers, so the
+	// result is deterministic.
+	r := MustNew(Config{Nodes: 2, ProcsPerNode: 4, DCR: true, IndexLaunches: true, VerifyLaunches: true})
+	tree, p := lineSetup(t, 30, 3)
+	add := r.MustRegisterTask("add", func(ctx *Context) ([]byte, error) {
+		acc, err := ctx.WriteF64(0, fieldVal)
+		if err != nil {
+			return nil, err
+		}
+		pr, _ := ctx.Region(0)
+		pr.Region.Domain.Each(func(pt domain.Point) bool {
+			acc.Set(pt, acc.Get(pt)+float64(int64(1)<<uint(ctx.Point.X())))
+			return true
+		})
+		return nil, nil
+	})
+	launch := core.MustForall("add", add, domain.Range1(0, 5), core.Requirement{
+		Partition: p, Functor: projection.Modular1D(1, 0, 3),
+		Priv: privilege.ReadWrite, Fields: []region.FieldID{fieldVal},
+	})
+	if _, err := r.ExecuteIndex(launch); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence()
+	st := r.Stats()
+	if st.Fallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", st.Fallbacks)
+	}
+	// Block b receives contributions from launch points b and b+3:
+	// 2^b + 2^(b+3), applied to each of its 10 elements.
+	acc := region.MustFieldF64(tree.Root(), fieldVal)
+	for b := int64(0); b < 3; b++ {
+		want := float64((int64(1) << uint(b)) + (int64(1) << uint(b+3)))
+		for x := b * 10; x < (b+1)*10; x++ {
+			if got := acc.Get(domain.Pt1(x)); got != want {
+				t.Fatalf("elem %d = %v, want %v", x, got, want)
+			}
+		}
+	}
+}
+
+func TestReductionLaunch(t *testing.T) {
+	// Overlapping reductions through a constant functor: all launch points
+	// reduce into block 0. Same-op reducers commute; the total must be the
+	// sum of all contributions.
+	r := MustNew(Config{Nodes: 2, ProcsPerNode: 4, DCR: true, IndexLaunches: true, VerifyLaunches: true})
+	tree, p := lineSetup(t, 10, 1)
+	red := r.MustRegisterTask("reduce", func(ctx *Context) ([]byte, error) {
+		acc, err := ctx.ReduceF64(0, fieldVal)
+		if err != nil {
+			return nil, err
+		}
+		pr, _ := ctx.Region(0)
+		pr.Region.Domain.Each(func(pt domain.Point) bool {
+			acc.Fold(pt, float64(ctx.Point.X()+1))
+			return true
+		})
+		return nil, nil
+	})
+	launch := core.MustForall("reduce", red, domain.Range1(0, 4), core.Requirement{
+		Partition: p, Functor: projection.Constant(domain.Pt1(0)),
+		Priv: privilege.Reduce, RedOp: privilege.OpSumF64, Fields: []region.FieldID{fieldVal},
+	})
+	if _, err := r.ExecuteIndex(launch); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence()
+	// Each of 10 elements accumulates 1+2+3+4+5 = 15.
+	sum, _ := region.SumF64(tree.Root(), fieldVal)
+	if sum != 150 {
+		t.Errorf("sum = %v, want 150", sum)
+	}
+}
+
+func TestPointArgsDeliveredPerTask(t *testing.T) {
+	r := MustNew(Config{Nodes: 2, ProcsPerNode: 2, DCR: true, IndexLaunches: true})
+	_, p := lineSetup(t, 40, 4)
+	task := r.MustRegisterTask("echo", func(ctx *Context) ([]byte, error) {
+		return EncodeF64(float64(ctx.Args[0])), nil
+	})
+	launch := core.MustForall("echo", task, domain.Range1(0, 3), core.Requirement{
+		Partition: p, Functor: projection.Identity(1),
+		Priv: privilege.Read, Fields: []region.FieldID{fieldVal},
+	})
+	launch.PointArgs = func(pt domain.Point) []byte { return []byte{byte(pt.X() * 3)} }
+	fm, err := r.ExecuteIndex(launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		fut, err := fm.At(domain.Pt1(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := fut.GetF64()
+		if err != nil || v != float64(i*3) {
+			t.Errorf("point %d args = %v, want %d", i, v, i*3)
+		}
+	}
+}
+
+func TestReductionLaunchI64(t *testing.T) {
+	// Int64 reductions through a constant functor: all points fold into
+	// block 0 with max.
+	r := MustNew(Config{Nodes: 2, ProcsPerNode: 4, DCR: true, IndexLaunches: true})
+	fs := region.MustFieldSpace(region.Field{ID: 0, Name: "m", Kind: region.I64})
+	tree := region.MustNewTree("maxes", domain.Range1(0, 4), fs)
+	part, err := tree.PartitionEqual(tree.Root(), "one", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := r.MustRegisterTask("imax", func(ctx *Context) ([]byte, error) {
+		red, err := ctx.ReduceI64(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		pr, _ := ctx.Region(0)
+		pr.Region.Domain.Each(func(p domain.Point) bool {
+			red.Fold(p, ctx.Point.X()*10)
+			return true
+		})
+		return nil, nil
+	})
+	// Identity fold baseline: int64 max identity is MinInt64, so seed 0s.
+	if err := region.FillI64(tree.Root(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	launch := core.MustForall("imax", task, domain.Range1(0, 6), core.Requirement{
+		Partition: part, Functor: projection.Constant(domain.Pt1(0)),
+		Priv: privilege.Reduce, RedOp: privilege.OpMaxI64, Fields: []region.FieldID{0},
+	})
+	fm, err := r.ExecuteIndex(launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	acc := region.MustFieldI64(tree.Root(), 0)
+	for i := int64(0); i < 5; i++ {
+		if got := acc.Get(domain.Pt1(i)); got != 60 {
+			t.Errorf("elem %d = %d, want 60 (max of 0..60)", i, got)
+		}
+	}
+}
+
+func TestReduceViewForbidsReadWrite(t *testing.T) {
+	r := MustNew(Config{Nodes: 1, ProcsPerNode: 1, DCR: true, IndexLaunches: true})
+	_, p := lineSetup(t, 10, 1)
+	task := r.MustRegisterTask("bad", func(ctx *Context) ([]byte, error) {
+		if _, err := ctx.ReadF64(0, fieldVal); err == nil {
+			t.Error("read through reduce privilege should fail")
+		}
+		if _, err := ctx.WriteF64(0, fieldVal); err == nil {
+			t.Error("write through reduce privilege should fail")
+		}
+		return nil, nil
+	})
+	launch := core.MustForall("bad", task, domain.Range1(0, 0), core.Requirement{
+		Partition: p, Functor: projection.Identity(1),
+		Priv: privilege.Reduce, RedOp: privilege.OpSumF64, Fields: []region.FieldID{fieldVal},
+	})
+	fm, err := r.ExecuteIndex(launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrivilegeEnforcement(t *testing.T) {
+	r := MustNew(Config{Nodes: 1, ProcsPerNode: 1, DCR: true, IndexLaunches: true})
+	_, p := lineSetup(t, 10, 1)
+	task := r.MustRegisterTask("probe", func(ctx *Context) ([]byte, error) {
+		if _, err := ctx.WriteF64(0, fieldVal); err == nil {
+			t.Error("write through read privilege should fail")
+		}
+		if _, err := ctx.ReadF64(0, fieldVal); err != nil {
+			t.Errorf("read through read privilege failed: %v", err)
+		}
+		if _, err := ctx.ReadF64(0, region.FieldID(42)); err == nil {
+			t.Error("unrequested field should fail")
+		}
+		if _, err := ctx.Region(5); err == nil {
+			t.Error("out-of-range region should fail")
+		}
+		return nil, nil
+	})
+	launch := core.MustForall("probe", task, domain.Range1(0, 0), core.Requirement{
+		Partition: p, Functor: projection.Identity(1),
+		Priv: privilege.Read, Fields: []region.FieldID{fieldVal},
+	})
+	fm, err := r.ExecuteIndex(launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndependentTasksRunConcurrently(t *testing.T) {
+	r := MustNew(Config{Nodes: 4, ProcsPerNode: 2, DCR: true, IndexLaunches: true})
+	_, p := lineSetup(t, 80, 8)
+	var concurrent, peak atomic.Int64
+	gate := make(chan struct{})
+	task := r.MustRegisterTask("block", func(ctx *Context) ([]byte, error) {
+		n := concurrent.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		<-gate
+		concurrent.Add(-1)
+		return nil, nil
+	})
+	launch := core.MustForall("block", task, domain.Range1(0, 7), core.Requirement{
+		Partition: p, Functor: projection.Identity(1),
+		Priv: privilege.Write, Fields: []region.FieldID{fieldVal},
+	})
+	fm, err := r.ExecuteIndex(launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 8 tasks are independent; 4 nodes × 2 procs can hold all 8.
+	for i := 0; i < 100 && concurrent.Load() < 8; i++ {
+		waitABit()
+	}
+	got := concurrent.Load()
+	close(gate)
+	if err := fm.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 8 {
+		t.Errorf("concurrent peak = %d, want 8", got)
+	}
+}
+
+func TestProcessorSlotsBoundConcurrency(t *testing.T) {
+	// One node with one processor: tasks serialize even when independent.
+	r := MustNew(Config{Nodes: 1, ProcsPerNode: 1, DCR: true, IndexLaunches: true})
+	_, p := lineSetup(t, 40, 4)
+	var concurrent, peak atomic.Int64
+	task := r.MustRegisterTask("busy", func(ctx *Context) ([]byte, error) {
+		n := concurrent.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		waitABit()
+		concurrent.Add(-1)
+		return nil, nil
+	})
+	launch := core.MustForall("busy", task, domain.Range1(0, 3), core.Requirement{
+		Partition: p, Functor: projection.Identity(1),
+		Priv: privilege.Write, Fields: []region.FieldID{fieldVal},
+	})
+	fm, _ := r.ExecuteIndex(launch)
+	if err := fm.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() != 1 {
+		t.Errorf("peak concurrency = %d, want 1", peak.Load())
+	}
+}
+
+func TestExecuteSingle(t *testing.T) {
+	r := MustNew(Config{Nodes: 2, ProcsPerNode: 2, DCR: true, IndexLaunches: true})
+	tree, _ := lineSetup(t, 10, 1)
+	task := r.MustRegisterTask("sum", func(ctx *Context) ([]byte, error) {
+		acc, err := ctx.ReadF64(0, fieldVal)
+		if err != nil {
+			return nil, err
+		}
+		var s float64
+		pr, _ := ctx.Region(0)
+		pr.Region.Domain.Each(func(p domain.Point) bool {
+			s += acc.Get(p)
+			return true
+		})
+		return EncodeF64(s), nil
+	})
+	if err := region.FillF64(tree.Root(), fieldVal, 2); err != nil {
+		t.Fatal(err)
+	}
+	fut, err := r.ExecuteSingle("sum", task, []SingleReq{{
+		Region: tree.Root(), Priv: privilege.Read, Fields: []region.FieldID{fieldVal},
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := fut.GetF64()
+	if err != nil || v != 20 {
+		t.Errorf("sum = %v, %v", v, err)
+	}
+}
+
+func TestFutureMapSumF64(t *testing.T) {
+	r := MustNew(Config{Nodes: 2, ProcsPerNode: 2, DCR: true, IndexLaunches: true})
+	_, p := lineSetup(t, 40, 4)
+	task := r.MustRegisterTask("pointval", func(ctx *Context) ([]byte, error) {
+		return EncodeF64(float64(ctx.Point.X())), nil
+	})
+	launch := core.MustForall("pv", task, domain.Range1(0, 3), core.Requirement{
+		Partition: p, Functor: projection.Identity(1),
+		Priv: privilege.Read, Fields: []region.FieldID{fieldVal},
+	})
+	fm, err := r.ExecuteIndex(launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := fm.SumF64()
+	if err != nil || s != 6 {
+		t.Errorf("SumF64 = %v, %v", s, err)
+	}
+	if _, err := fm.At(domain.Pt1(2)); err != nil {
+		t.Errorf("At(2): %v", err)
+	}
+	if _, err := fm.At(domain.Pt1(9)); err == nil {
+		t.Error("At(9) should fail")
+	}
+}
+
+func TestUnregisteredTaskRejected(t *testing.T) {
+	r := MustNew(Config{Nodes: 1, ProcsPerNode: 1, DCR: true, IndexLaunches: true})
+	_, p := lineSetup(t, 10, 1)
+	launch := core.MustForall("ghost", core.TaskID(99), domain.Range1(0, 0), core.Requirement{
+		Partition: p, Functor: projection.Identity(1),
+		Priv: privilege.Read, Fields: []region.FieldID{fieldVal},
+	})
+	if _, err := r.ExecuteIndex(launch); err == nil {
+		t.Error("unregistered task should be rejected")
+	}
+	if _, err := r.ExecuteSingle("ghost", core.TaskID(99), nil, nil); err == nil {
+		t.Error("unregistered single task should be rejected")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0, ProcsPerNode: 1}); err == nil {
+		t.Error("zero nodes should be rejected")
+	}
+	if _, err := New(Config{Nodes: 1, ProcsPerNode: 0}); err == nil {
+		t.Error("zero procs should be rejected")
+	}
+}
+
+func TestDuplicateTaskNameRejected(t *testing.T) {
+	r := MustNew(Config{Nodes: 1, ProcsPerNode: 1})
+	r.MustRegisterTask("t", func(*Context) ([]byte, error) { return nil, nil })
+	if _, err := r.RegisterTask("t", func(*Context) ([]byte, error) { return nil, nil }); err == nil {
+		t.Error("duplicate name should be rejected")
+	}
+}
+
+func TestDynamicCheckStatsExposed(t *testing.T) {
+	r := MustNew(Config{Nodes: 1, ProcsPerNode: 1, DCR: true, IndexLaunches: true, VerifyLaunches: true})
+	_, p := lineSetup(t, 100, 10)
+	task := r.MustRegisterTask("t", func(*Context) ([]byte, error) { return nil, nil })
+	launch := core.MustForall("quad", task, domain.Range1(0, 2), core.Requirement{
+		Partition: p, Functor: projection.Quadratic1D(1, 1, 0),
+		Priv: privilege.Write, Fields: []region.FieldID{fieldVal},
+	})
+	if _, err := r.ExecuteIndex(launch); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence()
+	if st := r.Stats(); st.DynamicCheckEvals == 0 {
+		t.Error("quadratic functor should have triggered a dynamic check")
+	}
+}
+
+func waitABit() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,226 @@
+package rt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/projection"
+	"indexlaunch/internal/region"
+)
+
+// The stress test generates random programs — sequences of index launches
+// with randomly chosen privileges, functors and partitions over one shared
+// collection — executes them on the concurrent runtime, and compares the
+// final data against a deterministic sequential model. Any missed
+// dependence edge shows up as a divergence.
+
+type stressOp struct {
+	priv  privilege.Privilege
+	shift int64 // functor: identity shifted by this amount mod blocks
+	scale float64
+	domLo int64
+	domHi int64
+}
+
+func randomOps(rng *rand.Rand, n int, blocks int64) []stressOp {
+	ops := make([]stressOp, n)
+	for i := range ops {
+		privs := []privilege.Privilege{privilege.Read, privilege.Write, privilege.ReadWrite, privilege.Reduce}
+		lo := rng.Int63n(blocks)
+		hi := lo + rng.Int63n(blocks-lo)
+		ops[i] = stressOp{
+			priv:  privs[rng.Intn(len(privs))],
+			shift: rng.Int63n(blocks),
+			scale: float64(1 + rng.Intn(5)),
+			domLo: lo,
+			domHi: hi,
+		}
+	}
+	return ops
+}
+
+// applySequential executes the op's semantics directly: for each launch
+// point p in order, the task touches block (p+shift) mod blocks.
+func applySequential(data []float64, blockSize int64, op stressOp, blocks int64) {
+	for p := op.domLo; p <= op.domHi; p++ {
+		b := (p + op.shift) % blocks
+		for e := b * blockSize; e < (b+1)*blockSize; e++ {
+			switch op.priv {
+			case privilege.Read:
+				// no effect
+			case privilege.Write:
+				data[e] = op.scale
+			case privilege.ReadWrite:
+				data[e] = data[e]*op.scale + 1
+			case privilege.Reduce:
+				data[e] += op.scale
+			}
+		}
+	}
+}
+
+func TestStressRandomProgramsMatchSequentialModel(t *testing.T) {
+	const (
+		blocks    = 8
+		blockSize = 4
+		elements  = blocks * blockSize
+		opsPerRun = 30
+	)
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			ops := randomOps(rng, opsPerRun, blocks)
+
+			// Sequential model.
+			model := make([]float64, elements)
+
+			// Concurrent runtime execution.
+			r := MustNew(Config{Nodes: 3, ProcsPerNode: 2, DCR: seed%2 == 0, IndexLaunches: true})
+			fs := region.MustFieldSpace(region.Field{ID: 0, Name: "v", Kind: region.F64})
+			tree := region.MustNewTree("stress", domain.Range1(0, elements-1), fs)
+			part, err := tree.PartitionEqual(tree.Root(), "blocks", blocks)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			task := r.MustRegisterTask("op", func(ctx *Context) ([]byte, error) {
+				scale := float64(ctx.Args[0])
+				pr, _ := ctx.Region(0)
+				switch pr.Priv {
+				case privilege.Read:
+					acc, err := ctx.ReadF64(0, 0)
+					if err != nil {
+						return nil, err
+					}
+					var s float64
+					pr.Region.Domain.Each(func(p domain.Point) bool {
+						s += acc.Get(p)
+						return true
+					})
+					return EncodeF64(s), nil
+				case privilege.Write:
+					acc, err := ctx.WriteF64(0, 0)
+					if err != nil {
+						return nil, err
+					}
+					pr.Region.Domain.Each(func(p domain.Point) bool {
+						acc.Set(p, scale)
+						return true
+					})
+				case privilege.ReadWrite:
+					acc, err := ctx.WriteF64(0, 0)
+					if err != nil {
+						return nil, err
+					}
+					in, err := ctx.ReadF64(0, 0)
+					if err != nil {
+						return nil, err
+					}
+					pr.Region.Domain.Each(func(p domain.Point) bool {
+						acc.Set(p, in.Get(p)*scale+1)
+						return true
+					})
+				case privilege.Reduce:
+					red, err := ctx.ReduceF64(0, 0)
+					if err != nil {
+						return nil, err
+					}
+					pr.Region.Domain.Each(func(p domain.Point) bool {
+						red.Fold(p, scale)
+						return true
+					})
+				}
+				return nil, nil
+			})
+
+			var fms []*FutureMap
+			for _, op := range ops {
+				applySequential(model, blockSize, op, blocks)
+
+				req := core.Requirement{
+					Partition: part,
+					Functor:   projection.Modular1D(1, op.shift, blocks),
+					Priv:      op.priv,
+					Fields:    []region.FieldID{0},
+				}
+				if op.priv == privilege.Reduce {
+					req.RedOp = privilege.OpSumF64
+				}
+				launch := core.MustForall("op", task, domain.Range1(op.domLo, op.domHi), req)
+				launch.Args = []byte{byte(op.scale)}
+				fm, err := r.ExecuteIndex(launch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fms = append(fms, fm)
+			}
+			r.Fence()
+			for _, fm := range fms {
+				if err := fm.Wait(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			acc := region.MustFieldF64(tree.Root(), 0)
+			for e := int64(0); e < elements; e++ {
+				got := acc.Get(domain.Pt1(e))
+				if got != model[e] {
+					t.Fatalf("element %d = %v, sequential model says %v (missed dependence?)",
+						e, got, model[e])
+				}
+			}
+		})
+	}
+}
+
+// TestStressOverlappingWritersSerializeDeterministically issues the same
+// conflicting-writer program twice and checks the results agree: the
+// version map must impose program order on conflicts regardless of
+// scheduling.
+func TestStressOverlappingWritersSerializeDeterministically(t *testing.T) {
+	run := func() float64 {
+		r := MustNew(Config{Nodes: 4, ProcsPerNode: 4, DCR: true, IndexLaunches: true})
+		fs := region.MustFieldSpace(region.Field{ID: 0, Name: "v", Kind: region.F64})
+		tree := region.MustNewTree("d", domain.Range1(0, 31), fs)
+		part, _ := tree.PartitionEqual(tree.Root(), "b", 4)
+		task := r.MustRegisterTask("chain", func(ctx *Context) ([]byte, error) {
+			acc, err := ctx.WriteF64(0, 0)
+			if err != nil {
+				return nil, err
+			}
+			in, err := ctx.ReadF64(0, 0)
+			if err != nil {
+				return nil, err
+			}
+			pr, _ := ctx.Region(0)
+			pr.Region.Domain.Each(func(p domain.Point) bool {
+				acc.Set(p, in.Get(p)*2+float64(ctx.Point.X()))
+				return true
+			})
+			return nil, nil
+		})
+		// 16 launches, every one touching all 4 blocks via (i+k)%4 over a
+		// 4-point domain — every pair of consecutive launches conflicts.
+		for k := int64(0); k < 16; k++ {
+			launch := core.MustForall("chain", task, domain.Range1(0, 3), core.Requirement{
+				Partition: part, Functor: projection.Modular1D(1, k, 4),
+				Priv: privilege.ReadWrite, Fields: []region.FieldID{0},
+			})
+			if _, err := r.ExecuteIndex(launch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.Fence()
+		sum, _ := region.SumF64(tree.Root(), 0)
+		return sum
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("two identical runs diverged: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,232 @@
+package rt
+
+import (
+	"fmt"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/region"
+)
+
+// TaskFn is the body of a task variant. It receives a Context giving access
+// to the task's point, by-value arguments, and privileged region views, and
+// returns an optional result payload.
+type TaskFn func(ctx *Context) ([]byte, error)
+
+// PhysicalRegion is a region view handed to a running task together with the
+// privilege it was requested under. Accessor methods enforce the privilege:
+// reading through a write-only view or writing through a read-only view is a
+// programming error reported at accessor acquisition.
+type PhysicalRegion struct {
+	Region *region.Region
+	Priv   privilege.Privilege
+	RedOp  privilege.OpID
+	Fields []region.FieldID
+}
+
+func (pr PhysicalRegion) hasField(id region.FieldID) bool {
+	for _, f := range pr.Fields {
+		if f == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Context is passed to every executing task.
+type Context struct {
+	// Point is the task's index within its launch domain (the zero Point
+	// for single launches).
+	Point domain.Point
+	// Node is the simulated node the task was assigned to.
+	Node int
+	// Task is the executing task's ID.
+	Task core.TaskID
+	// Args is the launch's by-value payload.
+	Args []byte
+
+	regions     []PhysicalRegion
+	reducers    []*ReducerF64
+	reducersI64 []*ReducerI64
+}
+
+// NumRegions returns the number of region arguments.
+func (c *Context) NumRegions() int { return len(c.regions) }
+
+// Region returns the i-th region argument.
+func (c *Context) Region(i int) (PhysicalRegion, error) {
+	if i < 0 || i >= len(c.regions) {
+		return PhysicalRegion{}, fmt.Errorf("rt: task has %d region args, requested %d", len(c.regions), i)
+	}
+	return c.regions[i], nil
+}
+
+// ReadF64 returns a read accessor for field on region argument i. The
+// declared privilege must include read access.
+func (c *Context) ReadF64(i int, field region.FieldID) (region.AccF64, error) {
+	pr, err := c.checked(i, field, func(p privilege.Privilege) bool { return p.IsRead() }, "read")
+	if err != nil {
+		return region.AccF64{}, err
+	}
+	return region.FieldF64(pr.Region, field)
+}
+
+// WriteF64 returns a write accessor for field on region argument i. The
+// declared privilege must include write access (reductions excluded: use
+// ReduceF64).
+func (c *Context) WriteF64(i int, field region.FieldID) (region.AccF64, error) {
+	pr, err := c.checked(i, field, func(p privilege.Privilege) bool {
+		return p == privilege.Write || p == privilege.ReadWrite
+	}, "write")
+	if err != nil {
+		return region.AccF64{}, err
+	}
+	return region.FieldF64(pr.Region, field)
+}
+
+// ReduceF64 returns a fold-only reduction view for field on region argument
+// i, which must have been requested with Reduce privilege.
+//
+// The view is a private reduction instance: folds accumulate in a per-task
+// buffer and are applied to the shared collection only after the task body
+// returns, under a runtime-wide fold lock. This is what lets same-operator
+// reductions from parallel tasks commute without racing — the analog of
+// Legion's reduction instances.
+func (c *Context) ReduceF64(i int, field region.FieldID) (*ReducerF64, error) {
+	pr, err := c.checked(i, field, func(p privilege.Privilege) bool { return p == privilege.Reduce }, "reduce")
+	if err != nil {
+		return nil, err
+	}
+	acc, err := region.FieldF64(pr.Region, field)
+	if err != nil {
+		return nil, err
+	}
+	op, err := privilege.LookupOp(pr.RedOp)
+	if err != nil {
+		return nil, err
+	}
+	r := &ReducerF64{acc: acc, op: op}
+	c.reducers = append(c.reducers, r)
+	return r, nil
+}
+
+// ReadI64 returns a read accessor for an int64 field on region argument i.
+func (c *Context) ReadI64(i int, field region.FieldID) (region.AccI64, error) {
+	pr, err := c.checked(i, field, func(p privilege.Privilege) bool { return p.IsRead() }, "read")
+	if err != nil {
+		return region.AccI64{}, err
+	}
+	return region.FieldI64(pr.Region, field)
+}
+
+// WriteI64 returns a write accessor for an int64 field on region argument i.
+func (c *Context) WriteI64(i int, field region.FieldID) (region.AccI64, error) {
+	pr, err := c.checked(i, field, func(p privilege.Privilege) bool {
+		return p == privilege.Write || p == privilege.ReadWrite
+	}, "write")
+	if err != nil {
+		return region.AccI64{}, err
+	}
+	return region.FieldI64(pr.Region, field)
+}
+
+func (c *Context) checked(i int, field region.FieldID, ok func(privilege.Privilege) bool, what string) (PhysicalRegion, error) {
+	pr, err := c.Region(i)
+	if err != nil {
+		return PhysicalRegion{}, err
+	}
+	if !pr.hasField(field) {
+		return PhysicalRegion{}, fmt.Errorf("rt: region arg %d was not requested with field %d", i, field)
+	}
+	if !ok(pr.Priv) {
+		return PhysicalRegion{}, fmt.Errorf("rt: region arg %d declared %q, cannot %s", i, pr.Priv, what)
+	}
+	return pr, nil
+}
+
+// ReduceI64 returns a fold-only reduction view for an int64 field on region
+// argument i, which must have been requested with Reduce privilege. Like
+// ReduceF64, folds buffer in a private reduction instance until the task
+// completes.
+func (c *Context) ReduceI64(i int, field region.FieldID) (*ReducerI64, error) {
+	pr, err := c.checked(i, field, func(p privilege.Privilege) bool { return p == privilege.Reduce }, "reduce")
+	if err != nil {
+		return nil, err
+	}
+	acc, err := region.FieldI64(pr.Region, field)
+	if err != nil {
+		return nil, err
+	}
+	op, err := privilege.LookupOp(pr.RedOp)
+	if err != nil {
+		return nil, err
+	}
+	r := &ReducerI64{acc: acc, op: op}
+	c.reducersI64 = append(c.reducersI64, r)
+	return r, nil
+}
+
+// ReducerI64 is the int64 analog of ReducerF64.
+type ReducerI64 struct {
+	acc region.AccI64
+	op  privilege.ReductionOp
+	buf []foldItemI64
+}
+
+type foldItemI64 struct {
+	p domain.Point
+	v int64
+}
+
+// Fold combines v into the element at p with the declared operator.
+func (r *ReducerI64) Fold(p domain.Point, v int64) {
+	r.buf = append(r.buf, foldItemI64{p: p, v: v})
+}
+
+func (r *ReducerI64) flush() {
+	for _, it := range r.buf {
+		r.acc.Reduce(r.op, it.p, it.v)
+	}
+	r.buf = nil
+}
+
+// ReducerF64 is a fold-only view of a float64 field: tasks holding Reduce
+// privilege may only combine values with the declared operator, never read
+// or overwrite them. Folds are buffered until task completion.
+type ReducerF64 struct {
+	acc region.AccF64
+	op  privilege.ReductionOp
+	buf []foldItem
+}
+
+type foldItem struct {
+	p domain.Point
+	v float64
+}
+
+// Fold combines v into the element at p with the declared operator.
+func (r *ReducerF64) Fold(p domain.Point, v float64) {
+	r.buf = append(r.buf, foldItem{p: p, v: v})
+}
+
+// flush applies the buffered folds to the shared collection. The caller
+// serializes flushes.
+func (r *ReducerF64) flush() {
+	for _, it := range r.buf {
+		r.acc.Reduce(r.op, it.p, it.v)
+	}
+	r.buf = nil
+}
+
+// flushReductions applies every reducer's pending folds.
+func (c *Context) flushReductions() {
+	for _, r := range c.reducers {
+		r.flush()
+	}
+	for _, r := range c.reducersI64 {
+		r.flush()
+	}
+	c.reducers = nil
+	c.reducersI64 = nil
+}

@@ -1,0 +1,226 @@
+package rt
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/region"
+)
+
+// Tracing (paper §6.2.1, citing Lee et al. [20]) memoizes the dependence
+// analysis of a repeated sequence of launches. The first execution of a
+// trace captures, per point task, the dependence edges the version map
+// produced; subsequent executions replay the captured template, skipping
+// version-map queries entirely.
+//
+// A replayed trace is stitched to the surrounding program with two
+// conservative joints: every op that had a dependence from outside the
+// trace during capture waits on the merged last-events of all data the
+// trace touches, and at the end of a replay the version map is bulk-updated
+// so later un-traced work orders correctly after the trace.
+//
+// Replays must issue exactly the ops that were captured (same tasks, same
+// points, same launch boundaries); a divergent replay is a programming
+// error and panics with a diagnostic.
+
+type traceMode uint8
+
+const (
+	traceCapturing traceMode = iota
+	traceReplaying
+)
+
+type opSig struct {
+	task  core.TaskID
+	point domain.Point
+}
+
+type traceTemplate struct {
+	id       uint64
+	sigs     []opSig
+	deps     [][]int // intra-trace dependence indices per op
+	external []bool  // op had at least one dependence from outside the trace
+	launches []int   // ops consumed per launch call, for replay validation
+	writes   map[fieldKey][]region.Interval
+	reads    map[fieldKey][]region.Interval
+}
+
+type traceState struct {
+	mode traceMode
+	tmpl *traceTemplate
+
+	// Capture state.
+	evIdx map[*Event]int
+
+	// Replay state.
+	cursor       int
+	launchCursor int
+	events       []*Event
+	startEv      *Event
+}
+
+func (r *Runtime) replaying() bool { return r.trace != nil && r.trace.mode == traceReplaying }
+func (r *Runtime) capturing() bool { return r.trace != nil && r.trace.mode == traceCapturing }
+
+// traces is lazily allocated on the runtime.
+func (r *Runtime) traceTemplates() map[uint64]*traceTemplate {
+	if r.traceStore == nil {
+		r.traceStore = map[uint64]*traceTemplate{}
+	}
+	return r.traceStore
+}
+
+// BeginTrace starts a trace episode. The first episode with a given id
+// captures; later episodes replay. Traces do not nest. Tracing must be
+// enabled in the runtime config.
+func (r *Runtime) BeginTrace(id uint64) error {
+	r.issueMu.Lock()
+	defer r.issueMu.Unlock()
+	if !r.cfg.Tracing {
+		return fmt.Errorf("rt: tracing disabled in config")
+	}
+	if r.trace != nil || r.bulk != nil {
+		return fmt.Errorf("rt: trace %d begun inside another trace", id)
+	}
+	if r.cfg.BulkTracing {
+		return r.beginBulkTrace(id)
+	}
+	if tmpl, ok := r.traceTemplates()[id]; ok {
+		// Replay: order the whole trace after the current last users of
+		// everything it touches.
+		var boundary []*Event
+		for key, ivs := range tmpl.writes {
+			boundary = append(boundary, r.vm.lastEvents(key.tree, key.field, ivs)...)
+		}
+		for key, ivs := range tmpl.reads {
+			boundary = append(boundary, r.vm.lastEvents(key.tree, key.field, ivs)...)
+		}
+		r.trace = &traceState{
+			mode:    traceReplaying,
+			tmpl:    tmpl,
+			events:  make([]*Event, len(tmpl.sigs)),
+			startEv: Merge(boundary...),
+		}
+		return nil
+	}
+	r.trace = &traceState{
+		mode: traceCapturing,
+		tmpl: &traceTemplate{
+			id:     id,
+			writes: map[fieldKey][]region.Interval{},
+			reads:  map[fieldKey][]region.Interval{},
+		},
+		evIdx: map[*Event]int{},
+	}
+	return nil
+}
+
+// EndTrace finishes the current trace episode.
+func (r *Runtime) EndTrace(id uint64) error {
+	r.issueMu.Lock()
+	defer r.issueMu.Unlock()
+	if r.bulk != nil {
+		return r.endBulkTrace(id)
+	}
+	ts := r.trace
+	if ts == nil {
+		return fmt.Errorf("rt: EndTrace(%d) without BeginTrace", id)
+	}
+	if ts.tmpl.id != 0 && ts.mode == traceReplaying && ts.tmpl.id != id {
+		return fmt.Errorf("rt: EndTrace(%d) does not match trace %d", id, ts.tmpl.id)
+	}
+	r.trace = nil
+	switch ts.mode {
+	case traceCapturing:
+		ts.tmpl.id = id
+		r.traceTemplates()[id] = ts.tmpl
+		atomic.AddInt64(&r.captures, 1)
+	case traceReplaying:
+		if ts.cursor != len(ts.tmpl.sigs) {
+			return fmt.Errorf("rt: trace %d replay issued %d of %d ops", id, ts.cursor, len(ts.tmpl.sigs))
+		}
+		// Restore version state in bulk: the merged terminal event of the
+		// replay becomes the last writer of everything the trace wrote and
+		// a reader of everything it read.
+		terminal := Merge(ts.events...)
+		for key, ivs := range ts.tmpl.writes {
+			r.vm.bulkWrite(key.tree, key.field, ivs, terminal)
+		}
+		for key, ivs := range ts.tmpl.reads {
+			r.vm.access(key.tree, key.field, ivs, privilege.Read, privilege.OpNone, terminal)
+		}
+		r.outstanding = append(r.outstanding, terminal)
+		atomic.AddInt64(&r.replays, 1)
+	}
+	return nil
+}
+
+// recordOp captures one issued point task into the open template. Caller
+// holds issueMu.
+func (ts *traceState) recordOp(task core.TaskID, p domain.Point, ev *Event, deps []*Event, prs []PhysicalRegion) {
+	idx := len(ts.tmpl.sigs)
+	ts.evIdx[ev] = idx
+	ts.tmpl.sigs = append(ts.tmpl.sigs, opSig{task: task, point: p})
+	var intra []int
+	external := false
+	for _, d := range deps {
+		if j, ok := ts.evIdx[d]; ok {
+			intra = append(intra, j)
+		} else {
+			external = true
+		}
+	}
+	ts.tmpl.deps = append(ts.tmpl.deps, intra)
+	ts.tmpl.external = append(ts.tmpl.external, external)
+	for _, pr := range prs {
+		ivs := pr.Region.Intervals()
+		for _, f := range pr.Fields {
+			key := fieldKey{tree: pr.Region.Tree.ID, field: f}
+			if pr.Priv.IsWrite() {
+				ts.tmpl.writes[key] = append(ts.tmpl.writes[key], ivs...)
+			} else {
+				ts.tmpl.reads[key] = append(ts.tmpl.reads[key], ivs...)
+			}
+		}
+	}
+}
+
+// replayDeps returns the precondition events for the next replayed op and
+// registers ev as its completion event. Caller holds issueMu.
+func (ts *traceState) replayDeps(task core.TaskID, p domain.Point, ev *Event) []*Event {
+	if ts.cursor >= len(ts.tmpl.sigs) {
+		panic(fmt.Sprintf("rt: trace %d replay issued more ops than captured (%d)", ts.tmpl.id, len(ts.tmpl.sigs)))
+	}
+	sig := ts.tmpl.sigs[ts.cursor]
+	if sig.task != task || !sig.point.Eq(p) {
+		panic(fmt.Sprintf("rt: trace %d replay diverged at op %d: captured task %d point %v, replayed task %d point %v",
+			ts.tmpl.id, ts.cursor, sig.task, sig.point, task, p))
+	}
+	ts.events[ts.cursor] = ev
+	var deps []*Event
+	for _, j := range ts.tmpl.deps[ts.cursor] {
+		deps = append(deps, ts.events[j])
+	}
+	if ts.tmpl.external[ts.cursor] {
+		deps = append(deps, ts.startEv)
+	}
+	ts.cursor++
+	return deps
+}
+
+// noteLaunch validates launch boundaries across capture and replay.
+func (ts *traceState) noteLaunch(n int) {
+	switch ts.mode {
+	case traceCapturing:
+		ts.tmpl.launches = append(ts.tmpl.launches, n)
+	case traceReplaying:
+		if ts.launchCursor >= len(ts.tmpl.launches) || ts.tmpl.launches[ts.launchCursor] != n {
+			panic(fmt.Sprintf("rt: trace %d replay launch %d has %d ops, diverges from capture",
+				ts.tmpl.id, ts.launchCursor, n))
+		}
+		ts.launchCursor++
+	}
+}

@@ -1,0 +1,256 @@
+package rt
+
+import (
+	"sort"
+	"sync"
+
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/region"
+)
+
+// versionMap tracks, per (tree, field), the last tasks to have read, written
+// or reduced each linearized interval of the root domain, and answers
+// dependence queries for new accesses. It is the in-process analog of the
+// paper's distributed bounding-volume hierarchy used by physical analysis
+// (§5): queries and updates cost O(log E + K) where E is the number of
+// tracked segments and K the number overlapped.
+type versionMap struct {
+	mu     sync.Mutex
+	fields map[fieldKey]*fieldState
+
+	// Queries counts Access calls; Deps counts dependence edges returned.
+	// Exposed through Runtime stats.
+	queries int64
+	deps    int64
+}
+
+type fieldKey struct {
+	tree  region.TreeID
+	field region.FieldID
+}
+
+type fieldState struct {
+	segs []segment // sorted by lo, pairwise disjoint
+}
+
+// segment is the epoch state of one interval of a field: the last write
+// event, readers since that write, and pending reducers with their operator.
+type segment struct {
+	lo, hi   int64
+	writer   *Event
+	readers  []*Event
+	redOp    privilege.OpID
+	reducers []*Event
+}
+
+func newVersionMap() *versionMap {
+	return &versionMap{fields: map[fieldKey]*fieldState{}}
+}
+
+// access registers an access to the given intervals with privilege priv and
+// completion event ev, returning the precondition events the access must
+// wait for. Intervals must be sorted and disjoint (as produced by
+// region.IntervalsOf).
+func (vm *versionMap) access(tree region.TreeID, field region.FieldID,
+	ivs []region.Interval, priv privilege.Privilege, redOp privilege.OpID, ev *Event) []*Event {
+
+	if priv == privilege.None || len(ivs) == 0 {
+		return nil
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.queries++
+
+	key := fieldKey{tree: tree, field: field}
+	fs := vm.fields[key]
+	if fs == nil {
+		fs = &fieldState{}
+		vm.fields[key] = fs
+	}
+
+	depSet := map[*Event]struct{}{}
+	for _, iv := range ivs {
+		fs.accessInterval(iv.Lo, iv.Hi, priv, redOp, ev, depSet)
+	}
+	deps := make([]*Event, 0, len(depSet))
+	for d := range depSet {
+		if d != ev && !d.Done() {
+			deps = append(deps, d)
+		}
+	}
+	vm.deps += int64(len(deps))
+	return deps
+}
+
+// accessInterval walks the segments overlapping [lo, hi], splitting at the
+// boundaries, applies the access to each covered piece, and creates fresh
+// segments for uncovered gaps.
+func (fs *fieldState) accessInterval(lo, hi int64, priv privilege.Privilege,
+	redOp privilege.OpID, ev *Event, deps map[*Event]struct{}) {
+
+	i := sort.Search(len(fs.segs), func(i int) bool { return fs.segs[i].hi >= lo })
+	cur := lo
+	for cur <= hi {
+		if i >= len(fs.segs) || fs.segs[i].lo > hi {
+			// Tail gap: the rest of [cur, hi] is untracked.
+			fs.insertSegment(i, freshSegment(cur, hi, priv, redOp, ev))
+			return
+		}
+		s := &fs.segs[i]
+		if s.lo > cur {
+			// Leading gap before this segment.
+			gapHi := s.lo - 1
+			fs.insertSegment(i, freshSegment(cur, gapHi, priv, redOp, ev))
+			cur = gapHi + 1
+			i++ // past the inserted gap segment; s shifted right by one
+			continue
+		}
+		// s overlaps cur. Split off any prefix of s before cur.
+		if s.lo < cur {
+			prefix := *s
+			prefix.hi = cur - 1
+			s.lo = cur
+			fs.insertSegment(i, prefix)
+			i++
+			s = &fs.segs[i]
+		}
+		// Split off any suffix of s beyond hi.
+		if s.hi > hi {
+			suffix := *s
+			suffix.lo = hi + 1
+			s.hi = hi
+			fs.insertSegment(i+1, suffix)
+			s = &fs.segs[i]
+		}
+		s.apply(priv, redOp, ev, deps)
+		cur = s.hi + 1
+		i++
+	}
+}
+
+func freshSegment(lo, hi int64, priv privilege.Privilege, redOp privilege.OpID, ev *Event) segment {
+	s := segment{lo: lo, hi: hi}
+	s.apply(priv, redOp, ev, nil)
+	return s
+}
+
+// apply updates the segment's epoch state for an access and records the
+// dependence edges in deps (which may be nil for fresh segments).
+func (s *segment) apply(priv privilege.Privilege, redOp privilege.OpID, ev *Event, deps map[*Event]struct{}) {
+	addDep := func(e *Event) {
+		if deps != nil && e != nil {
+			deps[e] = struct{}{}
+		}
+	}
+	switch {
+	case priv == privilege.Read:
+		// Read-after-write and read-after-reduce.
+		if len(s.reducers) > 0 {
+			for _, r := range s.reducers {
+				addDep(r)
+			}
+		} else {
+			addDep(s.writer)
+		}
+		s.readers = append(s.readers, ev)
+
+	case priv == privilege.Reduce:
+		// Reduce-after-write and reduce-after-read; same-operator pending
+		// reductions commute, different operators serialize.
+		addDep(s.writer)
+		for _, r := range s.readers {
+			addDep(r)
+		}
+		if len(s.reducers) > 0 && s.redOp != redOp {
+			for _, r := range s.reducers {
+				addDep(r)
+			}
+			s.reducers = s.reducers[:0]
+		}
+		s.readers = nil
+		s.redOp = redOp
+		s.reducers = append(s.reducers, ev)
+
+	default: // Write, ReadWrite
+		addDep(s.writer)
+		for _, r := range s.readers {
+			addDep(r)
+		}
+		for _, r := range s.reducers {
+			addDep(r)
+		}
+		s.writer = ev
+		s.readers = nil
+		s.reducers = nil
+		s.redOp = privilege.OpNone
+	}
+}
+
+func (fs *fieldState) insertSegment(i int, s segment) {
+	fs.segs = append(fs.segs, segment{})
+	copy(fs.segs[i+1:], fs.segs[i:])
+	fs.segs[i] = s
+}
+
+// bulkWrite marks the given intervals as last written by ev without
+// computing dependencies; used by trace replay to restore version state in
+// one step after skipping per-task analysis.
+func (vm *versionMap) bulkWrite(tree region.TreeID, field region.FieldID, ivs []region.Interval, ev *Event) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	key := fieldKey{tree: tree, field: field}
+	fs := vm.fields[key]
+	if fs == nil {
+		fs = &fieldState{}
+		vm.fields[key] = fs
+	}
+	for _, iv := range ivs {
+		fs.accessInterval(iv.Lo, iv.Hi, privilege.Write, privilege.OpNone, ev, nil)
+	}
+}
+
+// lastEvents returns the merged set of all events currently recorded for the
+// given intervals (used by trace replay to order a replayed trace after
+// everything it reads or overwrites).
+func (vm *versionMap) lastEvents(tree region.TreeID, field region.FieldID, ivs []region.Interval) []*Event {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	fs := vm.fields[fieldKey{tree: tree, field: field}]
+	if fs == nil {
+		return nil
+	}
+	set := map[*Event]struct{}{}
+	for _, iv := range ivs {
+		i := sort.Search(len(fs.segs), func(i int) bool { return fs.segs[i].hi >= iv.Lo })
+		for ; i < len(fs.segs) && fs.segs[i].lo <= iv.Hi; i++ {
+			s := &fs.segs[i]
+			if s.writer != nil {
+				set[s.writer] = struct{}{}
+			}
+			for _, r := range s.readers {
+				set[r] = struct{}{}
+			}
+			for _, r := range s.reducers {
+				set[r] = struct{}{}
+			}
+		}
+	}
+	out := make([]*Event, 0, len(set))
+	for e := range set {
+		if !e.Done() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// segmentCount returns the number of tracked segments (diagnostics).
+func (vm *versionMap) segmentCount() int {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	n := 0
+	for _, fs := range vm.fields {
+		n += len(fs.segs)
+	}
+	return n
+}

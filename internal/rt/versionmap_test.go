@@ -1,0 +1,218 @@
+package rt
+
+import (
+	"testing"
+
+	"indexlaunch/internal/privilege"
+	"indexlaunch/internal/region"
+)
+
+func ivs(pairs ...int64) []region.Interval {
+	out := make([]region.Interval, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, region.Interval{Lo: pairs[i], Hi: pairs[i+1]})
+	}
+	return out
+}
+
+func containsEvent(deps []*Event, e *Event) bool {
+	for _, d := range deps {
+		if d == e {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVersionMapReadAfterWrite(t *testing.T) {
+	vm := newVersionMap()
+	w := NewEvent()
+	deps := vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w)
+	if len(deps) != 0 {
+		t.Errorf("first write deps = %d", len(deps))
+	}
+	r := NewEvent()
+	deps = vm.access(1, 0, ivs(5, 14), privilege.Read, privilege.OpNone, r)
+	if !containsEvent(deps, w) {
+		t.Error("read overlapping write must depend on it")
+	}
+	// Read of a disjoint range has no deps.
+	r2 := NewEvent()
+	deps = vm.access(1, 0, ivs(20, 29), privilege.Read, privilege.OpNone, r2)
+	if len(deps) != 0 {
+		t.Errorf("disjoint read deps = %d", len(deps))
+	}
+}
+
+func TestVersionMapWriteAfterRead(t *testing.T) {
+	vm := newVersionMap()
+	r1, r2 := NewEvent(), NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r1)
+	vm.access(1, 0, ivs(5, 14), privilege.Read, privilege.OpNone, r2)
+	w := NewEvent()
+	deps := vm.access(1, 0, ivs(7, 7), privilege.Write, privilege.OpNone, w)
+	if !containsEvent(deps, r1) || !containsEvent(deps, r2) {
+		t.Error("write must depend on both overlapping readers")
+	}
+}
+
+func TestVersionMapWriteAfterWrite(t *testing.T) {
+	vm := newVersionMap()
+	w1 := NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w1)
+	w2 := NewEvent()
+	deps := vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w2)
+	if !containsEvent(deps, w1) {
+		t.Error("WAW must serialize")
+	}
+	// Third writer depends only on the second (epoch advanced).
+	w3 := NewEvent()
+	deps = vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w3)
+	if containsEvent(deps, w1) || !containsEvent(deps, w2) {
+		t.Errorf("third write should depend only on second")
+	}
+}
+
+func TestVersionMapReadersDoNotDependOnEachOther(t *testing.T) {
+	vm := newVersionMap()
+	r1 := NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r1)
+	r2 := NewEvent()
+	deps := vm.access(1, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r2)
+	if len(deps) != 0 {
+		t.Errorf("read-read deps = %d", len(deps))
+	}
+}
+
+func TestVersionMapSameOpReductionsCommute(t *testing.T) {
+	vm := newVersionMap()
+	a, b := NewEvent(), NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpSumF64, a)
+	deps := vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpSumF64, b)
+	if containsEvent(deps, a) {
+		t.Error("same-op reductions must not serialize")
+	}
+	// A read after the reductions depends on both.
+	r := NewEvent()
+	deps = vm.access(1, 0, ivs(3, 4), privilege.Read, privilege.OpNone, r)
+	if !containsEvent(deps, a) || !containsEvent(deps, b) {
+		t.Error("read after reductions must depend on all reducers")
+	}
+}
+
+func TestVersionMapDifferentOpReductionsSerialize(t *testing.T) {
+	vm := newVersionMap()
+	a, b := NewEvent(), NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpSumF64, a)
+	deps := vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpProdF64, b)
+	if !containsEvent(deps, a) {
+		t.Error("different-op reductions must serialize")
+	}
+}
+
+func TestVersionMapReduceAfterWriteAndRead(t *testing.T) {
+	vm := newVersionMap()
+	w, r := NewEvent(), NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w)
+	vm.access(1, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r)
+	red := NewEvent()
+	deps := vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpSumF64, red)
+	if !containsEvent(deps, w) || !containsEvent(deps, r) {
+		t.Error("reduce must depend on prior writer and readers")
+	}
+}
+
+func TestVersionMapSegmentSplitting(t *testing.T) {
+	vm := newVersionMap()
+	w := NewEvent()
+	vm.access(1, 0, ivs(0, 99), privilege.Write, privilege.OpNone, w)
+	// Write to the middle: splits [0,99] into three segments.
+	w2 := NewEvent()
+	vm.access(1, 0, ivs(40, 59), privilege.Write, privilege.OpNone, w2)
+	if n := vm.segmentCount(); n != 3 {
+		t.Errorf("segments = %d, want 3", n)
+	}
+	// A read of the left part depends on w only.
+	r := NewEvent()
+	deps := vm.access(1, 0, ivs(0, 39), privilege.Read, privilege.OpNone, r)
+	if !containsEvent(deps, w) || containsEvent(deps, w2) {
+		t.Errorf("left read deps wrong")
+	}
+	// A read of the middle depends on w2 only.
+	r2 := NewEvent()
+	deps = vm.access(1, 0, ivs(45, 50), privilege.Read, privilege.OpNone, r2)
+	if containsEvent(deps, w) || !containsEvent(deps, w2) {
+		t.Errorf("middle read deps wrong")
+	}
+}
+
+func TestVersionMapFieldsIndependent(t *testing.T) {
+	vm := newVersionMap()
+	w := NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w)
+	r := NewEvent()
+	deps := vm.access(1, 1, ivs(0, 9), privilege.Read, privilege.OpNone, r)
+	if len(deps) != 0 {
+		t.Error("different fields must not interfere")
+	}
+}
+
+func TestVersionMapTreesIndependent(t *testing.T) {
+	vm := newVersionMap()
+	w := NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w)
+	r := NewEvent()
+	deps := vm.access(2, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r)
+	if len(deps) != 0 {
+		t.Error("different trees must not interfere")
+	}
+}
+
+func TestVersionMapCompletedDepsElided(t *testing.T) {
+	vm := newVersionMap()
+	w := NewEvent()
+	w.Trigger()
+	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w)
+	r := NewEvent()
+	deps := vm.access(1, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r)
+	if len(deps) != 0 {
+		t.Error("already-triggered dependencies should be elided")
+	}
+}
+
+func TestVersionMapLastEventsAndBulkWrite(t *testing.T) {
+	vm := newVersionMap()
+	w := NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w)
+	evs := vm.lastEvents(1, 0, ivs(0, 9))
+	if len(evs) != 1 || evs[0] != w {
+		t.Errorf("lastEvents = %v", evs)
+	}
+	bulk := NewEvent()
+	vm.bulkWrite(1, 0, ivs(0, 9), bulk)
+	r := NewEvent()
+	deps := vm.access(1, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r)
+	if !containsEvent(deps, bulk) || containsEvent(deps, w) {
+		t.Error("bulkWrite should replace the epoch")
+	}
+}
+
+func TestVersionMapNonePrivilegeNoop(t *testing.T) {
+	vm := newVersionMap()
+	e := NewEvent()
+	if deps := vm.access(1, 0, ivs(0, 9), privilege.None, privilege.OpNone, e); deps != nil {
+		t.Error("None access should be a no-op")
+	}
+}
+
+func TestVersionMapMultiIntervalAccess(t *testing.T) {
+	vm := newVersionMap()
+	w1, w2 := NewEvent(), NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w1)
+	vm.access(1, 0, ivs(20, 29), privilege.Write, privilege.OpNone, w2)
+	r := NewEvent()
+	deps := vm.access(1, 0, ivs(5, 6, 25, 26), privilege.Read, privilege.OpNone, r)
+	if !containsEvent(deps, w1) || !containsEvent(deps, w2) {
+		t.Error("multi-interval read must collect deps from every interval")
+	}
+}

@@ -1,0 +1,37 @@
+// Package safety implements the index-launch safety analysis of paper §3–§4:
+// per-argument self-checks, cross-checks between arguments sharing a
+// partition, and the hybrid static/dynamic design in which trivial
+// projection functors are resolved statically and everything else falls back
+// to the precise dynamic bitmask check of Listing 3.
+package safety
+
+// bitmask is a dense bit set over linearized partition color indices. The
+// dynamic check allocates one mask of |P| bits per partition (the O(|P|)
+// space/init term in the paper's complexity analysis).
+type bitmask struct {
+	words []uint64
+}
+
+func newBitmask(n int64) *bitmask {
+	return &bitmask{words: make([]uint64, (n+63)/64)}
+}
+
+// testAndSet sets bit i and reports whether it was already set.
+func (m *bitmask) testAndSet(i int64) bool {
+	w, b := i>>6, uint(i&63)
+	old := m.words[w]
+	m.words[w] = old | (1 << b)
+	return old&(1<<b) != 0
+}
+
+// test reports whether bit i is set.
+func (m *bitmask) test(i int64) bool {
+	return m.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// reset clears every bit, allowing mask reuse across rounds.
+func (m *bitmask) reset() {
+	for i := range m.words {
+		m.words[i] = 0
+	}
+}

@@ -1,0 +1,303 @@
+package safety
+
+import (
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/projection"
+)
+
+// SelfCheckResult reports the outcome of a dynamic self-check.
+type SelfCheckResult struct {
+	// Injective is true when no two launch points selected the same color.
+	Injective bool
+	// Evaluated is the number of functor evaluations performed (early exit
+	// on the first conflict stops the scan, as in Listing 3).
+	Evaluated int64
+	// OutOfBounds counts functor values falling outside the color bounds;
+	// such values are skipped by the check, mirroring Listing 3's bounds
+	// test.
+	OutOfBounds int64
+}
+
+// DynamicSelfCheck is the paper's Listing 3: it decides, exactly, whether
+// the projection functor f is injective over launch domain d by linearizing
+// each projected color within colorBounds and test-and-setting a bitmask.
+// Cost is O(|D| + |P|) time and O(|P|) space, where |P| is the color-space
+// volume. The check is sound and complete for injectivity.
+func DynamicSelfCheck(d domain.Domain, colorBounds domain.Rect, f projection.Functor) SelfCheckResult {
+	mask := newBitmask(colorBounds.Volume())
+	return selfCheckWithMask(d, colorBounds, f, mask)
+}
+
+func selfCheckWithMask(d domain.Domain, colorBounds domain.Rect, f projection.Functor, mask *bitmask) SelfCheckResult {
+	// Specialized loops for the trivial functor shapes over dense 1-d
+	// domains: the compiler of §4 emits the check inline, so a production
+	// implementation evaluates classified functors without per-point
+	// dispatch. The generic path below handles everything else.
+	if res, ok := selfCheckFast(d, colorBounds, f, mask); ok {
+		return res
+	}
+	res := SelfCheckResult{Injective: true}
+	if !d.Sparse() && d.Dim() == 1 && colorBounds.Dim() == 1 {
+		// Dense 1-d loop with opaque functor: skip the generic domain
+		// iterator but keep the per-point functor call.
+		lo, hi := d.Bounds().Lo.X(), d.Bounds().Hi.X()
+		cLo, cHi := colorBounds.Lo.X(), colorBounds.Hi.X()
+		var evaluated, oob int64
+		p := domain.Point{Dim: 1}
+		for i := lo; i <= hi; i++ {
+			evaluated++
+			p.C[0] = i
+			value := f.Project(p)
+			if value.Dim != 1 || value.C[0] < cLo || value.C[0] > cHi {
+				oob++
+				continue
+			}
+			if mask.testAndSet(value.C[0] - cLo) {
+				res.Injective = false
+				break
+			}
+		}
+		res.Evaluated, res.OutOfBounds = evaluated, oob
+		return res
+	}
+	d.Each(func(p domain.Point) bool {
+		res.Evaluated++
+		value := f.Project(p)
+		if !colorBounds.Contains(value) {
+			res.OutOfBounds++
+			return true
+		}
+		idx := colorBounds.Index(value)
+		if mask.testAndSet(idx) {
+			res.Injective = false
+			return false // early exit on first conflict
+		}
+		return true
+	})
+	return res
+}
+
+// selfCheckFast runs the check with inlined functor evaluation when the
+// domain and color space are dense 1-d ranges and the functor's static
+// description is constant, identity, affine or modular.
+func selfCheckFast(d domain.Domain, colorBounds domain.Rect, f projection.Functor, mask *bitmask) (SelfCheckResult, bool) {
+	if d.Sparse() || d.Dim() != 1 || colorBounds.Dim() != 1 {
+		return SelfCheckResult{}, false
+	}
+	desc := f.Describe()
+	var a, b, m int64
+	switch desc.Kind {
+	case projection.KindIdentity:
+		a, b = 1, 0
+	case projection.KindConstant:
+		a, b = 0, f.Project(domain.Pt1(0)).X()
+	case projection.KindAffine:
+		if desc.InDim != 1 || desc.OutDim != 1 {
+			return SelfCheckResult{}, false
+		}
+		a, b = desc.A[0][0], desc.B[0]
+	case projection.KindModular:
+		a, b, m = desc.MulA, desc.MulB, desc.Mod
+	default:
+		return SelfCheckResult{}, false
+	}
+	lo, hi := d.Bounds().Lo.X(), d.Bounds().Hi.X()
+	cLo, cHi := colorBounds.Lo.X(), colorBounds.Hi.X()
+	res := SelfCheckResult{Injective: true}
+	for i := lo; i <= hi; i++ {
+		res.Evaluated++
+		v := a*i + b
+		if m != 0 {
+			v %= m
+			if v < 0 {
+				v += m
+			}
+		}
+		if v < cLo || v > cHi {
+			res.OutOfBounds++
+			continue
+		}
+		if mask.testAndSet(v - cLo) {
+			res.Injective = false
+			return res, true
+		}
+	}
+	return res, true
+}
+
+// CrossArg is one argument of a multi-argument cross-check on a shared
+// partition: its projection functor and whether the task writes (or
+// reduces — reductions count as writes, §4) through it.
+type CrossArg struct {
+	Functor projection.Functor
+	Writes  bool
+}
+
+// CrossCheckResult reports the outcome of a dynamic cross-check.
+type CrossCheckResult struct {
+	// Safe is true when no write image intersects any other argument's
+	// image (write-write and write-read conflicts are both caught).
+	Safe bool
+	// Evaluated is the total number of functor evaluations performed.
+	Evaluated int64
+}
+
+// DynamicCrossCheck verifies, in linear time, that the images of multiple
+// projection functors on one shared disjoint partition do not conflict:
+// writes must be exclusive against everything, reads may share with reads.
+//
+// Per §4, a single bitmask serves all arguments: write/reduce arguments are
+// processed first and set mask bits; read-only arguments are processed after
+// and only test bits. Each write argument must itself be injective, which
+// the same scan detects. The combined cost is O(n·|D| + |P|) for n arguments
+// against the naive pairwise O(n²·|D|) image comparison.
+func DynamicCrossCheck(d domain.Domain, colorBounds domain.Rect, args []CrossArg) CrossCheckResult {
+	mask := newBitmask(colorBounds.Volume())
+	res := CrossCheckResult{Safe: true}
+
+	// Pass 1: write and reduce arguments set the mask; a repeat hit is a
+	// write-write conflict (within or across arguments).
+	for _, a := range args {
+		if !a.Writes {
+			continue
+		}
+		if !crossScan(d, colorBounds, a.Functor, mask, true, &res) {
+			res.Safe = false
+			return res
+		}
+	}
+
+	// Pass 2: read-only arguments only test the mask (reads may alias other
+	// reads, so they never set bits).
+	for _, a := range args {
+		if a.Writes {
+			continue
+		}
+		if !crossScan(d, colorBounds, a.Functor, mask, false, &res) {
+			res.Safe = false
+			return res
+		}
+	}
+	return res
+}
+
+// crossScan runs one argument's pass of the cross-check; set selects
+// whether hits set the mask (writes) or only probe it (reads). It returns
+// false on the first conflict. Dense 1-d domains with classifiable functors
+// take the inlined path.
+func crossScan(d domain.Domain, colorBounds domain.Rect, f projection.Functor, mask *bitmask, set bool, res *CrossCheckResult) bool {
+	if !d.Sparse() && d.Dim() == 1 && colorBounds.Dim() == 1 {
+		desc := f.Describe()
+		var a, b, m int64
+		fast := true
+		switch desc.Kind {
+		case projection.KindIdentity:
+			a, b = 1, 0
+		case projection.KindConstant:
+			a, b = 0, f.Project(domain.Pt1(0)).X()
+		case projection.KindAffine:
+			if desc.InDim == 1 && desc.OutDim == 1 {
+				a, b = desc.A[0][0], desc.B[0]
+			} else {
+				fast = false
+			}
+		case projection.KindModular:
+			a, b, m = desc.MulA, desc.MulB, desc.Mod
+		default:
+			fast = false
+		}
+		if fast {
+			lo, hi := d.Bounds().Lo.X(), d.Bounds().Hi.X()
+			cLo, cHi := colorBounds.Lo.X(), colorBounds.Hi.X()
+			for i := lo; i <= hi; i++ {
+				res.Evaluated++
+				v := a*i + b
+				if m != 0 {
+					v %= m
+					if v < 0 {
+						v += m
+					}
+				}
+				if v < cLo || v > cHi {
+					continue
+				}
+				if set {
+					if mask.testAndSet(v - cLo) {
+						return false
+					}
+				} else if mask.test(v - cLo) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	ok := true
+	d.Each(func(p domain.Point) bool {
+		res.Evaluated++
+		value := f.Project(p)
+		if !colorBounds.Contains(value) {
+			return true
+		}
+		idx := colorBounds.Index(value)
+		if set {
+			if mask.testAndSet(idx) {
+				ok = false
+				return false
+			}
+			return true
+		}
+		if mask.test(idx) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// PairwiseCrossCheck is the naive O(n²·|D|) baseline the paper's linear-time
+// algorithm replaces: it materializes each argument's image and intersects
+// every write image with every other image. Retained for the ablation
+// benchmark and as a differential-testing oracle for DynamicCrossCheck.
+func PairwiseCrossCheck(d domain.Domain, colorBounds domain.Rect, args []CrossArg) CrossCheckResult {
+	res := CrossCheckResult{Safe: true}
+	images := make([]map[int64]int64, len(args)) // linearized color -> hit count
+	for i, a := range args {
+		img := make(map[int64]int64)
+		d.Each(func(p domain.Point) bool {
+			res.Evaluated++
+			value := a.Functor.Project(p)
+			if colorBounds.Contains(value) {
+				img[colorBounds.Index(value)]++
+			}
+			return true
+		})
+		images[i] = img
+	}
+	for i, a := range args {
+		if !a.Writes {
+			continue
+		}
+		// A write argument must itself be injective...
+		for _, hits := range images[i] {
+			if hits > 1 {
+				res.Safe = false
+				return res
+			}
+		}
+		// ...and disjoint from every other argument's image.
+		for j, b := range images {
+			if j == i {
+				continue
+			}
+			for idx := range images[i] {
+				if _, clash := b[idx]; clash {
+					res.Safe = false
+					return res
+				}
+			}
+		}
+	}
+	return res
+}

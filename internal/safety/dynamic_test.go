@@ -1,0 +1,276 @@
+package safety
+
+import (
+	"testing"
+	"testing/quick"
+
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/projection"
+)
+
+func TestDynamicSelfCheckIdentity(t *testing.T) {
+	d := domain.Range1(0, 99)
+	bounds := domain.Rect1(0, 99)
+	r := DynamicSelfCheck(d, bounds, projection.Identity(1))
+	if !r.Injective {
+		t.Error("identity should be injective")
+	}
+	if r.Evaluated != 100 {
+		t.Errorf("evaluated %d points, want 100", r.Evaluated)
+	}
+}
+
+func TestDynamicSelfCheckListing2Example(t *testing.T) {
+	// The paper's Listing 2: i%3 over [0,5) is not injective.
+	d := domain.Range1(0, 4)
+	bounds := domain.Rect1(0, 2)
+	r := DynamicSelfCheck(d, bounds, projection.Modular1D(1, 0, 3))
+	if r.Injective {
+		t.Error("i%3 over [0,5) must fail the check")
+	}
+	// Early exit: the duplicate appears at i=3 (4th evaluation).
+	if r.Evaluated != 4 {
+		t.Errorf("evaluated %d points, want 4 (early exit)", r.Evaluated)
+	}
+}
+
+func TestDynamicSelfCheckModularShiftSafe(t *testing.T) {
+	// (i+k) mod N over [0,N) is injective — Table 2's modular row.
+	d := domain.Range1(0, 9)
+	bounds := domain.Rect1(0, 9)
+	r := DynamicSelfCheck(d, bounds, projection.Modular1D(1, 7, 10))
+	if !r.Injective {
+		t.Error("(i+7) mod 10 over [0,10) should be injective")
+	}
+}
+
+func TestDynamicSelfCheckOutOfBoundsSkipped(t *testing.T) {
+	// Functor maps half the domain outside the color bounds; Listing 3
+	// skips those values.
+	d := domain.Range1(0, 9)
+	bounds := domain.Rect1(0, 4)
+	r := DynamicSelfCheck(d, bounds, projection.Identity(1))
+	if !r.Injective {
+		t.Error("in-bounds subset is injective")
+	}
+	if r.OutOfBounds != 5 {
+		t.Errorf("out-of-bounds = %d, want 5", r.OutOfBounds)
+	}
+}
+
+func TestDynamicSelfCheck2DLinearization(t *testing.T) {
+	// A 2-d functor must be linearized over the 2-d color bounds (§4's
+	// linearization discussion). The transpose map is injective.
+	d := domain.FromRect(domain.Rect2(0, 0, 3, 3))
+	bounds := domain.Rect2(0, 0, 3, 3)
+	transpose := projection.Func("transpose", 2, 2, func(p domain.Point) domain.Point {
+		return domain.Pt2(p.Y(), p.X())
+	})
+	if r := DynamicSelfCheck(d, bounds, transpose); !r.Injective {
+		t.Error("transpose should be injective")
+	}
+	// Collapsing both coordinates to x is not.
+	collapse := projection.Func("collapse", 2, 2, func(p domain.Point) domain.Point {
+		return domain.Pt2(p.X(), 0)
+	})
+	if r := DynamicSelfCheck(d, bounds, collapse); r.Injective {
+		t.Error("collapse should conflict")
+	}
+}
+
+func TestDynamicSelfCheckDiagonalSliceDOM(t *testing.T) {
+	// The Soleil-X DOM case (§6.2.3): project a 3-d diagonal slice to the
+	// 2-d (x,y) exchange plane. Diagonal slices contain no duplicate (x,y)
+	// pairs, so the check passes; a full cube does contain duplicates.
+	bounds3 := domain.Rect3(0, 0, 0, 3, 3, 3)
+	plane := domain.Rect2(0, 0, 3, 3)
+	f := projection.DropTo2D(projection.PlaneXY)
+	diag := domain.DiagonalSlice3(bounds3, 4)
+	if r := DynamicSelfCheck(diag, plane, f); !r.Injective {
+		t.Error("diagonal slice through plane-drop should be injective")
+	}
+	cube := domain.FromRect(bounds3)
+	if r := DynamicSelfCheck(cube, plane, f); r.Injective {
+		t.Error("full cube through plane-drop should conflict")
+	}
+}
+
+func TestDynamicCrossCheckWriteWriteConflict(t *testing.T) {
+	d := domain.Range1(0, 9)
+	bounds := domain.Rect1(0, 19)
+	// Two writes with identical images conflict.
+	args := []CrossArg{
+		{Functor: projection.Identity(1), Writes: true},
+		{Functor: projection.Identity(1), Writes: true},
+	}
+	if r := DynamicCrossCheck(d, bounds, args); r.Safe {
+		t.Error("identical write images must conflict")
+	}
+	// Two writes with disjoint images are safe.
+	args[1] = CrossArg{Functor: projection.Affine1D(1, 10), Writes: true}
+	if r := DynamicCrossCheck(d, bounds, args); !r.Safe {
+		t.Error("disjoint write images should pass")
+	}
+}
+
+func TestDynamicCrossCheckWriteReadConflict(t *testing.T) {
+	d := domain.Range1(0, 9)
+	bounds := domain.Rect1(0, 19)
+	// Write image [0,9], read image [5,14]: overlap at 5..9.
+	args := []CrossArg{
+		{Functor: projection.Identity(1), Writes: true},
+		{Functor: projection.Affine1D(1, 5), Writes: false},
+	}
+	if r := DynamicCrossCheck(d, bounds, args); r.Safe {
+		t.Error("write-read overlap must conflict")
+	}
+	// Read image moved to [10,19]: safe.
+	args[1] = CrossArg{Functor: projection.Affine1D(1, 10), Writes: false}
+	if r := DynamicCrossCheck(d, bounds, args); !r.Safe {
+		t.Error("disjoint write/read images should pass")
+	}
+}
+
+func TestDynamicCrossCheckReadsMayAlias(t *testing.T) {
+	d := domain.Range1(0, 9)
+	bounds := domain.Rect1(0, 9)
+	// Reads sharing an image are fine as long as no write intersects; a
+	// write on a disjoint sub-range coexists.
+	args := []CrossArg{
+		{Functor: projection.Modular1D(1, 0, 5), Writes: false},
+		{Functor: projection.Modular1D(1, 0, 5), Writes: false},
+	}
+	if r := DynamicCrossCheck(d, bounds, args); !r.Safe {
+		t.Error("read-read aliasing should pass")
+	}
+}
+
+func TestDynamicCrossCheckNonInjectiveWriteCaught(t *testing.T) {
+	d := domain.Range1(0, 9)
+	bounds := domain.Rect1(0, 9)
+	args := []CrossArg{
+		{Functor: projection.Modular1D(1, 0, 5), Writes: true},
+	}
+	if r := DynamicCrossCheck(d, bounds, args); r.Safe {
+		t.Error("non-injective write must conflict with itself")
+	}
+}
+
+func TestDynamicCrossCheckOrderIndependence(t *testing.T) {
+	// Read listed before write must still catch the conflict (the
+	// algorithm processes writes first regardless of argument order).
+	d := domain.Range1(0, 9)
+	bounds := domain.Rect1(0, 19)
+	args := []CrossArg{
+		{Functor: projection.Affine1D(1, 5), Writes: false},
+		{Functor: projection.Identity(1), Writes: true},
+	}
+	if r := DynamicCrossCheck(d, bounds, args); r.Safe {
+		t.Error("conflict must be caught regardless of argument order")
+	}
+}
+
+func TestDynamicCrossCheck2D(t *testing.T) {
+	// Multi-dimensional color spaces exercise the generic (linearizing)
+	// path. Write the left column, read the right column: disjoint.
+	d := domain.FromRect(domain.Rect2(0, 0, 3, 0))
+	bounds := domain.Rect2(0, 0, 3, 1)
+	left := projection.Func("left", 2, 2, func(p domain.Point) domain.Point {
+		return domain.Pt2(p.X(), 0)
+	})
+	right := projection.Func("right", 2, 2, func(p domain.Point) domain.Point {
+		return domain.Pt2(p.X(), 1)
+	})
+	args := []CrossArg{
+		{Functor: left, Writes: true},
+		{Functor: right, Writes: false},
+	}
+	if r := DynamicCrossCheck(d, bounds, args); !r.Safe {
+		t.Error("disjoint 2-d columns should pass")
+	}
+	// Reading the same column conflicts.
+	args[1] = CrossArg{Functor: left, Writes: false}
+	if r := DynamicCrossCheck(d, bounds, args); r.Safe {
+		t.Error("same 2-d column must conflict")
+	}
+}
+
+func TestDynamicSelfCheckSparseDomainGenericPath(t *testing.T) {
+	// Sparse domains bypass every fast path; verify the generic loop still
+	// gives exact answers.
+	d := domain.FromPoints([]domain.Point{domain.Pt1(0), domain.Pt1(3), domain.Pt1(7)})
+	bounds := domain.Rect1(0, 9)
+	if r := DynamicSelfCheck(d, bounds, projection.Identity(1)); !r.Injective || r.Evaluated != 3 {
+		t.Errorf("sparse identity: injective=%v evaluated=%d", r.Injective, r.Evaluated)
+	}
+	if r := DynamicSelfCheck(d, bounds, projection.Constant(domain.Pt1(5))); r.Injective {
+		t.Error("sparse constant over 3 points must conflict")
+	}
+}
+
+// Property: the fast specialized paths agree exactly with the generic path
+// (forced by wrapping the functor so its description is opaque).
+func TestSelfCheckFastPathAgreesWithGenericProperty(t *testing.T) {
+	f := func(a int8, b int8, m uint8, span uint8) bool {
+		mod := int64(m%16) + 1
+		fast := projection.Modular1D(int64(a%5), int64(b), mod)
+		// Same function, opaque description: takes the generic loop.
+		generic := projection.Func("wrapped", 1, 1, fast.Project)
+		d := domain.Range1(0, int64(span%24))
+		bounds := domain.Rect1(0, mod-1)
+		rf := DynamicSelfCheck(d, bounds, fast)
+		rg := DynamicSelfCheck(d, bounds, generic)
+		return rf.Injective == rg.Injective && rf.OutOfBounds == rg.OutOfBounds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the linear-time cross-check agrees with the naive pairwise
+// oracle on random affine argument sets.
+func TestCrossCheckAgreesWithPairwiseProperty(t *testing.T) {
+	f := func(offsets [4]uint8, writeBits uint8, span uint8) bool {
+		d := domain.Range1(0, int64(span%12))
+		bounds := domain.Rect1(0, 40)
+		args := make([]CrossArg, 0, 4)
+		for i, off := range offsets {
+			args = append(args, CrossArg{
+				Functor: projection.Affine1D(1, int64(off%28)),
+				Writes:  writeBits&(1<<uint(i)) != 0,
+			})
+		}
+		fast := DynamicCrossCheck(d, bounds, args)
+		slow := PairwiseCrossCheck(d, bounds, args)
+		return fast.Safe == slow.Safe
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the self-check is sound and complete against brute force.
+func TestSelfCheckExactnessProperty(t *testing.T) {
+	f := func(a int8, b uint8, m uint8, span uint8) bool {
+		mod := int64(m%16) + 1
+		fn := projection.Modular1D(int64(a%4), int64(b), mod)
+		d := domain.Range1(0, int64(span%24))
+		bounds := domain.Rect1(0, mod-1)
+		got := DynamicSelfCheck(d, bounds, fn).Injective
+		seen := map[int64]bool{}
+		want := true
+		d.Each(func(p domain.Point) bool {
+			v := fn.Project(p).X()
+			if seen[v] {
+				want = false
+				return false
+			}
+			seen[v] = true
+			return true
+		})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+// TestBulkTracingResolvesCentralizedAnomaly verifies the future-work claim:
+// with launch-granularity tracing, No-DCR + IDX recovers the compact
+// distribution path and beats No-DCR + No-IDX even with tracing enabled —
+// the Figure 4/5 anomaly disappears.
+func TestBulkTracingResolvesCentralizedAnomaly(t *testing.T) {
+	const n = 256
+	prog := flatProgram(n, 1e-3, 10)
+	run := func(idx, bulk bool) float64 {
+		cfg := simpleConfig(n, false, idx)
+		cfg.Tracing = true
+		cfg.BulkTracing = bulk
+		res, err := Run(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakespanSec
+	}
+	// Standard tracing: IDX is (slightly) worse — the anomaly.
+	if idx, noIdx := run(true, false), run(false, false); idx <= noIdx {
+		t.Errorf("standard tracing: IDX (%.5f) should not beat No-IDX (%.5f)", idx, noIdx)
+	}
+	// Bulk tracing: IDX wins decisively.
+	idx, noIdx := run(true, true), run(false, true)
+	if idx >= noIdx {
+		t.Errorf("bulk tracing: IDX (%.5f) must beat No-IDX (%.5f)", idx, noIdx)
+	}
+	if noIdx/idx < 2 {
+		t.Errorf("bulk tracing should restore the compact-path advantage: ratio %.2f", noIdx/idx)
+	}
+}
+
+// TestBulkTracingReducesDCRReplayCost verifies that DCR replays drop from
+// O(local tasks) to O(1) runtime-core work per launch.
+func TestBulkTracingReducesDCRReplayCost(t *testing.T) {
+	const n = 128
+	prog := flatProgram(n, 1e-4, 20)
+	run := func(bulk bool) Result {
+		cfg := simpleConfig(n, true, true)
+		cfg.Tracing = true
+		cfg.BulkTracing = bulk
+		res, err := Run(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	std := run(false)
+	bulk := run(true)
+	if bulk.RuntimeBusySec >= std.RuntimeBusySec {
+		t.Errorf("bulk tracing runtime busy %.6f should be below standard %.6f",
+			bulk.RuntimeBusySec, std.RuntimeBusySec)
+	}
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"indexlaunch/internal/machine"
+)
+
+// Result summarizes one simulated execution.
+type Result struct {
+	// MakespanSec is the completion time of the last task.
+	MakespanSec float64
+	// RuntimeBusySec is the total busy time of all runtime/analysis cores.
+	RuntimeBusySec float64
+	// GPUBusySec is the total busy time of all processors.
+	GPUBusySec float64
+	// Tasks is the number of point tasks executed.
+	Tasks int64
+	// Launches is the number of launches processed.
+	Launches int64
+	// CheckSec is the total time spent in dynamic projection-functor
+	// checks.
+	CheckSec float64
+	// BusyByLaunch is the total processor time per launch name — the
+	// workload profile idxsim prints.
+	BusyByLaunch map[string]float64
+}
+
+// Run simulates prog on cfg and returns the makespan and resource totals.
+func Run(cfg Config, prog Program) (Result, error) {
+	if err := cfg.Machine.Validate(); err != nil {
+		return Result{}, err
+	}
+	stream, inBody := prog.unroll()
+	if len(stream) == 0 {
+		return Result{}, fmt.Errorf("sim: program %q has no launches", prog.Name)
+	}
+
+	n := cfg.Machine.Nodes
+	g := cfg.Machine.GPUs
+	net := cfg.Machine.Net
+	cost := cfg.Cost
+
+	rtFree := make([]float64, n)
+	gpuFree := make([][]float64, n)
+	for i := range gpuFree {
+		gpuFree[i] = make([]float64, g)
+	}
+
+	// Retained per-launch state for dependence lookups.
+	finishes := make([][]float64, len(stream))
+	owners := make([][]int, len(stream))
+
+	res := Result{BusyByLaunch: map[string]float64{}}
+	bodySeen := 0
+	firstBodyLen := len(prog.Body)
+
+	for li, l := range stream {
+		if l.Points <= 0 {
+			return Result{}, fmt.Errorf("sim: launch %q has %d points", l.Name, l.Points)
+		}
+		// Replay holds for body launches after the first body iteration.
+		replay := false
+		if inBody[li] && cfg.Tracing {
+			if bodySeen >= firstBodyLen {
+				replay = true
+			}
+			bodySeen++
+		}
+
+		owner := make([]int, l.Points)
+		localCount := make([]int, n)
+		for p := 0; p < l.Points; p++ {
+			o := 0
+			if l.Owner != nil {
+				o = l.Owner(p, n)
+			} else {
+				o = p * n / l.Points
+			}
+			if o < 0 {
+				o = 0
+			}
+			if o >= n {
+				o = n - 1
+			}
+			owner[p] = o
+			localCount[o]++
+		}
+
+		subregions := l.SubregionCount
+		if subregions <= 0 {
+			subregions = l.Points
+		}
+		phys := cost.PhysBase + cost.PhysPerLog*math.Log2(float64(subregions)+1)
+		checkCost := 0.0
+		if cfg.IDX && l.NonTrivialFunctor && cfg.DynChecks && !replay {
+			args := l.Args
+			if args < 1 {
+				args = 1
+			}
+			checkCost = float64(l.Points) * float64(args) * cost.CheckPerPointArg
+			res.CheckSec += checkCost
+		}
+
+		// --- Issuance, logical analysis, distribution, physical analysis.
+		ready := make([]float64, l.Points)
+		rtBefore := sum(rtFree)
+		if cfg.DCR {
+			runDCR(cfg, l, replay, phys, checkCost, localCount, rtFree)
+			for p := 0; p < l.Points; p++ {
+				ready[p] = rtFree[owner[p]]
+			}
+		} else {
+			runCentralized(cfg, l, replay, phys, checkCost, owner, localCount, rtFree, ready, net)
+		}
+		res.RuntimeBusySec += sum(rtFree) - rtBefore
+
+		// Event propagation + consumer-side mapping latency per dependence
+		// edge; grows slowly with machine size. Analysis itself runs ahead
+		// of execution (deferred execution), so this latency rides on the
+		// dependence chain, not on the analysis clocks.
+		depLat := cost.StageLatency * math.Log2(float64(n)+1)
+
+		// --- Execution.
+		fin := make([]float64, l.Points)
+		localIdx := make([]int, n)
+		for p := 0; p < l.Points; p++ {
+			node := owner[p]
+			start := ready[p]
+			for _, dep := range l.Deps {
+				tgt := li - dep.Back
+				if tgt < 0 {
+					continue
+				}
+				if dep.Barrier {
+					// Any one slowest task bounds the barrier; scan all.
+					for q, fq := range finishes[tgt] {
+						t := fq + depLat
+						if owners[tgt][q] != node {
+							t += net.Transfer(owners[tgt][q], node, l.CommBytes)
+						}
+						if t > start {
+							start = t
+						}
+					}
+					continue
+				}
+				pts := depPoints(dep, p, len(finishes[tgt]))
+				for _, q := range pts {
+					if q < 0 || q >= len(finishes[tgt]) {
+						continue
+					}
+					t := finishes[tgt][q] + depLat
+					if owners[tgt][q] != node {
+						t += net.Transfer(owners[tgt][q], node, l.CommBytes)
+					}
+					if t > start {
+						start = t
+					}
+				}
+			}
+			gi := localIdx[node] % g
+			localIdx[node]++
+			if gpuFree[node][gi] > start {
+				start = gpuFree[node][gi]
+			}
+			end := start + cost.GPULaunch + l.ComputeSec
+			gpuFree[node][gi] = end
+			fin[p] = end
+			res.GPUBusySec += cost.GPULaunch + l.ComputeSec
+			res.BusyByLaunch[l.Name] += cost.GPULaunch + l.ComputeSec
+			if end > res.MakespanSec {
+				res.MakespanSec = end
+			}
+		}
+		finishes[li] = fin
+		owners[li] = owner
+		res.Tasks += int64(l.Points)
+		res.Launches++
+	}
+	return res, nil
+}
+
+func depPoints(dep DepSpec, p, targetLen int) []int {
+	if dep.Map == nil {
+		if p < targetLen {
+			return []int{p}
+		}
+		return nil
+	}
+	return dep.Map(p)
+}
+
+// runDCR charges every node's runtime core for its replicated share of the
+// launch.
+func runDCR(cfg Config, l Launch, replay bool, phys, checkCost float64, localCount []int, rtFree []float64) {
+	cost := cfg.Cost
+	for node := range rtFree {
+		local := float64(localCount[node])
+		var c float64
+		switch {
+		case cfg.IDX && replay && cfg.BulkTracing:
+			// Launch-granularity replay: one memoized dependence decision
+			// per launch, no per-point work.
+			c = cost.LaunchIssue
+			_ = local
+		case cfg.IDX && replay:
+			c = cost.LaunchIssue + local*cost.ReplayPerTask
+		case cfg.IDX:
+			c = cost.LaunchIssue + cost.LogicalLaunch + checkCost +
+				local*(cost.ShardPerLocalTask+phys)
+		case replay:
+			// Control replication replays the whole issuance loop on every
+			// node; tracing elides only the analysis.
+			c = float64(l.Points) * l.perTaskReplay(cost)
+		default:
+			c = float64(l.Points)*l.perTaskIssue(cost) + local*phys
+		}
+		rtFree[node] += c
+	}
+}
+
+// runCentralized charges node 0 for issuance (and, without index launches
+// or with tracing-forced expansion, for per-task processing and sends), the
+// broadcast tree for distribution, and destinations for expansion and
+// physical analysis.
+func runCentralized(cfg Config, l Launch, replay bool, phys, checkCost float64,
+	owner []int, localCount []int, rtFree, ready []float64, net machine.Network) {
+
+	cost := cfg.Cost
+	if cfg.IDX && (!cfg.Tracing || cfg.BulkTracing) {
+		// Compact slice distribution through the broadcast tree. Bulk
+		// trace replays additionally skip logical analysis and the
+		// per-task physical analysis at the destinations.
+		perLocal := cost.ExpandPerTask + phys
+		if replay && cfg.BulkTracing {
+			rtFree[0] += cost.LaunchIssue
+			perLocal = cost.ExpandPerTask
+		} else {
+			rtFree[0] += cost.LaunchIssue + cost.LogicalLaunch + checkCost
+		}
+		t0 := rtFree[0]
+		arrival := make([]float64, len(rtFree))
+		for node := range arrival {
+			if node == 0 {
+				arrival[node] = t0
+				continue
+			}
+			depth := float64(machine.BroadcastDepth(node))
+			arrival[node] = t0 + depth*(net.LatencySec+cost.SliceHandling)
+		}
+		for node := range rtFree {
+			if localCount[node] == 0 {
+				continue
+			}
+			start := rtFree[node]
+			if arrival[node] > start {
+				start = arrival[node]
+			}
+			rtFree[node] = start + float64(localCount[node])*perLocal
+		}
+		for p := range ready {
+			ready[p] = rtFree[owner[p]]
+		}
+		return
+	}
+
+	// Per-task path: either no index launches, or tracing has forced the
+	// launch to expand before distribution (paper §6.2.1). Node 0
+	// processes and ships every task serially.
+	t := rtFree[0]
+	if cfg.IDX {
+		// The index launch is built, then immediately expanded: pure
+		// overhead relative to issuing tasks directly.
+		t += cost.LaunchIssue + float64(l.Points)*cost.ExpandPerTask
+	}
+	// Expanded tasks re-enter the per-task issuance path — with index
+	// launches this comes *on top of* the launch and expansion overhead,
+	// which is the paper's observed slight regression for No-DCR + IDX
+	// under tracing.
+	perTask := l.perTaskIssue(cost)
+	if replay {
+		perTask = l.perTaskReplay(cost)
+	}
+	destFree := make([]float64, len(rtFree))
+	copy(destFree, rtFree)
+	for p := range ready {
+		t += perTask + cost.CentralPerTask
+		node := owner[p]
+		if node == 0 {
+			if !replay {
+				t += phys
+			}
+			ready[p] = t
+			continue
+		}
+		t += cost.SendPerTask
+		arr := t + net.LatencySec
+		start := destFree[node]
+		if arr > start {
+			start = arr
+		}
+		if !replay {
+			start += phys
+		}
+		destFree[node] = start
+		ready[p] = start
+	}
+	rtFree[0] = t
+	for node := 1; node < len(rtFree); node++ {
+		if destFree[node] > rtFree[node] {
+			rtFree[node] = destFree[node]
+		}
+	}
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

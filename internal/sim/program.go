@@ -1,0 +1,136 @@
+package sim
+
+// Program is a simulated application: a prologue, a body executed for a
+// number of iterations (the unit of tracing), and an epilogue. Launches
+// within the body reference each other's tasks through relative dependence
+// specs, which work across iteration boundaries once the stream is
+// unrolled.
+type Program struct {
+	Name       string
+	Prologue   []Launch
+	Body       []Launch
+	Iterations int
+	Epilogue   []Launch
+}
+
+// Launch describes one (index) launch of the simulated program.
+type Launch struct {
+	// Name identifies the launch for diagnostics.
+	Name string
+	// Points is |D|, the number of point tasks.
+	Points int
+	// ComputeSec is the execution time of one point task.
+	ComputeSec float64
+	// CommBytes is the data each point task must receive from each of its
+	// off-node dependencies before it can start (halo traffic).
+	CommBytes float64
+	// Args is the number of region requirements (multiplies the dynamic
+	// check cost).
+	Args int
+	// NonTrivialFunctor marks launches whose projection functors the
+	// static analysis cannot resolve; with Config.DynChecks they pay the
+	// dynamic check at issuance.
+	NonTrivialFunctor bool
+	// Deps lists cross-launch dependence patterns.
+	Deps []DepSpec
+	// Owner optionally overrides the block point → node placement (e.g.
+	// sweep wavefronts); nil selects block placement.
+	Owner func(point, nodes int) int
+	// SubregionCount is |P|, the partition size entering the log-factor of
+	// physical analysis; 0 defaults to Points.
+	SubregionCount int
+	// PerTaskIssue and PerTaskReplay override the cost model's per-task
+	// issuance+analysis cost on the no-IDX path (capture and trace-replay
+	// respectively). The cost is application-dependent: unstructured
+	// region requirements (circuit ghost regions) cost far more per task
+	// than structured tiles, and tracing memoizes structured analysis
+	// almost completely. Zero selects the cost-model defaults.
+	PerTaskIssue, PerTaskReplay float64
+}
+
+func (l Launch) perTaskIssue(c CostModel) float64 {
+	if l.PerTaskIssue > 0 {
+		return l.PerTaskIssue
+	}
+	return c.TaskIssue + c.LogicalTask
+}
+
+func (l Launch) perTaskReplay(c CostModel) float64 {
+	if l.PerTaskReplay > 0 {
+		return l.PerTaskReplay
+	}
+	return c.TaskIssue + c.ReplayPerTask
+}
+
+// DepSpec says that point p of this launch depends on points Map(p) of the
+// launch Back positions earlier in the unrolled stream. Dependencies that
+// reach before the beginning of the stream are ignored.
+type DepSpec struct {
+	// Back is the distance in launches (1 = immediately preceding launch).
+	Back int
+	// Map returns the dependency points; nil means same-point dependence.
+	Map func(p int) []int
+	// Barrier makes every point depend on every point of the target
+	// launch, regardless of Map.
+	Barrier bool
+}
+
+// BarrierOn returns the DepSpec that barriers on the launch back positions
+// earlier.
+func BarrierOn(back int) DepSpec { return DepSpec{Back: back, Barrier: true} }
+
+// SamePoint is the DepSpec mapping each point to the same point of the
+// previous launch.
+func SamePoint(back int) DepSpec {
+	return DepSpec{Back: back, Map: nil}
+}
+
+// Neighbors1D maps point p to {p-r .. p+r} of a launch back positions
+// earlier, clamped to [0, points); the halo-exchange pattern.
+func Neighbors1D(back, radius, points int) DepSpec {
+	return DepSpec{Back: back, Map: func(p int) []int {
+		lo, hi := p-radius, p+radius
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > points-1 {
+			hi = points - 1
+		}
+		out := make([]int, 0, hi-lo+1)
+		for q := lo; q <= hi; q++ {
+			out = append(out, q)
+		}
+		return out
+	}}
+}
+
+// All maps every point to every point of the earlier launch — a full
+// barrier such as a global reduction.
+func All(back, points int) DepSpec {
+	all := make([]int, points)
+	for i := range all {
+		all[i] = i
+	}
+	return DepSpec{Back: back, Map: func(int) []int { return all }}
+}
+
+// unroll flattens the program into a single launch stream.
+func (p Program) unroll() ([]Launch, []bool) {
+	var stream []Launch
+	var inBody []bool
+	stream = append(stream, p.Prologue...)
+	for range p.Prologue {
+		inBody = append(inBody, false)
+	}
+	for i := 0; i < p.Iterations; i++ {
+		stream = append(stream, p.Body...)
+		for range p.Body {
+			inBody = append(inBody, true)
+		}
+	}
+	stream = append(stream, p.Epilogue...)
+	for range p.Epilogue {
+		inBody = append(inBody, false)
+	}
+	return stream, inBody
+}

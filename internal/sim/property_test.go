@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"indexlaunch/internal/machine"
+)
+
+// Property: makespan is monotone in per-task compute time.
+func TestMakespanMonotoneInComputeProperty(t *testing.T) {
+	f := func(nodesSel, computeSel uint8) bool {
+		nodes := 1 << (nodesSel % 6) // 1..32
+		base := float64(computeSel%50+1) * 1e-5
+		cfg := simpleConfig(nodes, true, true)
+		a, err := Run(cfg, flatProgram(nodes, base, 4))
+		if err != nil {
+			return false
+		}
+		b, err := Run(cfg, flatProgram(nodes, base*2, 4))
+		if err != nil {
+			return false
+		}
+		return b.MakespanSec >= a.MakespanSec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under DCR, enabling index launches never hurts (for flat
+// independent workloads) beyond one node. At a single node a compact launch
+// legitimately costs slightly more than issuing its one task directly —
+// the O(1) representation only pays off with parallelism.
+func TestIDXNeverHurtsUnderDCRProperty(t *testing.T) {
+	f := func(nodesSel, itersSel uint8) bool {
+		nodes := 2 << (nodesSel % 8) // 2..256
+		iters := int(itersSel%6) + 2
+		prog := flatProgram(nodes, 1e-4, iters)
+		idx, err := Run(simpleConfig(nodes, true, true), prog)
+		if err != nil {
+			return false
+		}
+		noIdx, err := Run(simpleConfig(nodes, true, false), prog)
+		if err != nil {
+			return false
+		}
+		// Allow a sliver of float slack.
+		return idx.MakespanSec <= noIdx.MakespanSec*1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GPU busy time is conserved across configurations — the runtime
+// mode changes *when* tasks run, never how much work they do.
+func TestGPUBusyConservedProperty(t *testing.T) {
+	f := func(nodesSel uint8, dcr, idx bool) bool {
+		nodes := 1 << (nodesSel % 7)
+		prog := flatProgram(nodes, 1e-4, 3)
+		res, err := Run(Config{
+			Machine: machine.PizDaint(nodes), Cost: DefaultCosts(),
+			DCR: dcr, IDX: idx, DynChecks: true,
+		}, prog)
+		if err != nil {
+			return false
+		}
+		want := float64(nodes) * 3 * (1e-4 + DefaultCosts().GPULaunch)
+		diff := res.GPUBusySec - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: makespan never falls below the critical-path lower bound
+// (iterations × per-task compute for the same-point dependence chain).
+func TestMakespanAboveCriticalPathProperty(t *testing.T) {
+	f := func(nodesSel, itersSel uint8) bool {
+		nodes := 1 << (nodesSel % 6)
+		iters := int(itersSel%8) + 1
+		compute := 1e-4
+		res, err := Run(simpleConfig(nodes, true, true), flatProgram(nodes, compute, iters))
+		if err != nil {
+			return false
+		}
+		bound := float64(iters) * compute
+		return res.MakespanSec >= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
