@@ -21,6 +21,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/stencil", "9 replays"},
 		{"./examples/soleil", "0 fallbacks"},
 		{"./examples/compilerdemo", "index launch (static)"},
+		{"./examples/faulttol", "degraded-mode completion: sum=300000 (want 300000)"},
 	}
 	for _, c := range cases {
 		c := c

@@ -2,7 +2,6 @@ package rt
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"indexlaunch/internal/core"
 	"indexlaunch/internal/privilege"
@@ -35,12 +34,11 @@ type launchSig struct {
 }
 
 type bulkTemplate struct {
-	id       uint64
-	sigs     []launchSig
-	deps     [][]int // intra-trace launch-index dependencies per launch
-	external []bool  // launch had dependencies from outside the trace
-	writes   map[fieldKey][]region.Interval
-	reads    map[fieldKey][]region.Interval
+	id     uint64
+	sigs   []launchSig
+	deps   [][]int // intra-trace launch-index dependencies per launch
+	writes map[fieldKey][]region.Interval
+	reads  map[fieldKey][]region.Interval
 }
 
 type bulkState struct {
@@ -51,8 +49,7 @@ type bulkState struct {
 	// the launch (within the trace) that issued it.
 	evLaunch map[*Event]int
 	// Pending per-launch dependence accumulation during capture.
-	curDeps     map[int]struct{}
-	curExternal bool
+	curDeps map[int]struct{}
 
 	// Replay state.
 	cursor   int
@@ -103,7 +100,7 @@ func (r *Runtime) endBulkTrace(id uint64) error {
 			r.bulkStore = map[uint64]*bulkTemplate{}
 		}
 		r.bulkStore[id] = bs.tmpl
-		atomic.AddInt64(&r.captures, 1)
+		r.captures.Add(1)
 	case traceReplaying:
 		if bs.cursor != len(bs.tmpl.sigs) {
 			return fmt.Errorf("rt: bulk trace %d replay issued %d of %d launches",
@@ -116,19 +113,19 @@ func (r *Runtime) endBulkTrace(id uint64) error {
 		for key, ivs := range bs.tmpl.reads {
 			r.vm.access(key.tree, key.field, ivs, privilege.Read, privilege.OpNone, terminal)
 		}
-		r.outstanding = append(r.outstanding, terminal)
-		atomic.AddInt64(&r.replays, 1)
+		r.outstanding = append(r.outstanding, pendingTask{ev: terminal, name: "bulk-trace-replay", tag: "trace"})
+		r.replays.Add(1)
 	}
 	return nil
 }
 
 // bulkCaptureDep records one point-level dependence edge during capture,
-// coarsened to launch granularity.
+// coarsened to launch granularity. Edges to events issued outside the trace
+// carry no information worth keeping: pre-episode ordering is reconstructed
+// at replay time from the version map (startEv), never from the capture run.
 func (bs *bulkState) captureDep(dep *Event) {
 	if idx, ok := bs.evLaunch[dep]; ok {
 		bs.curDeps[idx] = struct{}{}
-	} else {
-		bs.curExternal = true
 	}
 }
 
@@ -156,9 +153,7 @@ func (bs *bulkState) captureLaunchDone(task core.TaskID, points int) {
 	}
 	bs.tmpl.sigs = append(bs.tmpl.sigs, launchSig{task: task, points: points})
 	bs.tmpl.deps = append(bs.tmpl.deps, deps)
-	bs.tmpl.external = append(bs.tmpl.external, bs.curExternal)
 	bs.curDeps = map[int]struct{}{}
-	bs.curExternal = false
 }
 
 // replayLaunchDeps returns the shared precondition events for every point
@@ -173,12 +168,17 @@ func (bs *bulkState) replayLaunchDeps(task core.TaskID, points int) []*Event {
 		panic(fmt.Sprintf("rt: bulk trace %d replay diverged at launch %d: captured task %d/%d pts, replayed task %d/%d pts",
 			bs.tmpl.id, bs.cursor, sig.task, sig.points, task, points))
 	}
-	var deps []*Event
+	// Every replayed launch waits on the episode boundary in addition to
+	// its intra-trace deps. A capture-time "had external deps" flag cannot
+	// stand in for this: a launch that read *fresh* data during capture
+	// (no prior tasks, so no edges) is indistinguishable from one that is
+	// genuinely independent, yet at replay time the same read races with
+	// whatever wrote the region since — typically the previous episode.
+	// Launches with intra-trace deps reach startEv transitively, so this
+	// costs nothing beyond the chain roots that truly need it.
+	deps := []*Event{bs.startEv}
 	for _, j := range bs.tmpl.deps[bs.cursor] {
 		deps = append(deps, bs.done[j])
-	}
-	if bs.tmpl.external[bs.cursor] {
-		deps = append(deps, bs.startEv)
 	}
 	return deps
 }

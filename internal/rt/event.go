@@ -12,15 +12,25 @@
 // cluster model.
 package rt
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
 
 // Event is a one-shot completion signal. Events order task execution: each
 // task carries a set of precondition events and triggers its own completion
-// event when it finishes. The zero value is not usable; create events with
-// NewEvent or use Completed.
+// event when it finishes. An event may trigger *poisoned* — carrying the
+// error of the task it represents — so that failures propagate along the
+// same dependence edges as completions. The zero value is not usable;
+// create events with NewEvent or use Completed.
 type Event struct {
 	ch   chan struct{}
 	once sync.Once
+	// err is written at most once, inside the trigger's once.Do before ch
+	// closes; readers must only load it after observing the close, which
+	// gives the necessary happens-before edge.
+	err error
 }
 
 // NewEvent returns an untriggered event.
@@ -37,6 +47,27 @@ func Completed() *Event {
 // Trigger fires the event. Triggering is idempotent.
 func (e *Event) Trigger() { e.once.Do(func() { close(e.ch) }) }
 
+// Poison fires the event carrying err, marking the work it represents as
+// failed. Dependents observe the error through Err, WaitErr or WaitAllErr.
+// Poisoning an already-triggered event is a no-op; Poison(nil) is Trigger.
+func (e *Event) Poison(err error) {
+	e.once.Do(func() {
+		e.err = err
+		close(e.ch)
+	})
+}
+
+// Err returns the poison error if the event has triggered poisoned, and nil
+// if it triggered cleanly or has not triggered yet.
+func (e *Event) Err() error {
+	select {
+	case <-e.ch:
+		return e.err
+	default:
+		return nil
+	}
+}
+
 // Done reports whether the event has triggered without blocking.
 func (e *Event) Done() bool {
 	select {
@@ -50,6 +81,23 @@ func (e *Event) Done() bool {
 // Wait blocks until the event triggers.
 func (e *Event) Wait() { <-e.ch }
 
+// WaitErr blocks until the event triggers and returns its poison error.
+func (e *Event) WaitErr() error {
+	<-e.ch
+	return e.err
+}
+
+// WaitContext blocks until the event triggers or ctx is done, returning the
+// poison error or the context's error respectively.
+func (e *Event) WaitContext(ctx context.Context) error {
+	select {
+	case <-e.ch:
+		return e.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // WaitAll blocks until every event in evs has triggered.
 func WaitAll(evs []*Event) {
 	for _, e := range evs {
@@ -57,9 +105,22 @@ func WaitAll(evs []*Event) {
 	}
 }
 
-// Merge returns an event that triggers once all inputs have triggered.
-// Merging zero events yields a completed event; merging one returns it
-// unchanged.
+// WaitAllErr blocks until every event in evs has triggered and returns the
+// joined poison errors, nil if all triggered cleanly.
+func WaitAllErr(evs []*Event) error {
+	var errs []error
+	for _, e := range evs {
+		if err := e.WaitErr(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Merge returns an event that triggers once all inputs have triggered. If
+// any input triggered poisoned, the merged event is poisoned with the
+// joined errors. Merging zero events yields a completed event; merging one
+// returns it unchanged.
 func Merge(evs ...*Event) *Event {
 	switch len(evs) {
 	case 0:
@@ -69,7 +130,10 @@ func Merge(evs ...*Event) *Event {
 	}
 	out := NewEvent()
 	go func() {
-		WaitAll(evs)
+		if err := WaitAllErr(evs); err != nil {
+			out.Poison(err)
+			return
+		}
 		out.Trigger()
 	}()
 	return out

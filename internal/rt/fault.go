@@ -1,0 +1,242 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"indexlaunch/internal/domain"
+)
+
+// This file is the runtime's fault model. The paper's pipeline (§5) assumes
+// every point task of an index launch completes; here that assumption is
+// relaxed along three axes, in the spirit of task-based middlewares that
+// treat worker failure and re-execution as scheduling concerns:
+//
+//   - task failure: a task body that returns an error or panics poisons its
+//     completion event instead of crashing the process; dependents observe
+//     ErrUpstreamFailed through the same dependence edges that order
+//     execution, and either skip or run per Config.OnUpstreamFailure.
+//   - transient failure: Config.Retry re-executes a failed attempt on the
+//     task's original node, with bounded exponential backoff. Reductions
+//     buffer in private instances and flush only on success, so a failed
+//     attempt leaves no partial folds behind.
+//   - node failure: a FaultInjector (or Runtime.KillNode) marks a simulated
+//     node dead at a deterministic issuance boundary. The dead node drains
+//     work it already accepted but accepts no new tasks: every subsequently
+//     issued point task the mapper assigns to it is re-mapped onto the
+//     surviving nodes through the Mapper interface (the sharding functor
+//     evaluated over the surviving-node count), on both the DCR and the
+//     centralized path.
+//
+// All kill decisions happen under issueMu, in program order, so for a fixed
+// seed and Config the fault counters in Stats are fully deterministic.
+
+// ErrUpstreamFailed marks a task that was skipped because a task it depends
+// on failed. Errors returned by Future.Get, FutureMap.WaitErr and FenceErr
+// match it with errors.Is.
+var ErrUpstreamFailed = errors.New("rt: upstream task failed")
+
+// FailurePolicy selects what dependents of a failed task do.
+type FailurePolicy int
+
+const (
+	// SkipDependents (the default) skips tasks whose preconditions are
+	// poisoned: their futures fail with ErrUpstreamFailed wrapping the
+	// upstream cause, and the skip cascades downstream.
+	SkipDependents FailurePolicy = iota
+	// RunDependents executes dependents normally even when an upstream
+	// task failed — the caller takes responsibility for interpreting
+	// partial data.
+	RunDependents
+)
+
+// String renders the policy name.
+func (p FailurePolicy) String() string {
+	if p == RunDependents {
+		return "RunDependents"
+	}
+	return "SkipDependents"
+}
+
+// RetryPolicy bounds re-execution of failed point tasks.
+type RetryPolicy struct {
+	// Max is the number of re-executions allowed per task after the first
+	// attempt; 0 disables retry.
+	Max int
+	// Backoff is the sleep before the first re-execution; each further
+	// attempt doubles it. Zero retries immediately.
+	Backoff time.Duration
+}
+
+// backoffFor returns the sleep before re-execution attempt (1-based).
+func (rp RetryPolicy) backoffFor(attempt int) time.Duration {
+	if rp.Backoff <= 0 || attempt < 1 {
+		return 0
+	}
+	d := rp.Backoff << (attempt - 1)
+	if d < rp.Backoff { // overflow
+		return rp.Backoff
+	}
+	return d
+}
+
+// TaskError describes a terminally failed or skipped point task: which task
+// variant, which launch point, which node, and why.
+type TaskError struct {
+	// Task is the registered task name; Tag is the launch tag.
+	Task string
+	Tag  string
+	// Point is the task's launch point; Node the node it ran on.
+	Point domain.Point
+	Node  int
+	// Attempts is how many executions were tried (0 for skipped tasks).
+	Attempts int
+	// PanicValue is the recovered panic value when the task panicked.
+	PanicValue any
+	// Err is the underlying cause: the body's returned error, or
+	// ErrUpstreamFailed (wrapping the upstream error) for skipped tasks.
+	Err error
+}
+
+// Error implements error.
+func (e *TaskError) Error() string {
+	switch {
+	case e.PanicValue != nil:
+		return fmt.Sprintf("rt: task %q point %v (node %d) panicked after %d attempt(s): %v",
+			e.Task, e.Point, e.Node, e.Attempts, e.PanicValue)
+	case e.Attempts == 0:
+		return fmt.Sprintf("rt: task %q point %v (node %d) skipped: %v",
+			e.Task, e.Point, e.Node, e.Err)
+	default:
+		return fmt.Sprintf("rt: task %q point %v (node %d) failed after %d attempt(s): %v",
+			e.Task, e.Point, e.Node, e.Attempts, e.Err)
+	}
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// FaultInjector schedules deterministic simulated node failures. Kills
+// trigger at issuance boundaries: a kill with AfterIssued = n fires once the
+// runtime has issued n point tasks (runtime-wide, in program order), so
+// repeated runs of the same program with the same injector plan fail
+// identically. An injector belongs to one Runtime; build a fresh one per
+// run.
+type FaultInjector struct {
+	seed  int64
+	rng   *rand.Rand
+	kills []nodeKill
+}
+
+type nodeKill struct {
+	node        int
+	afterIssued int64
+	applied     bool
+}
+
+// NewFaultInjector returns an injector whose random choices (KillRandomNode)
+// derive from seed.
+func NewFaultInjector(seed int64) *FaultInjector {
+	return &FaultInjector{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the injector's seed.
+func (fi *FaultInjector) Seed() int64 { return fi.seed }
+
+// KillNode schedules node to die once afterIssued point tasks have been
+// issued. Returns the injector for chaining.
+func (fi *FaultInjector) KillNode(node int, afterIssued int64) *FaultInjector {
+	fi.kills = append(fi.kills, nodeKill{node: node, afterIssued: afterIssued})
+	return fi
+}
+
+// KillRandomNode schedules a seeded-random node in [0, nodes) to die once
+// afterIssued point tasks have been issued.
+func (fi *FaultInjector) KillRandomNode(nodes int, afterIssued int64) *FaultInjector {
+	return fi.KillNode(fi.rng.Intn(nodes), afterIssued)
+}
+
+// faultCheck is the per-point issuance hook: it re-maps the point off a dead
+// node, counts the issue, and applies any injector kills whose threshold
+// this issue reached. Caller holds issueMu; d is the launch domain (used by
+// the sharding functor when re-mapping).
+func (r *Runtime) faultCheck(d domain.Domain, p domain.Point, node int) int {
+	if r.dead[node] {
+		node = r.remapPoint(d, p, node)
+		r.remapped.Add(1)
+	}
+	r.issuedTotal++
+	if fi := r.cfg.Fault; fi != nil {
+		for i := range fi.kills {
+			k := &fi.kills[i]
+			if !k.applied && r.issuedTotal >= k.afterIssued {
+				k.applied = true
+				r.killNodeLocked(k.node)
+			}
+		}
+	}
+	return node
+}
+
+// remapPoint re-maps a point assigned to a dead node onto the surviving
+// nodes: the mapper's sharding functor is evaluated over the surviving-node
+// count and the result indexes the sorted list of live nodes. Caller holds
+// issueMu.
+func (r *Runtime) remapPoint(d domain.Domain, p domain.Point, orig int) int {
+	alive := make([]int, 0, r.cfg.Nodes)
+	for n, dead := range r.dead {
+		if !dead {
+			alive = append(alive, n)
+		}
+	}
+	if len(alive) == 0 {
+		return orig // unreachable: the last live node cannot be killed
+	}
+	i := r.mapper.ShardPoint(d, p, len(alive))
+	return alive[clampNode(i, len(alive))]
+}
+
+// killNodeLocked marks node dead, refusing out-of-range nodes, repeat
+// kills, and killing the last surviving node. Caller holds issueMu.
+func (r *Runtime) killNodeLocked(node int) bool {
+	if node < 0 || node >= len(r.dead) || r.dead[node] {
+		return false
+	}
+	live := 0
+	for _, dead := range r.dead {
+		if !dead {
+			live++
+		}
+	}
+	if live <= 1 {
+		return false
+	}
+	r.dead[node] = true
+	r.nodeFailures.Add(1)
+	return true
+}
+
+// KillNode marks a simulated node dead at the next issuance boundary:
+// tasks the node already accepted drain, but every point task issued
+// afterwards is re-mapped to a surviving node. Returns false if the node is
+// out of range, already dead, or the last one alive.
+func (r *Runtime) KillNode(node int) bool {
+	r.issueMu.Lock()
+	defer r.issueMu.Unlock()
+	return r.killNodeLocked(node)
+}
+
+// AliveNodes returns the ids of nodes still accepting work, in order.
+func (r *Runtime) AliveNodes() []int {
+	r.issueMu.Lock()
+	defer r.issueMu.Unlock()
+	alive := make([]int, 0, r.cfg.Nodes)
+	for n, dead := range r.dead {
+		if !dead {
+			alive = append(alive, n)
+		}
+	}
+	return alive
+}

@@ -1,10 +1,13 @@
 package rt
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"indexlaunch/internal/domain"
 )
@@ -20,10 +23,16 @@ type Future struct {
 
 func newFuture() *Future { return &Future{ev: NewEvent()} }
 
+// complete records the task's result. A failure poisons the completion
+// event so the error propagates along dependence edges.
 func (f *Future) complete(val []byte, err error) {
 	f.mu.Lock()
 	f.val, f.err = val, err
 	f.mu.Unlock()
+	if err != nil {
+		f.ev.Poison(err)
+		return
+	}
 	f.ev.Trigger()
 }
 
@@ -36,6 +45,22 @@ func (f *Future) Get() ([]byte, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.val, f.err
+}
+
+// GetContext is Get bounded by a context, so a hung task cannot block the
+// caller forever.
+func (f *Future) GetContext(ctx context.Context) ([]byte, error) {
+	if err := f.ev.WaitContext(ctx); err != nil && !f.ev.Done() {
+		return nil, fmt.Errorf("rt: future: %w", err)
+	}
+	return f.Get()
+}
+
+// GetTimeout is Get with a deadline.
+func (f *Future) GetTimeout(d time.Duration) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return f.GetContext(ctx)
 }
 
 // GetF64 decodes the payload as a little-endian float64.
@@ -57,14 +82,23 @@ func EncodeF64(v float64) []byte {
 	return b
 }
 
-// FutureMap is the result of an index launch: one future per launch point.
+// FutureMap is the result of an index launch: one future per launch point,
+// in canonical (issuance) point order.
 type FutureMap struct {
+	points  []domain.Point
 	futures map[domain.Point]*Future
 	done    *Event
 }
 
 func newFutureMap() *FutureMap {
 	return &FutureMap{futures: map[domain.Point]*Future{}}
+}
+
+func (m *FutureMap) add(p domain.Point, f *Future) {
+	if _, dup := m.futures[p]; !dup {
+		m.points = append(m.points, p)
+	}
+	m.futures[p] = f
 }
 
 // At returns the future for launch point p.
@@ -76,19 +110,61 @@ func (m *FutureMap) At(p domain.Point) (*Future, error) {
 	return f, nil
 }
 
-// Event returns an event that triggers when every point task completes.
+// Len returns the number of point tasks in the map.
+func (m *FutureMap) Len() int { return len(m.points) }
+
+// Event returns an event that triggers when every point task completes; it
+// is poisoned if any task failed.
 func (m *FutureMap) Event() *Event { return m.done }
 
 // Wait blocks until every point task completes and returns the first error
 // encountered (in canonical point order), if any.
 func (m *FutureMap) Wait() error {
 	m.done.Wait()
-	for _, f := range m.futures {
-		if _, err := f.Get(); err != nil {
+	for _, p := range m.points {
+		if _, err := m.futures[p].Get(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// WaitErr blocks until every point task completes and returns the joined
+// errors of every failed point, in canonical point order.
+func (m *FutureMap) WaitErr() error {
+	m.done.Wait()
+	var errs []error
+	for _, p := range m.points {
+		if _, err := m.futures[p].Get(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// WaitTimeout is Wait with a deadline: if some point task has not completed
+// within d, it returns an error naming the first unfinished point instead
+// of blocking forever.
+func (m *FutureMap) WaitTimeout(d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := m.done.WaitContext(ctx); err != nil && !m.done.Done() {
+		unfinished := 0
+		var first domain.Point
+		for _, p := range m.points {
+			if !m.futures[p].ev.Done() {
+				if unfinished == 0 {
+					first = p
+				}
+				unfinished++
+			}
+		}
+		if unfinished > 0 {
+			return fmt.Errorf("rt: future map: %w; %d point task(s) unfinished, first: point %v",
+				err, unfinished, first)
+		}
+	}
+	return m.Wait()
 }
 
 // SumF64 waits for every point task and sums their float64 payloads — the
@@ -98,8 +174,8 @@ func (m *FutureMap) SumF64() (float64, error) {
 		return 0, err
 	}
 	var s float64
-	for _, f := range m.futures {
-		v, err := f.GetF64()
+	for _, p := range m.points {
+		v, err := m.futures[p].GetF64()
 		if err != nil {
 			return 0, err
 		}
@@ -109,9 +185,9 @@ func (m *FutureMap) SumF64() (float64, error) {
 }
 
 func (m *FutureMap) seal() {
-	evs := make([]*Event, 0, len(m.futures))
-	for _, f := range m.futures {
-		evs = append(evs, f.ev)
+	evs := make([]*Event, 0, len(m.points))
+	for _, p := range m.points {
+		evs = append(evs, m.futures[p].ev)
 	}
 	m.done = Merge(evs...)
 }

@@ -1,9 +1,12 @@
 package rt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"indexlaunch/internal/core"
 	"indexlaunch/internal/domain"
@@ -45,6 +48,16 @@ type Config struct {
 	Checks safety.Options
 	// Mapper controls distribution; nil selects BlockMapper.
 	Mapper Mapper
+	// Retry re-executes failed point tasks (body errors and panics) on
+	// their original node with exponential backoff. The zero value
+	// disables retry.
+	Retry RetryPolicy
+	// OnUpstreamFailure selects what dependents of a failed task do; the
+	// zero value, SkipDependents, fails them with ErrUpstreamFailed.
+	OnUpstreamFailure FailurePolicy
+	// Fault optionally injects deterministic simulated node failures at
+	// issuance boundaries; nil injects none.
+	Fault *FaultInjector
 }
 
 // Stats counts runtime pipeline activity; read them with Runtime.Stats.
@@ -73,6 +86,18 @@ type Stats struct {
 	// AnalysisSkipped counts point tasks whose dependence analysis was
 	// satisfied from a trace template instead of the version map.
 	AnalysisSkipped int64
+	// Panics counts task-body panics recovered by the executor (every
+	// attempt counts); Retries counts re-executions of failed attempts.
+	Panics  int64
+	Retries int64
+	// TasksFailed counts tasks that failed terminally (after retries);
+	// TasksSkipped counts tasks skipped because an upstream task failed.
+	TasksFailed  int64
+	TasksSkipped int64
+	// NodeFailures counts simulated nodes killed; Remapped counts point
+	// tasks re-mapped off a dead node at issuance.
+	NodeFailures int64
+	Remapped     int64
 }
 
 // Runtime is a single-process implementation of the paper's runtime
@@ -92,7 +117,7 @@ type Runtime struct {
 
 	issueMu     sync.Mutex
 	reduceMu    sync.Mutex
-	outstanding []*Event
+	outstanding []pendingTask
 	trace       *traceState
 	traceStore  map[uint64]*traceTemplate
 	bulk        *bulkState
@@ -102,16 +127,38 @@ type Runtime struct {
 	pendingBulkDeps []*Event
 	pendingPointEvs []*Event
 
+	// Fault state, guarded by issueMu: node liveness and the issuance
+	// counter that drives deterministic fault injection.
+	dead        []bool
+	issuedTotal int64
+
+	// Pipeline counters. All are atomics so Stats can snapshot them
+	// without tearing while tasks execute concurrently.
 	tasksExecuted atomic.Int64
-	dynEvals      int64
-	captures      int64
-	replays       int64
-	skipped       int64
-	launchCalls   int64
-	singleCalls   int64
-	indexLaunched int64
-	expanded      int64
-	fallbacks     int64
+	dynEvals      atomic.Int64
+	captures      atomic.Int64
+	replays       atomic.Int64
+	skipped       atomic.Int64
+	launchCalls   atomic.Int64
+	singleCalls   atomic.Int64
+	indexLaunched atomic.Int64
+	expanded      atomic.Int64
+	fallbacks     atomic.Int64
+	panics        atomic.Int64
+	retries       atomic.Int64
+	tasksFailed   atomic.Int64
+	tasksSkipped  atomic.Int64
+	nodeFailures  atomic.Int64
+	remapped      atomic.Int64
+}
+
+// pendingTask is an outstanding point task a fence may wait on, with enough
+// identity to name it in timeout errors.
+type pendingTask struct {
+	ev    *Event
+	name  string // registered task name (or a synthetic label)
+	tag   string
+	point domain.Point
 }
 
 type taskEntry struct {
@@ -131,12 +178,16 @@ func New(cfg Config) (*Runtime, error) {
 	if m == nil {
 		m = BlockMapper{}
 	}
+	if cfg.Retry.Max < 0 {
+		return nil, fmt.Errorf("rt: config requires Retry.Max >= 0, got %d", cfg.Retry.Max)
+	}
 	r := &Runtime{
 		cfg:    cfg,
 		mapper: m,
 		byName: map[string]core.TaskID{},
 		vm:     newVersionMap(),
 		slots:  make([]chan struct{}, cfg.Nodes),
+		dead:   make([]bool, cfg.Nodes),
 	}
 	for i := range r.slots {
 		r.slots[i] = make(chan struct{}, cfg.ProcsPerNode)
@@ -177,24 +228,32 @@ func (r *Runtime) MustRegisterTask(name string, fn TaskFn) core.TaskID {
 // Config returns the runtime's configuration.
 func (r *Runtime) Config() Config { return r.cfg }
 
-// Stats returns a snapshot of the pipeline counters.
+// Stats returns a snapshot of the pipeline counters. Every counter is
+// maintained atomically (or copied under its owning lock), so snapshots
+// taken while tasks execute concurrently are never torn.
 func (r *Runtime) Stats() Stats {
 	r.vm.mu.Lock()
 	vq, de := r.vm.queries, r.vm.deps
 	r.vm.mu.Unlock()
 	return Stats{
-		LaunchCalls:       atomic.LoadInt64(&r.launchCalls),
-		SingleCalls:       atomic.LoadInt64(&r.singleCalls),
-		IndexLaunched:     atomic.LoadInt64(&r.indexLaunched),
-		Expanded:          atomic.LoadInt64(&r.expanded),
-		Fallbacks:         atomic.LoadInt64(&r.fallbacks),
+		LaunchCalls:       r.launchCalls.Load(),
+		SingleCalls:       r.singleCalls.Load(),
+		IndexLaunched:     r.indexLaunched.Load(),
+		Expanded:          r.expanded.Load(),
+		Fallbacks:         r.fallbacks.Load(),
 		TasksExecuted:     r.tasksExecuted.Load(),
 		VersionQueries:    vq,
 		DepEdges:          de,
-		DynamicCheckEvals: atomic.LoadInt64(&r.dynEvals),
-		TraceCaptures:     atomic.LoadInt64(&r.captures),
-		TraceReplays:      atomic.LoadInt64(&r.replays),
-		AnalysisSkipped:   atomic.LoadInt64(&r.skipped),
+		DynamicCheckEvals: r.dynEvals.Load(),
+		TraceCaptures:     r.captures.Load(),
+		TraceReplays:      r.replays.Load(),
+		AnalysisSkipped:   r.skipped.Load(),
+		Panics:            r.panics.Load(),
+		Retries:           r.retries.Load(),
+		TasksFailed:       r.tasksFailed.Load(),
+		TasksSkipped:      r.tasksSkipped.Load(),
+		NodeFailures:      r.nodeFailures.Load(),
+		Remapped:          r.remapped.Load(),
 	}
 }
 
@@ -204,7 +263,7 @@ func (r *Runtime) Stats() Stats {
 func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 	r.issueMu.Lock()
 	defer r.issueMu.Unlock()
-	atomic.AddInt64(&r.launchCalls, 1)
+	r.launchCalls.Add(1)
 
 	if int(l.Task) >= len(r.tasks) {
 		return nil, fmt.Errorf("rt: launch %q names unregistered task %d", l.Tag, l.Task)
@@ -213,18 +272,18 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 	useIndex := r.cfg.IndexLaunches
 	if useIndex && r.cfg.VerifyLaunches && !r.replaying() && !r.bulkReplaying() {
 		res := l.Verify(r.cfg.Checks)
-		atomic.AddInt64(&r.dynEvals, res.DynamicEvaluations)
+		r.dynEvals.Add(res.DynamicEvaluations)
 		if !res.Safe {
 			// Listing 3's else-branch: run the original task loop.
-			atomic.AddInt64(&r.fallbacks, 1)
+			r.fallbacks.Add(1)
 			useIndex = false
 		}
 	}
 
 	if useIndex {
-		atomic.AddInt64(&r.indexLaunched, 1)
+		r.indexLaunched.Add(1)
 	} else {
-		atomic.AddInt64(&r.expanded, 1)
+		r.expanded.Add(1)
 	}
 
 	// Distribution: compute the node for every point. With DCR the
@@ -247,9 +306,9 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 			req := l.Requirements[i]
 			prs[i] = PhysicalRegion{Region: reg, Priv: req.Priv, RedOp: req.RedOp, Fields: req.Fields}
 		}
-		node := assign(pt.Point)
+		node := r.faultCheck(l.Domain, pt.Point, assign(pt.Point))
 		fut := r.issuePoint(l.Task, l.Tag, pt.Point, node, prs, l.ArgsAt(pt.Point))
-		fm.futures[pt.Point] = fut
+		fm.add(pt.Point, fut)
 		return true
 	})
 	if err != nil {
@@ -285,7 +344,7 @@ type SingleReq struct {
 func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, args []byte) (*Future, error) {
 	r.issueMu.Lock()
 	defer r.issueMu.Unlock()
-	atomic.AddInt64(&r.singleCalls, 1)
+	r.singleCalls.Add(1)
 	if int(task) >= len(r.tasks) {
 		return nil, fmt.Errorf("rt: single launch %q names unregistered task %d", tag, task)
 	}
@@ -297,7 +356,8 @@ func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, 
 		prs[i] = PhysicalRegion{Region: req.Region, Priv: req.Priv, RedOp: req.RedOp, Fields: req.Fields}
 	}
 	p := domain.Pt1(0)
-	node := r.mapper.ShardPoint(domain.Range1(0, 0), p, r.cfg.Nodes)
+	node := clampNode(r.mapper.ShardPoint(domain.Range1(0, 0), p, r.cfg.Nodes), r.cfg.Nodes)
+	node = r.faultCheck(domain.Range1(0, 0), p, node)
 	if r.bulkReplaying() {
 		r.pendingBulkDeps = r.bulk.replayLaunchDeps(task, 1)
 		r.pendingPointEvs = r.pendingPointEvs[:0]
@@ -356,11 +416,11 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 	switch {
 	case r.replaying():
 		deps = r.trace.replayDeps(task, p, ev)
-		atomic.AddInt64(&r.skipped, 1)
+		r.skipped.Add(1)
 	case r.bulkReplaying():
 		deps = r.pendingBulkDeps
 		r.pendingPointEvs = append(r.pendingPointEvs, ev)
-		atomic.AddInt64(&r.skipped, 1)
+		r.skipped.Add(1)
 	default:
 		depSet := map[*Event]struct{}{}
 		for _, pr := range prs {
@@ -386,26 +446,82 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 		}
 	}
 
-	r.outstanding = append(r.outstanding, ev)
+	name := r.tasks[task].name
+	r.outstanding = append(r.outstanding, pendingTask{ev: ev, name: name, tag: tag, point: p})
 	r.pruneOutstanding()
 
-	ctx := &Context{Point: p, Node: node, Task: task, Args: args, regions: prs}
 	fn := r.tasks[task].fn
+	retry := r.cfg.Retry
+	skipOnFailure := r.cfg.OnUpstreamFailure == SkipDependents
 	go func() {
-		WaitAll(deps)
+		if cause := WaitAllErr(deps); cause != nil && skipOnFailure {
+			// A precondition is poisoned: skip the body and cascade the
+			// failure downstream through this task's own event.
+			r.tasksSkipped.Add(1)
+			fut.complete(nil, &TaskError{
+				Task: name, Tag: tag, Point: p, Node: node,
+				Err: fmt.Errorf("%w: %w", ErrUpstreamFailed, cause),
+			})
+			return
+		}
 		slot := r.slots[node]
 		slot <- struct{}{}
 		defer func() { <-slot }()
-		val, err := fn(ctx)
-		if len(ctx.reducers) > 0 || len(ctx.reducersI64) > 0 {
-			r.reduceMu.Lock()
-			ctx.flushReductions()
-			r.reduceMu.Unlock()
+		var val []byte
+		var err error
+		attempts := 0
+		for {
+			// A fresh Context per attempt: a failed attempt must not leak
+			// buffered reductions or accessor state into its retry.
+			ctx := &Context{Point: p, Node: node, Task: task, Args: args, regions: prs}
+			val, err = r.runBody(fn, ctx)
+			if err == nil {
+				attempts++
+				if len(ctx.reducers) > 0 || len(ctx.reducersI64) > 0 {
+					r.reduceMu.Lock()
+					ctx.flushReductions()
+					r.reduceMu.Unlock()
+				}
+				break
+			}
+			attempts++
+			if attempts > retry.Max {
+				break
+			}
+			r.retries.Add(1)
+			if d := retry.backoffFor(attempts); d > 0 {
+				time.Sleep(d)
+			}
 		}
 		r.tasksExecuted.Add(1)
+		if err != nil {
+			r.tasksFailed.Add(1)
+			te := &TaskError{Task: name, Tag: tag, Point: p, Node: node, Attempts: attempts, Err: err}
+			if pe, ok := err.(*panicError); ok {
+				te.PanicValue, te.Err = pe.value, nil
+			}
+			err = te
+		}
 		fut.complete(val, err)
 	}()
 	return fut
+}
+
+// panicError carries a recovered task-body panic out of runBody.
+type panicError struct{ value any }
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.value) }
+
+// runBody executes one attempt of a task body, converting a panic into an
+// error so a faulty task cannot take down the process.
+func (r *Runtime) runBody(fn TaskFn, ctx *Context) (val []byte, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.panics.Add(1)
+			err = &panicError{value: rec}
+		}
+	}()
+	return fn(ctx)
 }
 
 func (r *Runtime) pruneOutstanding() {
@@ -413,23 +529,83 @@ func (r *Runtime) pruneOutstanding() {
 		return
 	}
 	kept := r.outstanding[:0]
-	for _, e := range r.outstanding {
-		if !e.Done() {
-			kept = append(kept, e)
+	for _, pt := range r.outstanding {
+		if !pt.ev.Done() {
+			kept = append(kept, pt)
 		}
 	}
 	r.outstanding = kept
 }
 
-// Fence blocks until every previously issued task has completed — an
-// execution fence in Legion terms.
-func (r *Runtime) Fence() {
+// takePending atomically drains the outstanding task list.
+func (r *Runtime) takePending() []pendingTask {
 	r.issueMu.Lock()
-	waiting := make([]*Event, len(r.outstanding))
+	waiting := make([]pendingTask, len(r.outstanding))
 	copy(waiting, r.outstanding)
 	r.outstanding = r.outstanding[:0]
 	r.issueMu.Unlock()
-	WaitAll(waiting)
+	return waiting
+}
+
+// Fence blocks until every previously issued task has completed — an
+// execution fence in Legion terms. Failed tasks are treated as completed;
+// use FenceErr to observe their errors, or FenceTimeout / FenceContext to
+// bound the wait on a hung task.
+func (r *Runtime) Fence() {
+	for _, pt := range r.takePending() {
+		pt.ev.Wait()
+	}
+}
+
+// FenceErr blocks like Fence and returns the joined errors of every task
+// that failed or was skipped since the previous fence, nil if all
+// succeeded.
+func (r *Runtime) FenceErr() error {
+	var errs []error
+	for _, pt := range r.takePending() {
+		if err := pt.ev.WaitErr(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// FenceTimeout is FenceErr with a deadline: if some task has not completed
+// within d, it returns an error naming the unfinished tasks (first by task
+// name and point) instead of blocking forever. Unfinished tasks remain
+// outstanding, so a later fence still waits for them.
+func (r *Runtime) FenceTimeout(d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return r.FenceContext(ctx)
+}
+
+// FenceContext is FenceErr bounded by a context. On cancellation the
+// unfinished tasks are put back on the outstanding list and a descriptive
+// error naming them is returned.
+func (r *Runtime) FenceContext(ctx context.Context) error {
+	pend := r.takePending()
+	var errs []error
+	for i, pt := range pend {
+		if waitErr := pt.ev.WaitContext(ctx); waitErr != nil {
+			if pt.ev.Done() {
+				// The task completed (the wait may have raced with the
+				// cancellation); record its poison error, if any.
+				if err := pt.ev.Err(); err != nil {
+					errs = append(errs, err)
+				}
+				continue
+			}
+			unfinished := pend[i:]
+			r.issueMu.Lock()
+			r.outstanding = append(r.outstanding, unfinished...)
+			r.issueMu.Unlock()
+			first := unfinished[0]
+			return fmt.Errorf("rt: fence: %w; %d task(s) unfinished, first: task %q launch %q point %v",
+				ctx.Err(), len(unfinished), first.name, first.tag, first.point)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 func (r *Runtime) taskName(id core.TaskID) string {

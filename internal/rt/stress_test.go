@@ -3,6 +3,7 @@ package rt
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"indexlaunch/internal/core"
@@ -176,6 +177,176 @@ func TestStressRandomProgramsMatchSequentialModel(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestStressFaultMatrixMatchesSequentialModel runs the random-program
+// harness under the full fault matrix — node-failure injection × {DCR,
+// centralized} × {IndexLaunches on, off} × retries — with every third
+// (op, point) pair failing transiently on its first attempt (half of those
+// by panicking). Retries must recover every transient, re-mapping must
+// absorb the node kill, and the final region contents must match the
+// fault-free sequential model exactly. Run with -race.
+func TestStressFaultMatrixMatchesSequentialModel(t *testing.T) {
+	const (
+		blocks    = 8
+		blockSize = 4
+		elements  = blocks * blockSize
+		opsPerRun = 24
+	)
+	for _, dcr := range []bool{false, true} {
+		for _, idx := range []bool{false, true} {
+			name := fmt.Sprintf("dcr=%v/idx=%v", dcr, idx)
+			t.Run(name, func(t *testing.T) {
+				runStressWithFaults(t, Config{
+					Nodes: 4, ProcsPerNode: 2, DCR: dcr, IndexLaunches: idx,
+					Retry: RetryPolicy{Max: 2},
+					Fault: NewFaultInjector(11).KillRandomNode(4, 40),
+				}, blocks, blockSize, elements, opsPerRun, 3)
+			})
+		}
+	}
+}
+
+// TestStressFaultCountersDeterministic repeats one faulty configuration and
+// checks the fault counters in Stats are identical across runs: same seed +
+// same Config ⇒ same Panics, Retries, NodeFailures, Remapped.
+func TestStressFaultCountersDeterministic(t *testing.T) {
+	const (
+		blocks    = 8
+		blockSize = 4
+		elements  = blocks * blockSize
+		opsPerRun = 24
+	)
+	var prev *Stats
+	for run := 0; run < 3; run++ {
+		st := runStressWithFaults(t, Config{
+			Nodes: 4, ProcsPerNode: 2, DCR: true, IndexLaunches: true,
+			Retry: RetryPolicy{Max: 2},
+			Fault: NewFaultInjector(11).KillRandomNode(4, 40),
+		}, blocks, blockSize, elements, opsPerRun, 3)
+		if prev != nil {
+			if st.Panics != prev.Panics || st.Retries != prev.Retries ||
+				st.TasksFailed != prev.TasksFailed || st.TasksSkipped != prev.TasksSkipped ||
+				st.NodeFailures != prev.NodeFailures || st.Remapped != prev.Remapped {
+				t.Fatalf("run %d fault counters diverged:\n%+v\n%+v", run, st, *prev)
+			}
+		}
+		prev = &st
+	}
+	if prev.Retries == 0 || prev.NodeFailures != 1 || prev.Remapped == 0 || prev.Panics == 0 {
+		t.Errorf("fault machinery unexercised: %+v", *prev)
+	}
+}
+
+// runStressWithFaults executes one random program under cfg with transient
+// first-attempt failures injected into every third (op, point) pair, checks
+// the final contents against the sequential model, and returns the stats.
+func runStressWithFaults(t *testing.T, cfg Config, blocks, blockSize, elements int64, opsPerRun, progSeed int) Stats {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(progSeed)))
+	ops := randomOps(rng, opsPerRun, blocks)
+
+	model := make([]float64, elements)
+
+	r := MustNew(cfg)
+	fs := region.MustFieldSpace(region.Field{ID: 0, Name: "v", Kind: region.F64})
+	tree := region.MustNewTree("stress", domain.Range1(0, elements-1), fs)
+	part, err := tree.PartitionEqual(tree.Root(), "blocks", int(blocks))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Transient-fault schedule: (op, point) pairs with (op+point)%3 == 0
+	// fail on their first attempt — by panic when the sum is even, by error
+	// otherwise. The failure fires before any region access, so a retried
+	// attempt always sees clean state.
+	var mu sync.Mutex
+	attempts := map[[2]int64]int{}
+	firstAttemptFails := func(op, point int64) (fail, viaPanic bool) {
+		mu.Lock()
+		attempts[[2]int64{op, point}]++
+		first := attempts[[2]int64{op, point}] == 1
+		mu.Unlock()
+		s := op + point
+		return first && s%3 == 0, s%2 == 0
+	}
+
+	task := r.MustRegisterTask("op", func(ctx *Context) ([]byte, error) {
+		opIdx := int64(ctx.Args[1])
+		if fail, viaPanic := firstAttemptFails(opIdx, ctx.Point.X()); fail {
+			if viaPanic {
+				panic(fmt.Sprintf("injected panic at op %d point %v", opIdx, ctx.Point))
+			}
+			return nil, fmt.Errorf("injected fault at op %d point %v", opIdx, ctx.Point)
+		}
+		scale := float64(ctx.Args[0])
+		pr, _ := ctx.Region(0)
+		switch pr.Priv {
+		case privilege.Write:
+			acc, err := ctx.WriteF64(0, 0)
+			if err != nil {
+				return nil, err
+			}
+			pr.Region.Domain.Each(func(p domain.Point) bool {
+				acc.Set(p, scale)
+				return true
+			})
+		case privilege.ReadWrite:
+			acc, err := ctx.WriteF64(0, 0)
+			if err != nil {
+				return nil, err
+			}
+			in, err := ctx.ReadF64(0, 0)
+			if err != nil {
+				return nil, err
+			}
+			pr.Region.Domain.Each(func(p domain.Point) bool {
+				acc.Set(p, in.Get(p)*scale+1)
+				return true
+			})
+		case privilege.Reduce:
+			red, err := ctx.ReduceF64(0, 0)
+			if err != nil {
+				return nil, err
+			}
+			pr.Region.Domain.Each(func(p domain.Point) bool {
+				red.Fold(p, scale)
+				return true
+			})
+		}
+		return nil, nil
+	})
+
+	for i, op := range ops {
+		applySequential(model, blockSize, op, blocks)
+		req := core.Requirement{
+			Partition: part,
+			Functor:   projection.Modular1D(1, op.shift, blocks),
+			Priv:      op.priv,
+			Fields:    []region.FieldID{0},
+		}
+		if op.priv == privilege.Reduce {
+			req.RedOp = privilege.OpSumF64
+		}
+		launch := core.MustForall("op", task, domain.Range1(op.domLo, op.domHi), req)
+		launch.Args = []byte{byte(op.scale), byte(i)}
+		if _, err := r.ExecuteIndex(launch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.FenceErr(); err != nil {
+		t.Fatalf("faulty run did not recover: %v", err)
+	}
+
+	acc := region.MustFieldF64(tree.Root(), 0)
+	for e := int64(0); e < elements; e++ {
+		got := acc.Get(domain.Pt1(e))
+		if got != model[e] {
+			t.Fatalf("element %d = %v, sequential model says %v (fault recovery diverged)",
+				e, got, model[e])
+		}
+	}
+	return r.Stats()
 }
 
 // TestStressOverlappingWritersSerializeDeterministically issues the same

@@ -2,7 +2,6 @@ package rt
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"indexlaunch/internal/core"
 	"indexlaunch/internal/domain"
@@ -17,10 +16,10 @@ import (
 // version-map queries entirely.
 //
 // A replayed trace is stitched to the surrounding program with two
-// conservative joints: every op that had a dependence from outside the
-// trace during capture waits on the merged last-events of all data the
-// trace touches, and at the end of a replay the version map is bulk-updated
-// so later un-traced work orders correctly after the trace.
+// conservative joints: every replayed op waits on the merged last-events of
+// all data the trace touches (computed live at replay time), and at the end
+// of a replay the version map is bulk-updated so later un-traced work orders
+// correctly after the trace.
 //
 // Replays must issue exactly the ops that were captured (same tasks, same
 // points, same launch boundaries); a divergent replay is a programming
@@ -42,7 +41,6 @@ type traceTemplate struct {
 	id       uint64
 	sigs     []opSig
 	deps     [][]int // intra-trace dependence indices per op
-	external []bool  // op had at least one dependence from outside the trace
 	launches []int   // ops consumed per launch call, for replay validation
 	writes   map[fieldKey][]region.Interval
 	reads    map[fieldKey][]region.Interval
@@ -137,7 +135,7 @@ func (r *Runtime) EndTrace(id uint64) error {
 	case traceCapturing:
 		ts.tmpl.id = id
 		r.traceTemplates()[id] = ts.tmpl
-		atomic.AddInt64(&r.captures, 1)
+		r.captures.Add(1)
 	case traceReplaying:
 		if ts.cursor != len(ts.tmpl.sigs) {
 			return fmt.Errorf("rt: trace %d replay issued %d of %d ops", id, ts.cursor, len(ts.tmpl.sigs))
@@ -152,8 +150,8 @@ func (r *Runtime) EndTrace(id uint64) error {
 		for key, ivs := range ts.tmpl.reads {
 			r.vm.access(key.tree, key.field, ivs, privilege.Read, privilege.OpNone, terminal)
 		}
-		r.outstanding = append(r.outstanding, terminal)
-		atomic.AddInt64(&r.replays, 1)
+		r.outstanding = append(r.outstanding, pendingTask{ev: terminal, name: "trace-replay", tag: "trace"})
+		r.replays.Add(1)
 	}
 	return nil
 }
@@ -164,17 +162,18 @@ func (ts *traceState) recordOp(task core.TaskID, p domain.Point, ev *Event, deps
 	idx := len(ts.tmpl.sigs)
 	ts.evIdx[ev] = idx
 	ts.tmpl.sigs = append(ts.tmpl.sigs, opSig{task: task, point: p})
+	// Edges to events from outside the trace are dropped: pre-episode
+	// ordering is reconstructed at replay time from the version map
+	// (startEv), never from the capture run, whose timing-dependent view
+	// of pre-trace state (e.g. fresh, never-written regions) says nothing
+	// about what a replay will find.
 	var intra []int
-	external := false
 	for _, d := range deps {
 		if j, ok := ts.evIdx[d]; ok {
 			intra = append(intra, j)
-		} else {
-			external = true
 		}
 	}
 	ts.tmpl.deps = append(ts.tmpl.deps, intra)
-	ts.tmpl.external = append(ts.tmpl.external, external)
 	for _, pr := range prs {
 		ivs := pr.Region.Intervals()
 		for _, f := range pr.Fields {
@@ -200,12 +199,12 @@ func (ts *traceState) replayDeps(task core.TaskID, p domain.Point, ev *Event) []
 			ts.tmpl.id, ts.cursor, sig.task, sig.point, task, p))
 	}
 	ts.events[ts.cursor] = ev
-	var deps []*Event
+	// Every replayed op waits on the episode boundary in addition to its
+	// intra-trace deps; ops with intra-trace deps reach startEv
+	// transitively, so only the chain roots gain an edge.
+	deps := []*Event{ts.startEv}
 	for _, j := range ts.tmpl.deps[ts.cursor] {
 		deps = append(deps, ts.events[j])
-	}
-	if ts.tmpl.external[ts.cursor] {
-		deps = append(deps, ts.startEv)
 	}
 	ts.cursor++
 	return deps

@@ -72,9 +72,13 @@ func (vm *versionMap) access(tree region.TreeID, field region.FieldID,
 	for _, iv := range ivs {
 		fs.accessInterval(iv.Lo, iv.Hi, priv, redOp, ev, depSet)
 	}
+	// Already-done events stay in the dependence set: waiting on a closed
+	// event is free, and filtering them would make the edge set depend on
+	// execution timing — dropping launch-ordering edges from trace capture
+	// and hiding upstream poison from dependents issued after the failure.
 	deps := make([]*Event, 0, len(depSet))
 	for d := range depSet {
-		if d != ev && !d.Done() {
+		if d != ev {
 			deps = append(deps, d)
 		}
 	}
@@ -237,7 +241,10 @@ func (vm *versionMap) lastEvents(tree region.TreeID, field region.FieldID, ivs [
 	}
 	out := make([]*Event, 0, len(set))
 	for e := range set {
-		if !e.Done() {
+		// Finished events are elided (observing Done establishes the
+		// ordering already) — unless poisoned, so that a replayed episode
+		// still observes upstream failure.
+		if !e.Done() || e.Err() != nil {
 			out = append(out, e)
 		}
 	}

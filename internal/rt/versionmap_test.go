@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"fmt"
 	"testing"
 
 	"indexlaunch/internal/privilege"
@@ -168,15 +169,29 @@ func TestVersionMapTreesIndependent(t *testing.T) {
 	}
 }
 
-func TestVersionMapCompletedDepsElided(t *testing.T) {
+func TestVersionMapCompletedDepsRetained(t *testing.T) {
+	// The dependence edge set must not depend on execution timing: an
+	// already-triggered upstream event is still returned (waiting on it is
+	// free), so trace capture sees every edge and dependents issued after
+	// an upstream failure still observe its poison.
 	vm := newVersionMap()
 	w := NewEvent()
 	w.Trigger()
 	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w)
 	r := NewEvent()
 	deps := vm.access(1, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r)
-	if len(deps) != 0 {
-		t.Error("already-triggered dependencies should be elided")
+	if len(deps) != 1 || deps[0] != w {
+		t.Errorf("deps = %v, want the completed writer retained", deps)
+	}
+
+	vm2 := newVersionMap()
+	p := NewEvent()
+	p.Poison(fmt.Errorf("upstream died"))
+	vm2.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, p)
+	r2 := NewEvent()
+	deps = vm2.access(1, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r2)
+	if err := WaitAllErr(deps); err == nil {
+		t.Error("poison from a completed upstream writer must reach later dependents")
 	}
 }
 

@@ -80,6 +80,10 @@ type CostModel struct {
 	// propagation that every stage pays and that grow slowly with machine
 	// size.
 	StageLatency float64
+	// RetryPenalty is the scheduling overhead of re-executing a failed
+	// point task (failure detection + requeue), charged per retry on top
+	// of the repeated kernel launch and compute time.
+	RetryPenalty float64
 }
 
 // DefaultCosts returns the calibrated cost model used by the experiments.
@@ -100,7 +104,17 @@ func DefaultCosts() CostModel {
 		ReplayPerTask:     1.2e-6,
 		GPULaunch:         8e-6,
 		StageLatency:      12e-6,
+		RetryPenalty:      25e-6,
 	}
+}
+
+// FaultModel injects deterministic task failures into the execution stage,
+// mirroring internal/rt's retry machinery in the cost domain: every
+// RetryEvery-th point task (counted runtime-wide in issuance order) fails
+// once and re-executes on its processor, paying RetryPenalty plus a second
+// kernel launch and compute. Zero disables injection.
+type FaultModel struct {
+	RetryEvery int64
 }
 
 // Config selects one simulated execution configuration — one curve of one
@@ -123,6 +137,8 @@ type Config struct {
 	// DynChecks enables the dynamic projection-functor checks for launches
 	// flagged NonTrivialFunctor.
 	DynChecks bool
+	// Faults optionally injects deterministic task re-execution.
+	Faults FaultModel
 }
 
 // Label renders the configuration the way the paper's legends do.

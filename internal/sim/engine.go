@@ -22,6 +22,8 @@ type Result struct {
 	// CheckSec is the total time spent in dynamic projection-functor
 	// checks.
 	CheckSec float64
+	// Retries is the number of injected task re-executions (Config.Faults).
+	Retries int64
 	// BusyByLaunch is the total processor time per launch name — the
 	// workload profile idxsim prints.
 	BusyByLaunch map[string]float64
@@ -55,6 +57,7 @@ func Run(cfg Config, prog Program) (Result, error) {
 	res := Result{BusyByLaunch: map[string]float64{}}
 	bodySeen := 0
 	firstBodyLen := len(prog.Body)
+	var issuedTotal int64 // drives deterministic fault injection
 
 	for li, l := range stream {
 		if l.Points <= 0 {
@@ -165,11 +168,20 @@ func Run(cfg Config, prog Program) (Result, error) {
 			if gpuFree[node][gi] > start {
 				start = gpuFree[node][gi]
 			}
-			end := start + cost.GPULaunch + l.ComputeSec
+			busy := cost.GPULaunch + l.ComputeSec
+			issuedTotal++
+			if re := cfg.Faults.RetryEvery; re > 0 && issuedTotal%re == 0 {
+				// Injected failure: the attempt is re-executed on the same
+				// processor after the retry scheduling penalty.
+				busy += cost.GPULaunch + l.ComputeSec
+				start += cost.RetryPenalty
+				res.Retries++
+			}
+			end := start + busy
 			gpuFree[node][gi] = end
 			fin[p] = end
-			res.GPUBusySec += cost.GPULaunch + l.ComputeSec
-			res.BusyByLaunch[l.Name] += cost.GPULaunch + l.ComputeSec
+			res.GPUBusySec += busy
+			res.BusyByLaunch[l.Name] += busy
 			if end > res.MakespanSec {
 				res.MakespanSec = end
 			}

@@ -316,3 +316,45 @@ func TestCustomOwnerPlacement(t *testing.T) {
 		t.Errorf("pinned tasks should serialize: %.4fs", res.MakespanSec)
 	}
 }
+
+func TestFaultRetryOverhead(t *testing.T) {
+	// A 16-task launch with every 4th task re-executing once: 4 retries,
+	// each costing an extra launch + compute on the GPU clocks, plus the
+	// retry penalty. The model is deterministic: repeated runs agree, and
+	// disabling faults recovers the baseline exactly.
+	cfg := simpleConfig(1, true, true)
+	prog := flatProgram(16, 1e-3, 1)
+
+	base, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Retries != 0 {
+		t.Errorf("baseline retries = %d, want 0", base.Retries)
+	}
+
+	cfg.Faults = FaultModel{RetryEvery: 4}
+	faulty, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Retries != 4 {
+		t.Errorf("retries = %d, want 4", faulty.Retries)
+	}
+	wantExtraBusy := 4 * (cfg.Cost.GPULaunch + 1e-3)
+	if got := faulty.GPUBusySec - base.GPUBusySec; math.Abs(got-wantExtraBusy) > 1e-9 {
+		t.Errorf("extra GPU busy = %v, want %v", got, wantExtraBusy)
+	}
+	if faulty.MakespanSec <= base.MakespanSec {
+		t.Errorf("retries should stretch the makespan: %v <= %v",
+			faulty.MakespanSec, base.MakespanSec)
+	}
+
+	again, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Retries != faulty.Retries || again.MakespanSec != faulty.MakespanSec {
+		t.Errorf("fault model nondeterministic: %+v vs %+v", again, faulty)
+	}
+}
