@@ -24,6 +24,7 @@ func main() {
 	chart := flag.Bool("chart", false, "render figures as ASCII charts instead of tables")
 	iters := flag.Int("iters", 0, "simulated timesteps per data point (0 = default)")
 	maxNodes := flag.Int("max-nodes", 0, "cap the node sweep (0 = paper's range)")
+	profile := flag.String("profile", "", "with -fig: also profile the figure's DCR+IDX configuration and write a Chrome trace (view with idxprof)")
 	flag.Parse()
 
 	render := func(f bench.Figure) string {
@@ -45,6 +46,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(render(gen(opts)))
+		if *profile != "" {
+			p, err := bench.ProfileFigure(*fig, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "idxbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := p.WriteFile(*profile); err != nil {
+				fmt.Fprintf(os.Stderr, "idxbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("profile: wrote %s (%d events, %d nodes); inspect with: idxprof %s\n",
+				*profile, len(p.Events), p.Nodes, *profile)
+		}
+	case *profile != "":
+		fmt.Fprintln(os.Stderr, "idxbench: -profile requires -fig")
+		os.Exit(2)
 	case *table != 0:
 		gen, ok := tables[*table]
 		if !ok {

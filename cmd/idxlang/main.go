@@ -19,6 +19,7 @@ import (
 	"indexlaunch/internal/core"
 	"indexlaunch/internal/domain"
 	"indexlaunch/internal/lang"
+	"indexlaunch/internal/obs"
 	"indexlaunch/internal/region"
 	"indexlaunch/internal/rt"
 )
@@ -48,6 +49,7 @@ func main() {
 	useDemo := flag.Bool("demo", false, "compile the built-in demo program")
 	blocks := flag.Int("blocks", 32, "blocks per synthetic partition in -run mode")
 	elems := flag.Int64("elems", 1024, "elements per synthetic collection in -run mode")
+	profile := flag.String("profile", "", "with -run: write a pipeline profile as Chrome trace JSON (view with idxprof)")
 	flag.Parse()
 
 	src := demo
@@ -71,15 +73,33 @@ func main() {
 	fmt.Print(plan.Report())
 
 	if !*runIt {
+		if *profile != "" {
+			fmt.Fprintln(os.Stderr, "idxlang: -profile requires -run")
+			os.Exit(2)
+		}
 		return
 	}
-	b, err := syntheticBinding(plan, *blocks, *elems)
+	var rec *obs.Recorder
+	if *profile != "" {
+		rec = obs.NewRecorder("rt", 4, 1<<14)
+	}
+	b, err := syntheticBinding(plan, *blocks, *elems, rec)
 	if err != nil {
 		fail(err)
 	}
 	stats, err := lang.Exec(plan, b)
 	if err != nil {
 		fail(err)
+	}
+	if rec != nil {
+		b.RT.Fence()
+		rec.SetWall(rec.Now())
+		p := rec.Snapshot()
+		if err := p.WriteFile(*profile); err != nil {
+			fail(err)
+		}
+		fmt.Printf("profile: wrote %s (%d events); inspect with: idxprof %s\n",
+			*profile, len(p.Events), *profile)
 	}
 	fmt.Printf("\nexecution: %d index launches, %d dynamic checks (%d functor evals), %d task loops, %d single tasks\n",
 		stats.IndexLaunches, stats.DynamicBranches, stats.CheckEvals, stats.TaskLoops, stats.SingleTasks)
@@ -90,8 +110,8 @@ func main() {
 
 // syntheticBinding builds a no-op task for every declared task and a fresh
 // partitioned collection for every partition name the plan references.
-func syntheticBinding(plan *lang.Plan, blocks int, elems int64) (*lang.Binding, error) {
-	r, err := rt.New(rt.Config{Nodes: 4, ProcsPerNode: 2, DCR: true, IndexLaunches: true})
+func syntheticBinding(plan *lang.Plan, blocks int, elems int64, rec *obs.Recorder) (*lang.Binding, error) {
+	r, err := rt.New(rt.Config{Nodes: 4, ProcsPerNode: 2, DCR: true, IndexLaunches: true, Profile: rec})
 	if err != nil {
 		return nil, err
 	}

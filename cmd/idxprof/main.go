@@ -1,0 +1,38 @@
+// Command idxprof analyzes a profile dumped by the -profile flag of
+// idxbench, idxsim or idxlang (or by any program using internal/obs): it
+// prints per-node ASCII timelines, per-stage and per-launch aggregation
+// tables, and the critical path through the recorded dependence graph. The
+// input is Chrome trace_event JSON, so the same file also loads directly in
+// chrome://tracing or Perfetto.
+//
+//	idxprof p.json
+//	idxprof -width 120 -steps 20 p.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"indexlaunch/internal/obs"
+)
+
+func main() {
+	width := flag.Int("width", 80, "timeline width in columns")
+	steps := flag.Int("steps", 12, "critical-path chain steps to print")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: idxprof [-width n] [-steps n] profile.json")
+		os.Exit(2)
+	}
+	p, err := obs.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "idxprof: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(obs.RenderSummary(p))
+	fmt.Println()
+	fmt.Print(obs.RenderTimeline(p, *width))
+	fmt.Println()
+	fmt.Print(obs.CriticalPath(p).Render(p.WallNS, *steps))
+}

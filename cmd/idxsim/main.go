@@ -16,6 +16,7 @@ import (
 	"indexlaunch/internal/apps/soleil"
 	"indexlaunch/internal/apps/stencil"
 	"indexlaunch/internal/machine"
+	"indexlaunch/internal/obs"
 	"indexlaunch/internal/sim"
 )
 
@@ -29,7 +30,8 @@ func main() {
 	checks := flag.Bool("checks", true, "dynamic projection-functor checks")
 	weak := flag.Bool("weak", true, "weak scaling (fixed per-node problem); false = strong")
 	overdecompose := flag.Int("overdecompose", 1, "tasks per node (circuit)")
-	profile := flag.Bool("profile", false, "print per-launch processor-time breakdown")
+	breakdown := flag.Bool("breakdown", false, "print per-launch processor-time breakdown")
+	profile := flag.String("profile", "", "write a pipeline profile of the run as Chrome trace JSON (view with idxprof)")
 	flag.Parse()
 
 	var prog sim.Program
@@ -79,6 +81,11 @@ func main() {
 		Machine: machine.PizDaint(*nodes), Cost: sim.DefaultCosts(),
 		DCR: *dcr, IDX: *idx, Tracing: *tracing, DynChecks: *checks,
 	}
+	var rec *obs.Recorder
+	if *profile != "" {
+		rec = obs.NewRecorder("sim", *nodes, 1<<14)
+		cfg.Profile = rec
+	}
 	res, err := sim.Run(cfg, prog)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "idxsim: %v\n", err)
@@ -90,7 +97,16 @@ func main() {
 	describe(res)
 	fmt.Printf("runtime cores busy: %.4f s total; processors busy: %.4f s; dynamic checks: %.6f s\n",
 		res.RuntimeBusySec, res.GPUBusySec, res.CheckSec)
-	if *profile {
+	if rec != nil {
+		p := rec.Snapshot()
+		if err := p.WriteFile(*profile); err != nil {
+			fmt.Fprintf(os.Stderr, "idxsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile: wrote %s (%d events); inspect with: idxprof %s\n",
+			*profile, len(p.Events), *profile)
+	}
+	if *breakdown {
 		names := make([]string, 0, len(res.BusyByLaunch))
 		for name := range res.BusyByLaunch {
 			names = append(names, name)

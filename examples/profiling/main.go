@@ -1,0 +1,81 @@
+// Profiling: attach an internal/obs recorder to a real runtime run AND to
+// the matching cluster simulation, then analyze both event streams with the
+// same tools — per-stage tables, ASCII node timelines, and the critical
+// path. The dumped trace.json loads directly in chrome://tracing/Perfetto
+// and in cmd/idxprof.
+//
+//	go run ./examples/profiling
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"indexlaunch/internal/apps/circuit"
+	"indexlaunch/internal/machine"
+	"indexlaunch/internal/obs"
+	"indexlaunch/internal/rt"
+	"indexlaunch/internal/sim"
+)
+
+func main() {
+	const pieces, iters = 8, 10
+
+	// --- Real run: the circuit app on internal/rt with profiling on.
+	rec := obs.NewRecorder("rt", 4, 1<<14)
+	c, err := circuit.Build(circuit.Params{
+		Pieces: pieces, NodesPerPiece: 100, WiresPerPiece: 300,
+		CrossFraction: 0.1, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runtime := rt.MustNew(rt.Config{
+		Nodes: 4, ProcsPerNode: 2,
+		DCR: true, IndexLaunches: true, VerifyLaunches: true,
+		Profile: rec,
+	})
+	if err := circuit.NewApp(c, runtime).Run(iters); err != nil {
+		log.Fatal(err)
+	}
+	rec.SetWall(rec.Now())
+	real := rec.Snapshot()
+
+	fmt.Println("=== real runtime (internal/rt) ===")
+	fmt.Print(obs.RenderSummary(real))
+	fmt.Println()
+	fmt.Print(obs.RenderTimeline(real, 72))
+	fmt.Println()
+	fmt.Print(obs.CriticalPath(real).Render(real.WallNS, 6))
+
+	// The dump is Chrome trace_event JSON: load it in chrome://tracing,
+	// Perfetto, or idxprof.
+	out := filepath.Join(os.TempDir(), "profiling-example-trace.json")
+	if err := real.WriteFile(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s; view with: go run ./cmd/idxprof %s\n\n", out, out)
+
+	// --- Simulated run: the same workload through the cost model emits the
+	// same event vocabulary on the simulated clock.
+	simRec := obs.NewRecorder("sim", pieces, 1<<14)
+	if _, err := sim.Run(sim.Config{
+		Machine: machine.PizDaint(pieces), Cost: sim.DefaultCosts(),
+		DCR: true, IDX: true, Tracing: true, DynChecks: true,
+		Profile: simRec,
+	}, circuit.SimProgram(circuit.SimParams{
+		Nodes: pieces, TasksPerNode: 1, WiresPerTask: 2e5, Iters: iters,
+	})); err != nil {
+		log.Fatal(err)
+	}
+	simProf := simRec.Snapshot()
+
+	fmt.Println("=== simulated cluster (internal/sim) ===")
+	fmt.Print(obs.RenderSummary(simProf))
+	fmt.Println()
+	fmt.Print(obs.RenderTimeline(simProf, 72))
+	fmt.Println()
+	fmt.Print(obs.CriticalPath(simProf).Render(simProf.WallNS, 6))
+}

@@ -1,10 +1,27 @@
 package repro
 
 import (
+	"os"
 	"os/exec"
 	"strings"
 	"testing"
 )
+
+// exampleCases maps every runnable example to the key line it should print;
+// TestExamplesCovered fails when a directory under examples/ is missing
+// here, so new examples cannot silently rot.
+var exampleCases = []struct {
+	path string
+	want string
+}{
+	{"./examples/quickstart", "sum of all task results: 49500000"},
+	{"./examples/circuit", "max divergence"},
+	{"./examples/stencil", "9 replays"},
+	{"./examples/soleil", "0 fallbacks"},
+	{"./examples/compilerdemo", "index launch (static)"},
+	{"./examples/faulttol", "degraded-mode completion: sum=300000 (want 300000)"},
+	{"./examples/profiling", "critical path:"},
+}
 
 // TestExamplesRun builds and runs every example binary end to end, checking
 // for the key line each should print. Skipped with -short.
@@ -12,18 +29,7 @@ func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("examples are integration tests; skipped with -short")
 	}
-	cases := []struct {
-		path string
-		want string
-	}{
-		{"./examples/quickstart", "sum of all task results: 49500000"},
-		{"./examples/circuit", "max divergence"},
-		{"./examples/stencil", "9 replays"},
-		{"./examples/soleil", "0 fallbacks"},
-		{"./examples/compilerdemo", "index launch (static)"},
-		{"./examples/faulttol", "degraded-mode completion: sum=300000 (want 300000)"},
-	}
-	for _, c := range cases {
+	for _, c := range exampleCases {
 		c := c
 		t.Run(strings.TrimPrefix(c.path, "./examples/"), func(t *testing.T) {
 			t.Parallel()
@@ -35,6 +41,58 @@ func TestExamplesRun(t *testing.T) {
 				t.Errorf("%s output missing %q:\n%s", c.path, c.want, out)
 			}
 		})
+	}
+}
+
+// TestExamplesCovered verifies every directory under examples/ has a case
+// in exampleCases (and that no case points at a deleted example).
+func TestExamplesCovered(t *testing.T) {
+	covered := map[string]bool{}
+	for _, c := range exampleCases {
+		covered[strings.TrimPrefix(c.path, "./examples/")] = true
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		onDisk[e.Name()] = true
+		if !covered[e.Name()] {
+			t.Errorf("examples/%s has no case in exampleCases; add a smoke test", e.Name())
+		}
+	}
+	for name := range covered {
+		if !onDisk[name] {
+			t.Errorf("exampleCases lists ./examples/%s which does not exist", name)
+		}
+	}
+}
+
+// TestProfilePipeline exercises the profiling path end to end: idxbench
+// dumps a Chrome trace of one figure's representative run, and idxprof
+// loads it back and prints timelines, aggregates, and a critical path.
+func TestProfilePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration tests; skipped with -short")
+	}
+	trace := t.TempDir() + "/p.json"
+	out, err := exec.Command("go", "run", "./cmd/idxbench",
+		"-fig", "5", "-max-nodes", "8", "-iters", "3", "-profile", trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("idxbench -profile: %v\n%s", err, out)
+	}
+	out, err = exec.Command("go", "run", "./cmd/idxprof", trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("idxprof: %v\n%s", err, out)
+	}
+	for _, want := range []string{"per-stage totals", "per-launch totals", "node timelines", "critical path:", "100.0%"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("idxprof output missing %q:\n%s", want, out)
+		}
 	}
 }
 

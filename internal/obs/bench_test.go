@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"testing"
+
+	"indexlaunch/internal/domain"
+)
+
+// The overhead contract: a nil *Recorder (profiling disabled) must cost one
+// branch and zero allocations per hook, and an enabled recorder must stay
+// cheap enough to leave on during benchmarks.
+
+func TestDisabledRecorderAllocatesNothing(t *testing.T) {
+	var r *Recorder
+	pt := domain.Pt1(3)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Span(0, StageExecute, "task", "tag", pt, 0, 10)
+		r.SpanID(r.NextID(), 0, StageExecute, "task", "tag", pt, 0, 10)
+		r.Mark(0, StageRetry, "task", "tag", pt, 5)
+		r.Edge(1, 2)
+		_ = r.Now()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recorder allocates %.1f bytes-events per op, want 0", allocs)
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var r *Recorder
+	pt := domain.Pt1(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Span(0, StageExecute, "task", "tag", pt, int64(i), int64(i)+10)
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	r := NewRecorder("rt", 4, 1<<12)
+	pt := domain.Pt1(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Span(i%4, StageExecute, "task", "tag", pt, int64(i), int64(i)+10)
+	}
+}
+
+func BenchmarkSpanEnabledParallel(b *testing.B) {
+	r := NewRecorder("rt", 8, 1<<12)
+	pt := domain.Pt1(3)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		node := int(r.NextID()) % 8
+		i := int64(0)
+		for pb.Next() {
+			r.Span(node, StageExecute, "task", "tag", pt, i, i+10)
+			i++
+		}
+	})
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRecorder("rt", 4, 1<<12)
+	pt := domain.Pt1(3)
+	for i := 0; i < 1<<12; i++ {
+		r.Span(i%4, StageExecute, "task", "tag", pt, int64(i), int64(i)+10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := r.Snapshot(); len(p.Events) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"indexlaunch/internal/domain"
+)
+
+// Profiles are exported as Chrome trace_event JSON (the object form with a
+// "traceEvents" array), directly loadable by chrome://tracing and Perfetto:
+// each span becomes a complete ("X") event with pid = node and tid = stage
+// lane, so the viewer shows one process per node with the pipeline stages
+// stacked as threads. The exact nanosecond times, span IDs and dependence
+// edges ride along in args/otherData, so ReadChromeTrace recovers the
+// Profile losslessly — the dump is both the interchange format and the
+// viewer format.
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+	OtherData       *chromeOther  `json:"otherData,omitempty"`
+}
+
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	TS   float64     `json:"ts"`
+	Dur  float64     `json:"dur,omitempty"`
+	PID  int         `json:"pid"`
+	TID  int         `json:"tid"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	// Task, Tag and Point carry the schema fields; NS carries the exact
+	// [start, dur] nanoseconds (ts/dur are microseconds and lossy).
+	Task  string   `json:"task,omitempty"`
+	Tag   string   `json:"tag,omitempty"`
+	Point string   `json:"point,omitempty"`
+	ID    int64    `json:"id,omitempty"`
+	NS    [2]int64 `json:"ns"`
+	// Name labels metadata ("M") events.
+	Name string `json:"name,omitempty"`
+}
+
+type chromeOther struct {
+	Source  string `json:"source"`
+	Nodes   int    `json:"nodes"`
+	WallNS  int64  `json:"wallNs"`
+	Dropped int64  `json:"dropped"`
+	Edges   []Edge `json:"edges,omitempty"`
+}
+
+// WriteChromeTrace renders the profile as Chrome trace_event JSON.
+func (p *Profile) WriteChromeTrace(w io.Writer) error {
+	t := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData: &chromeOther{
+			Source: p.Source, Nodes: p.Nodes, WallNS: p.WallNS,
+			Dropped: p.Dropped, Edges: p.Edges,
+		},
+	}
+	for n := 0; n < p.Nodes; n++ {
+		t.TraceEvents = append(t.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: n,
+			Args: &chromeArgs{Name: fmt.Sprintf("node %d", n)},
+		})
+	}
+	for _, ev := range p.Events {
+		name := ev.Task
+		if name == "" {
+			name = ev.Tag
+		}
+		if name == "" {
+			name = ev.Stage.String()
+		}
+		ce := chromeEvent{
+			Name: name,
+			Cat:  ev.Stage.String(),
+			Ph:   "X",
+			TS:   float64(ev.Start) / 1e3,
+			Dur:  float64(ev.Dur) / 1e3,
+			PID:  int(ev.Node),
+			TID:  int(ev.Stage),
+			Args: &chromeArgs{Task: ev.Task, Tag: ev.Tag, ID: ev.ID, NS: [2]int64{ev.Start, ev.Dur}},
+		}
+		if ev.Point.Dim > 0 {
+			ce.Args.Point = ev.Point.String()
+		}
+		t.TraceEvents = append(t.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// WriteFile writes the profile to path as Chrome trace JSON.
+func (p *Profile) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadChromeTrace parses a profile previously written by WriteChromeTrace.
+// Metadata events and events of unknown categories (e.g. hand-added ones)
+// are skipped.
+func ReadChromeTrace(r io.Reader) (*Profile, error) {
+	var t chromeTrace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("obs: parsing trace: %w", err)
+	}
+	p := &Profile{}
+	if t.OtherData != nil {
+		p.Source = t.OtherData.Source
+		p.Nodes = t.OtherData.Nodes
+		p.WallNS = t.OtherData.WallNS
+		p.Dropped = t.OtherData.Dropped
+		p.Edges = t.OtherData.Edges
+	}
+	for _, ce := range t.TraceEvents {
+		if ce.Ph != "X" {
+			continue
+		}
+		st, ok := ParseStage(ce.Cat)
+		if !ok {
+			continue
+		}
+		ev := Event{Node: int32(ce.PID), Stage: st}
+		if ce.Args != nil {
+			ev.Task = ce.Args.Task
+			ev.Tag = ce.Args.Tag
+			ev.ID = ce.Args.ID
+			ev.Start, ev.Dur = ce.Args.NS[0], ce.Args.NS[1]
+			if ce.Args.Point != "" {
+				pt, err := parsePoint(ce.Args.Point)
+				if err != nil {
+					return nil, err
+				}
+				ev.Point = pt
+			}
+		} else {
+			ev.Start = int64(ce.TS * 1e3)
+			ev.Dur = int64(ce.Dur * 1e3)
+		}
+		if int(ev.Node) >= p.Nodes {
+			p.Nodes = int(ev.Node) + 1
+		}
+		p.Events = append(p.Events, ev)
+	}
+	sortEvents(p.Events)
+	if p.WallNS == 0 {
+		for _, ev := range p.Events {
+			if ev.End() > p.WallNS {
+				p.WallNS = ev.End()
+			}
+		}
+	}
+	return p, nil
+}
+
+// ReadFile loads a profile dumped by WriteFile.
+func ReadFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadChromeTrace(f)
+}
+
+// parsePoint inverts domain.Point.String ("<1,2,3>").
+func parsePoint(s string) (domain.Point, error) {
+	body, ok := strings.CutPrefix(s, "<")
+	if ok {
+		body, ok = strings.CutSuffix(body, ">")
+	}
+	if !ok {
+		return domain.Point{}, fmt.Errorf("obs: malformed point %q", s)
+	}
+	var p domain.Point
+	for _, part := range strings.Split(body, ",") {
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil || p.Dim >= domain.MaxDim {
+			return domain.Point{}, fmt.Errorf("obs: malformed point %q", s)
+		}
+		p.C[p.Dim] = v
+		p.Dim++
+	}
+	return p, nil
+}

@@ -1,0 +1,103 @@
+package obs_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"indexlaunch/internal/apps/circuit"
+	"indexlaunch/internal/machine"
+	"indexlaunch/internal/obs"
+	"indexlaunch/internal/rt"
+	"indexlaunch/internal/sim"
+)
+
+// TestRTSimParity locks in the shared-schema contract: the same small
+// circuit workload run for real on internal/rt and through the internal/sim
+// cost model must produce event streams with identical launch-tag sets and
+// identical stage sets — one tool views both. Ordering and durations differ
+// (wall clock vs cost model); the vocabulary may not.
+func TestRTSimParity(t *testing.T) {
+	const pieces, iters = 4, 3
+
+	// Real run, profiling on.
+	rec := obs.NewRecorder("rt", pieces, 1<<12)
+	r := rt.MustNew(rt.Config{
+		Nodes: pieces, ProcsPerNode: 2, DCR: true, IndexLaunches: true,
+		Profile: rec,
+	})
+	c, err := circuit.Build(circuit.Params{
+		Pieces: pieces, NodesPerPiece: 8, WiresPerPiece: 16, CrossFraction: 0.2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := circuit.NewApp(c, r).Run(iters); err != nil {
+		t.Fatal(err)
+	}
+	rtProf := rec.Snapshot()
+
+	// Simulated run of the same workload shape.
+	simRec := obs.NewRecorder("sim", pieces, 1<<12)
+	_, err = sim.Run(sim.Config{
+		Machine: machine.PizDaint(pieces), Cost: sim.DefaultCosts(),
+		DCR: true, IDX: true, Profile: simRec,
+	}, circuit.SimProgram(circuit.SimParams{
+		Nodes: pieces, TasksPerNode: 1, WiresPerTask: 1000, Iters: iters,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simProf := simRec.Snapshot()
+
+	if rtProf.Dropped != 0 || simProf.Dropped != 0 {
+		t.Fatalf("events dropped (rt=%d sim=%d): rings sized too small for parity check",
+			rtProf.Dropped, simProf.Dropped)
+	}
+	if got, want := tagSet(rtProf), tagSet(simProf); got != want {
+		t.Errorf("launch tags differ:\n  rt:  %s\n  sim: %s", got, want)
+	}
+	if got, want := stageSet(rtProf), stageSet(simProf); got != want {
+		t.Errorf("stage sets differ:\n  rt:  %s\n  sim: %s", got, want)
+	}
+
+	// Both streams must yield a walkable critical path ending at the wall.
+	for _, p := range []*obs.Profile{rtProf, simProf} {
+		cp := obs.CriticalPath(p)
+		if len(cp.Steps) == 0 {
+			t.Errorf("%s profile has no critical path", p.Source)
+		}
+		if cp.TotalNS > p.WallNS {
+			t.Errorf("%s critical path total %d exceeds wall %d", p.Source, cp.TotalNS, p.WallNS)
+		}
+	}
+}
+
+func tagSet(p *obs.Profile) string {
+	seen := map[string]bool{}
+	for _, ev := range p.Events {
+		tag := ev.Tag
+		if tag == "" {
+			tag = "(untagged)"
+		}
+		seen[tag] = true
+	}
+	return setString(seen)
+}
+
+func stageSet(p *obs.Profile) string {
+	seen := map[string]bool{}
+	for _, ev := range p.Events {
+		seen[ev.Stage.String()] = true
+	}
+	return setString(seen)
+}
+
+func setString(seen map[string]bool) string {
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("%v", keys)
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/obs"
 	"indexlaunch/internal/privilege"
 	"indexlaunch/internal/region"
 )
@@ -101,6 +103,9 @@ func (r *Runtime) endBulkTrace(id uint64) error {
 		}
 		r.bulkStore[id] = bs.tmpl
 		r.captures.Add(1)
+		if prof := r.cfg.Profile; prof != nil {
+			prof.Mark(0, obs.StageCapture, "bulk-trace", "trace", domain.Point{}, prof.Now())
+		}
 	case traceReplaying:
 		if bs.cursor != len(bs.tmpl.sigs) {
 			return fmt.Errorf("rt: bulk trace %d replay issued %d of %d launches",
@@ -115,6 +120,9 @@ func (r *Runtime) endBulkTrace(id uint64) error {
 		}
 		r.outstanding = append(r.outstanding, pendingTask{ev: terminal, name: "bulk-trace-replay", tag: "trace"})
 		r.replays.Add(1)
+		if prof := r.cfg.Profile; prof != nil {
+			prof.Mark(0, obs.StageReplay, "bulk-trace", "trace", domain.Point{}, prof.Now())
+		}
 	}
 	return nil
 }

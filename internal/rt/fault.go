@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"indexlaunch/internal/domain"
+	"indexlaunch/internal/obs"
 )
 
 // This file is the runtime's fault model. The paper's pipeline (§5) assumes
@@ -166,6 +167,9 @@ func (r *Runtime) faultCheck(d domain.Domain, p domain.Point, node int) int {
 	if r.dead[node] {
 		node = r.remapPoint(d, p, node)
 		r.remapped.Add(1)
+		if prof := r.cfg.Profile; prof != nil {
+			prof.Mark(node, obs.StageFault, "remap", "", p, prof.Now())
+		}
 	}
 	r.issuedTotal++
 	if fi := r.cfg.Fault; fi != nil {
@@ -215,6 +219,9 @@ func (r *Runtime) killNodeLocked(node int) bool {
 	}
 	r.dead[node] = true
 	r.nodeFailures.Add(1)
+	if prof := r.cfg.Profile; prof != nil {
+		prof.Mark(node, obs.StageFault, "node-kill", "", domain.Point{}, prof.Now())
+	}
 	return true
 }
 

@@ -1,0 +1,40 @@
+package rt
+
+import (
+	"testing"
+
+	"indexlaunch/internal/obs"
+)
+
+// BenchmarkExecuteIndexProfile measures the issuance path with profiling
+// disabled (Config.Profile nil — the default everyone runs with) against
+// profiling enabled. The "off" variant is the overhead guard: it must track
+// BenchmarkIndexLaunchIssuance/indexlaunch, since the disabled hooks are a
+// predictable branch per site.
+func BenchmarkExecuteIndexProfile(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		rec  *obs.Recorder
+	}{
+		{"off", nil},
+		{"on", obs.NewRecorder("rt", 4, 1<<14)},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			r := MustNew(Config{
+				Nodes: 4, ProcsPerNode: 2, DCR: true, IndexLaunches: true,
+				Profile: mode.rec,
+			})
+			task := r.MustRegisterTask("noop", func(*Context) ([]byte, error) { return nil, nil })
+			launch := benchLaunch(b, r, task)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.ExecuteIndex(launch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			r.Fence()
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"indexlaunch/internal/core"
 	"indexlaunch/internal/domain"
+	"indexlaunch/internal/obs"
 	"indexlaunch/internal/privilege"
 	"indexlaunch/internal/region"
 	"indexlaunch/internal/safety"
@@ -58,6 +59,13 @@ type Config struct {
 	// Fault optionally injects deterministic simulated node failures at
 	// issuance boundaries; nil injects none.
 	Fault *FaultInjector
+	// Profile attaches an observability recorder (internal/obs): pipeline
+	// stage spans (issuance, logical, distribution, physical, execute),
+	// retry/fault/fence incidents and trace capture/replay events are
+	// recorded into it, along with the dependence edges the critical-path
+	// analysis walks. Nil disables profiling; the disabled hooks cost one
+	// predictable branch per site and allocate nothing.
+	Profile *obs.Recorder
 }
 
 // Stats counts runtime pipeline activity; read them with Runtime.Stats.
@@ -132,6 +140,12 @@ type Runtime struct {
 	dead        []bool
 	issuedTotal int64
 
+	// Profiling state, guarded by issueMu: span IDs of live completion
+	// events (for dependence-edge recording) and the per-launch physical
+	// analysis accumulator used to carve the issue-span residual.
+	profIDs    map[*Event]int64
+	profPhysNS int64
+
 	// Pipeline counters. All are atomics so Stats can snapshot them
 	// without tearing while tasks execute concurrently.
 	tasksExecuted atomic.Int64
@@ -188,6 +202,9 @@ func New(cfg Config) (*Runtime, error) {
 		vm:     newVersionMap(),
 		slots:  make([]chan struct{}, cfg.Nodes),
 		dead:   make([]bool, cfg.Nodes),
+	}
+	if cfg.Profile != nil {
+		r.profIDs = map[*Event]int64{}
 	}
 	for i := range r.slots {
 		r.slots[i] = make(chan struct{}, cfg.ProcsPerNode)
@@ -269,6 +286,15 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 		return nil, fmt.Errorf("rt: launch %q names unregistered task %d", l.Tag, l.Task)
 	}
 
+	prof := r.cfg.Profile
+	name := r.tasks[l.Task].name
+	var tLaunch, tLogical, logicalNS, distNS int64
+	if prof != nil {
+		tLaunch = prof.Now()
+		tLogical = tLaunch
+		r.profPhysNS = 0
+	}
+
 	useIndex := r.cfg.IndexLaunches
 	if useIndex && r.cfg.VerifyLaunches && !r.replaying() && !r.bulkReplaying() {
 		res := l.Verify(r.cfg.Checks)
@@ -278,6 +304,12 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 			r.fallbacks.Add(1)
 			useIndex = false
 		}
+	}
+	if prof != nil {
+		// Logical stage: whole-launch analysis including the dynamic safety
+		// check (near-zero duration when VerifyLaunches is off).
+		logicalNS = prof.Now() - tLogical
+		prof.Span(0, obs.StageLogical, name, l.Tag, domain.Point{}, tLogical, tLogical+logicalNS)
 	}
 
 	if useIndex {
@@ -292,7 +324,14 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 	// slices. Either way the real runtime ends with a point → node
 	// assignment; the cost difference between the two paths is modeled in
 	// internal/sim.
+	var tDist int64
+	if prof != nil {
+		tDist = prof.Now()
+	}
 	assign := r.assignNodes(l.Domain)
+	if prof != nil {
+		distNS = prof.Now() - tDist
+	}
 
 	if r.bulkReplaying() {
 		r.pendingBulkDeps = r.bulk.replayLaunchDeps(l.Task, int(l.Parallelism()))
@@ -306,7 +345,14 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 			req := l.Requirements[i]
 			prs[i] = PhysicalRegion{Region: reg, Priv: req.Priv, RedOp: req.RedOp, Fields: req.Fields}
 		}
+		var tShard int64
+		if prof != nil {
+			tShard = prof.Now()
+		}
 		node := r.faultCheck(l.Domain, pt.Point, assign(pt.Point))
+		if prof != nil {
+			distNS += prof.Now() - tShard
+		}
 		fut := r.issuePoint(l.Task, l.Tag, pt.Point, node, prs, l.ArgsAt(pt.Point))
 		fm.add(pt.Point, fut)
 		return true
@@ -324,6 +370,18 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 		r.pendingBulkDeps = nil
 	}
 	fm.seal()
+	if prof != nil {
+		// Distribution span: sharding/slicing time aggregated over the
+		// launch; issue span: the residual launch bookkeeping, so the four
+		// issuance-side stages partition the time spent under issueMu.
+		end := prof.Now()
+		prof.Span(0, obs.StageDistribute, name, l.Tag, domain.Point{}, tDist, tDist+distNS)
+		resid := (end - tLaunch) - logicalNS - distNS - r.profPhysNS
+		if resid < 0 {
+			resid = 0
+		}
+		prof.Span(0, obs.StageIssue, name, l.Tag, domain.Point{}, tLaunch, tLaunch+resid)
+	}
 	return fm, nil
 }
 
@@ -348,6 +406,13 @@ func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, 
 	if int(task) >= len(r.tasks) {
 		return nil, fmt.Errorf("rt: single launch %q names unregistered task %d", tag, task)
 	}
+	prof := r.cfg.Profile
+	name := r.tasks[task].name
+	var tLaunch, distNS int64
+	if prof != nil {
+		tLaunch = prof.Now()
+		r.profPhysNS = 0
+	}
 	prs := make([]PhysicalRegion, len(reqs))
 	for i, req := range reqs {
 		if req.Region == nil {
@@ -356,8 +421,15 @@ func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, 
 		prs[i] = PhysicalRegion{Region: req.Region, Priv: req.Priv, RedOp: req.RedOp, Fields: req.Fields}
 	}
 	p := domain.Pt1(0)
+	var tDist int64
+	if prof != nil {
+		tDist = prof.Now()
+	}
 	node := clampNode(r.mapper.ShardPoint(domain.Range1(0, 0), p, r.cfg.Nodes), r.cfg.Nodes)
 	node = r.faultCheck(domain.Range1(0, 0), p, node)
+	if prof != nil {
+		distNS = prof.Now() - tDist
+	}
 	if r.bulkReplaying() {
 		r.pendingBulkDeps = r.bulk.replayLaunchDeps(task, 1)
 		r.pendingPointEvs = r.pendingPointEvs[:0]
@@ -371,6 +443,15 @@ func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, 
 	case r.bulkReplaying():
 		r.bulk.replayLaunchDone(r.pendingPointEvs)
 		r.pendingBulkDeps = nil
+	}
+	if prof != nil {
+		end := prof.Now()
+		prof.Span(0, obs.StageDistribute, name, tag, domain.Point{}, tDist, tDist+distNS)
+		resid := (end - tLaunch) - distNS - r.profPhysNS
+		if resid < 0 {
+			resid = 0
+		}
+		prof.Span(0, obs.StageIssue, name, tag, domain.Point{}, tLaunch, tLaunch+resid)
 	}
 	return fut, nil
 }
@@ -411,6 +492,8 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 
 	fut := newFuture()
 	ev := fut.ev
+	prof := r.cfg.Profile
+	name := r.tasks[task].name
 
 	var deps []*Event
 	switch {
@@ -422,6 +505,10 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 		r.pendingPointEvs = append(r.pendingPointEvs, ev)
 		r.skipped.Add(1)
 	default:
+		var tPhys int64
+		if prof != nil {
+			tPhys = prof.Now()
+		}
 		depSet := map[*Event]struct{}{}
 		for _, pr := range prs {
 			ivs := pr.Region.Intervals()
@@ -444,9 +531,27 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 			}
 			r.bulk.capturePoint(ev, prs)
 		}
+		if prof != nil {
+			// Physical stage, attributed to the owning node as in DCR:
+			// each node analyzes its local points.
+			tEnd := prof.Now()
+			r.profPhysNS += tEnd - tPhys
+			prof.Span(node, obs.StagePhysical, name, tag, p, tPhys, tEnd)
+		}
 	}
 
-	name := r.tasks[task].name
+	// Span identity and dependence edges for the critical-path graph.
+	var spanID int64
+	if prof != nil {
+		spanID = prof.NextID()
+		for _, d := range deps {
+			if from, ok := r.profIDs[d]; ok {
+				prof.Edge(from, spanID)
+			}
+		}
+		r.profNote(ev, spanID)
+	}
+
 	r.outstanding = append(r.outstanding, pendingTask{ev: ev, name: name, tag: tag, point: p})
 	r.pruneOutstanding()
 
@@ -458,6 +563,9 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 			// A precondition is poisoned: skip the body and cascade the
 			// failure downstream through this task's own event.
 			r.tasksSkipped.Add(1)
+			if prof != nil {
+				prof.Mark(node, obs.StageFault, name, tag, p, prof.Now())
+			}
 			fut.complete(nil, &TaskError{
 				Task: name, Tag: tag, Point: p, Node: node,
 				Err: fmt.Errorf("%w: %w", ErrUpstreamFailed, cause),
@@ -467,6 +575,10 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 		slot := r.slots[node]
 		slot <- struct{}{}
 		defer func() { <-slot }()
+		var tExec int64
+		if prof != nil {
+			tExec = prof.Now()
+		}
 		var val []byte
 		var err error
 		attempts := 0
@@ -489,6 +601,9 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 				break
 			}
 			r.retries.Add(1)
+			if prof != nil {
+				prof.Mark(node, obs.StageRetry, name, tag, p, prof.Now())
+			}
 			if d := retry.backoffFor(attempts); d > 0 {
 				time.Sleep(d)
 			}
@@ -502,9 +617,34 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 			}
 			err = te
 		}
+		if prof != nil {
+			// Record before completing so a fence-then-snapshot sees the
+			// span of every task it waited on.
+			prof.SpanID(spanID, node, obs.StageExecute, name, tag, p, tExec, prof.Now())
+		}
 		fut.complete(val, err)
 	}()
 	return fut
+}
+
+// profIDCap bounds the event → span-ID map; beyond it, entries for
+// completed events are dropped. A completed event can still be a future
+// dependence (the version map keeps last writers), in which case the edge
+// is lost — harmless for critical-path purposes, since a long-completed
+// dependence never bound a start.
+const profIDCap = 1 << 16
+
+// profNote registers ev's span ID for dependence-edge recording. Caller
+// holds issueMu.
+func (r *Runtime) profNote(ev *Event, id int64) {
+	if len(r.profIDs) > profIDCap {
+		for e := range r.profIDs {
+			if e.Done() {
+				delete(r.profIDs, e)
+			}
+		}
+	}
+	r.profIDs[ev] = id
 }
 
 // panicError carries a recovered task-body panic out of runBody.
@@ -552,8 +692,16 @@ func (r *Runtime) takePending() []pendingTask {
 // use FenceErr to observe their errors, or FenceTimeout / FenceContext to
 // bound the wait on a hung task.
 func (r *Runtime) Fence() {
+	prof := r.cfg.Profile
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+	}
 	for _, pt := range r.takePending() {
 		pt.ev.Wait()
+	}
+	if prof != nil {
+		prof.Span(0, obs.StageFence, "", "fence", domain.Point{}, t0, prof.Now())
 	}
 }
 
@@ -561,11 +709,19 @@ func (r *Runtime) Fence() {
 // that failed or was skipped since the previous fence, nil if all
 // succeeded.
 func (r *Runtime) FenceErr() error {
+	prof := r.cfg.Profile
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+	}
 	var errs []error
 	for _, pt := range r.takePending() {
 		if err := pt.ev.WaitErr(); err != nil {
 			errs = append(errs, err)
 		}
+	}
+	if prof != nil {
+		prof.Span(0, obs.StageFence, "", "fence", domain.Point{}, t0, prof.Now())
 	}
 	return errors.Join(errs...)
 }
@@ -584,6 +740,12 @@ func (r *Runtime) FenceTimeout(d time.Duration) error {
 // unfinished tasks are put back on the outstanding list and a descriptive
 // error naming them is returned.
 func (r *Runtime) FenceContext(ctx context.Context) error {
+	if prof := r.cfg.Profile; prof != nil {
+		t0 := prof.Now()
+		defer func() {
+			prof.Span(0, obs.StageFence, "", "fence", domain.Point{}, t0, prof.Now())
+		}()
+	}
 	pend := r.takePending()
 	var errs []error
 	for i, pt := range pend {

@@ -1,0 +1,60 @@
+package rt
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStatsConcurrentSnapshots hammers Runtime.Stats from a reader
+// goroutine while a launch storm issues work, and checks every counter in
+// successive snapshots is monotonically non-decreasing — a torn or
+// non-atomic read would show a counter going backwards (and the race
+// detector would flag the access).
+func TestStatsConcurrentSnapshots(t *testing.T) {
+	r := MustNew(Config{Nodes: 4, ProcsPerNode: 2, DCR: true, IndexLaunches: true})
+	task := r.MustRegisterTask("noop", func(*Context) ([]byte, error) { return nil, nil })
+	launch := benchLaunch(t, r, task)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prev := r.Stats()
+		for !stop.Load() {
+			cur := r.Stats()
+			pv, cv := reflect.ValueOf(prev), reflect.ValueOf(cur)
+			for i := 0; i < cv.NumField(); i++ {
+				if cv.Field(i).Int() < pv.Field(i).Int() {
+					t.Errorf("counter %s went backwards: %d -> %d",
+						cv.Type().Field(i).Name, pv.Field(i).Int(), cv.Field(i).Int())
+					return
+				}
+			}
+			prev = cur
+		}
+	}()
+
+	const storms = 50
+	for i := 0; i < storms; i++ {
+		if _, err := r.ExecuteIndex(launch); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 {
+			r.Fence()
+		}
+	}
+	r.Fence()
+	stop.Store(true)
+	wg.Wait()
+
+	final := r.Stats()
+	if final.LaunchCalls != storms {
+		t.Fatalf("LaunchCalls = %d, want %d", final.LaunchCalls, storms)
+	}
+	if final.TasksExecuted != storms*64 {
+		t.Fatalf("TasksExecuted = %d, want %d", final.TasksExecuted, storms*64)
+	}
+}

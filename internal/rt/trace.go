@@ -5,6 +5,7 @@ import (
 
 	"indexlaunch/internal/core"
 	"indexlaunch/internal/domain"
+	"indexlaunch/internal/obs"
 	"indexlaunch/internal/privilege"
 	"indexlaunch/internal/region"
 )
@@ -136,6 +137,9 @@ func (r *Runtime) EndTrace(id uint64) error {
 		ts.tmpl.id = id
 		r.traceTemplates()[id] = ts.tmpl
 		r.captures.Add(1)
+		if prof := r.cfg.Profile; prof != nil {
+			prof.Mark(0, obs.StageCapture, "trace", "trace", domain.Point{}, prof.Now())
+		}
 	case traceReplaying:
 		if ts.cursor != len(ts.tmpl.sigs) {
 			return fmt.Errorf("rt: trace %d replay issued %d of %d ops", id, ts.cursor, len(ts.tmpl.sigs))
@@ -152,6 +156,9 @@ func (r *Runtime) EndTrace(id uint64) error {
 		}
 		r.outstanding = append(r.outstanding, pendingTask{ev: terminal, name: "trace-replay", tag: "trace"})
 		r.replays.Add(1)
+		if prof := r.cfg.Profile; prof != nil {
+			prof.Mark(0, obs.StageReplay, "trace", "trace", domain.Point{}, prof.Now())
+		}
 	}
 	return nil
 }

@@ -111,7 +111,7 @@ func (fs *fieldState) accessInterval(lo, hi int64, priv privilege.Privilege,
 		}
 		// s overlaps cur. Split off any prefix of s before cur.
 		if s.lo < cur {
-			prefix := *s
+			prefix := s.cloneEpoch()
 			prefix.hi = cur - 1
 			s.lo = cur
 			fs.insertSegment(i, prefix)
@@ -120,7 +120,7 @@ func (fs *fieldState) accessInterval(lo, hi int64, priv privilege.Privilege,
 		}
 		// Split off any suffix of s beyond hi.
 		if s.hi > hi {
-			suffix := *s
+			suffix := s.cloneEpoch()
 			suffix.lo = hi + 1
 			s.hi = hi
 			fs.insertSegment(i+1, suffix)
@@ -130,6 +130,18 @@ func (fs *fieldState) accessInterval(lo, hi int64, priv privilege.Privilege,
 		cur = s.hi + 1
 		i++
 	}
+}
+
+// cloneEpoch copies s with independent readers/reducers slices. Segment
+// splits must not share backing arrays: sibling segments append to their
+// epoch lists independently, and an append through one header with spare
+// capacity would overwrite an event the other still references — silently
+// dropping a dependence edge.
+func (s *segment) cloneEpoch() segment {
+	c := *s
+	c.readers = append([]*Event(nil), s.readers...)
+	c.reducers = append([]*Event(nil), s.reducers...)
+	return c
 }
 
 func freshSegment(lo, hi int64, priv privilege.Privilege, redOp privilege.OpID, ev *Event) segment {
@@ -160,7 +172,11 @@ func (s *segment) apply(priv privilege.Privilege, redOp privilege.OpID, ev *Even
 
 	case priv == privilege.Reduce:
 		// Reduce-after-write and reduce-after-read; same-operator pending
-		// reductions commute, different operators serialize.
+		// reductions commute, different operators serialize. Readers stay in
+		// the epoch: a later same-operator reducer has no edge through the
+		// pending reducers (they commute), so dropping the readers here would
+		// leave it unordered against a read it must follow. Only a write
+		// closes the epoch and clears them.
 		addDep(s.writer)
 		for _, r := range s.readers {
 			addDep(r)
@@ -169,9 +185,12 @@ func (s *segment) apply(priv privilege.Privilege, redOp privilege.OpID, ev *Even
 			for _, r := range s.reducers {
 				addDep(r)
 			}
+			// The displaced reducers keep ordering obligations against
+			// later reducers of the new operator; track them as readers so
+			// those edges (and a closing write's) still materialize.
+			s.readers = append(s.readers, s.reducers...)
 			s.reducers = s.reducers[:0]
 		}
-		s.readers = nil
 		s.redOp = redOp
 		s.reducers = append(s.reducers, ev)
 

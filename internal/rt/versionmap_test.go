@@ -2,6 +2,7 @@ package rt
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"indexlaunch/internal/privilege"
@@ -111,6 +112,117 @@ func TestVersionMapDifferentOpReductionsSerialize(t *testing.T) {
 	}
 }
 
+func TestVersionMapLaterReducersStillOrderAfterReaders(t *testing.T) {
+	// Regression: a reduce used to clear the segment's readers after
+	// depending on them, so a *later* same-operator reducer — which has no
+	// edge through the pending reducers (they commute) — was left unordered
+	// against the read (observed as a read racing a reducer's flush).
+	vm := newVersionMap()
+	r := NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r)
+	a := NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpSumF64, a)
+	b := NewEvent()
+	deps := vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpSumF64, b)
+	if !containsEvent(deps, r) {
+		t.Error("second same-op reduce must still be ordered after the earlier read")
+	}
+	if containsEvent(deps, a) {
+		t.Error("same-op reductions must not serialize")
+	}
+}
+
+func TestVersionMapOpSwitchKeepsDisplacedReducersOrdered(t *testing.T) {
+	// When the reduction operator changes, the displaced reducers must keep
+	// ordering later reducers of the new operator (which commute with each
+	// other, so there is no transitive path through the first new-op
+	// reducer).
+	vm := newVersionMap()
+	a := NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpSumF64, a)
+	b := NewEvent()
+	vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpProdF64, b)
+	c := NewEvent()
+	deps := vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpProdF64, c)
+	if !containsEvent(deps, a) {
+		t.Error("new-op reduce must be ordered after the displaced old-op reducer")
+	}
+	if containsEvent(deps, b) {
+		t.Error("same-op reductions must not serialize")
+	}
+}
+
+// TestVersionMapConflictOrderingProperty checks the map's core guarantee on
+// random access sequences: every pair of conflicting accesses (overlapping
+// intervals, not read‖read, not same-operator reduce‖reduce) ends up
+// transitively ordered by the returned dependence edges. Any dropped edge —
+// like the two regressions above — shows up as an unreachable predecessor.
+func TestVersionMapConflictOrderingProperty(t *testing.T) {
+	type vmOp struct {
+		lo, hi int64
+		priv   privilege.Privilege
+		redOp  privilege.OpID
+	}
+	privs := []privilege.Privilege{privilege.Read, privilege.Write, privilege.ReadWrite, privilege.Reduce}
+	redOps := []privilege.OpID{privilege.OpSumF64, privilege.OpProdF64}
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 30
+		ops := make([]vmOp, n)
+		for i := range ops {
+			lo := rng.Int63n(32)
+			op := vmOp{lo: lo, hi: lo + rng.Int63n(32-lo), priv: privs[rng.Intn(len(privs))]}
+			if op.priv == privilege.Reduce {
+				op.redOp = redOps[rng.Intn(len(redOps))]
+			}
+			ops[i] = op
+		}
+		vm := newVersionMap()
+		deps := make([][]*Event, n)
+		idx := map[*Event]int{}
+		for i, op := range ops {
+			ev := NewEvent()
+			idx[ev] = i
+			deps[i] = vm.access(1, 0, ivs(op.lo, op.hi), op.priv, op.redOp, ev)
+		}
+		conflict := func(a, b vmOp) bool {
+			switch {
+			case a.hi < b.lo || b.hi < a.lo:
+				return false
+			case a.priv == privilege.Read && b.priv == privilege.Read:
+				return false
+			case a.priv == privilege.Reduce && b.priv == privilege.Reduce && a.redOp == b.redOp:
+				return false
+			}
+			return true
+		}
+		for j := 0; j < n; j++ {
+			reach := map[int]bool{}
+			stack := []int{}
+			for _, d := range deps[j] {
+				stack = append(stack, idx[d])
+			}
+			for len(stack) > 0 {
+				k := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if reach[k] {
+					continue
+				}
+				reach[k] = true
+				for _, d := range deps[k] {
+					stack = append(stack, idx[d])
+				}
+			}
+			for i := 0; i < j; i++ {
+				if conflict(ops[i], ops[j]) && !reach[i] {
+					t.Fatalf("seed %d: op %d (%+v) not ordered after conflicting op %d (%+v)",
+						seed, j, ops[j], i, ops[i])
+				}
+			}
+		}
+	}
+}
+
 func TestVersionMapReduceAfterWriteAndRead(t *testing.T) {
 	vm := newVersionMap()
 	w, r := NewEvent(), NewEvent()
@@ -144,6 +256,36 @@ func TestVersionMapSegmentSplitting(t *testing.T) {
 	deps = vm.access(1, 0, ivs(45, 50), privilege.Read, privilege.OpNone, r2)
 	if containsEvent(deps, w) || !containsEvent(deps, w2) {
 		t.Errorf("middle read deps wrong")
+	}
+}
+
+func TestVersionMapSplitSegmentsHaveIndependentEpochs(t *testing.T) {
+	// Regression: splitting a segment used to copy the struct without
+	// cloning its readers/reducers slices, so both halves shared one backing
+	// array. An append through one half with spare capacity then overwrote
+	// an event the sibling still referenced, silently dropping a dependence
+	// edge (observed as a read racing a reducer's flush under -race).
+	vm := newVersionMap()
+	e1, e2, e3 := NewEvent(), NewEvent(), NewEvent()
+	// Three same-op reductions: reducers slice ends with spare capacity.
+	vm.access(1, 0, ivs(0, 7), privilege.Reduce, privilege.OpSumF64, e1)
+	vm.access(1, 0, ivs(0, 7), privilege.Reduce, privilege.OpSumF64, e2)
+	vm.access(1, 0, ivs(0, 7), privilege.Reduce, privilege.OpSumF64, e3)
+	// Split [0,7] into [0,3] and [4,7].
+	r1 := NewEvent()
+	vm.access(1, 0, ivs(0, 3), privilege.Read, privilege.OpNone, r1)
+	// Append a reducer to each half; with a shared backing array the second
+	// append clobbers the first half's new entry.
+	e4, e5 := NewEvent(), NewEvent()
+	vm.access(1, 0, ivs(0, 3), privilege.Reduce, privilege.OpSumF64, e4)
+	vm.access(1, 0, ivs(4, 7), privilege.Reduce, privilege.OpSumF64, e5)
+	r2 := NewEvent()
+	deps := vm.access(1, 0, ivs(0, 3), privilege.Read, privilege.OpNone, r2)
+	if !containsEvent(deps, e4) {
+		t.Error("read must depend on its half's own reducer (lost to sibling clobber?)")
+	}
+	if containsEvent(deps, e5) {
+		t.Error("read must not depend on the other half's reducer")
 	}
 }
 

@@ -27,7 +27,10 @@
 //     task — the centralized bottleneck.
 package sim
 
-import "indexlaunch/internal/machine"
+import (
+	"indexlaunch/internal/machine"
+	"indexlaunch/internal/obs"
+)
 
 // CostModel holds the runtime overhead constants, in seconds. Defaults are
 // calibrated to Legion-like magnitudes (a few microseconds per runtime
@@ -139,6 +142,12 @@ type Config struct {
 	DynChecks bool
 	// Faults optionally injects deterministic task re-execution.
 	Faults FaultModel
+	// Profile attaches an observability recorder (internal/obs): the cost
+	// model's per-node charges are decomposed into the same pipeline-stage
+	// spans internal/rt records, on the simulated clock, so simulated and
+	// real runs are viewed with one tool. Nil disables profiling; the
+	// simulated timings are identical either way.
+	Profile *obs.Recorder
 }
 
 // Label renders the configuration the way the paper's legends do.

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 
+	"indexlaunch/internal/domain"
 	"indexlaunch/internal/machine"
+	"indexlaunch/internal/obs"
 )
 
 // Result summarizes one simulated execution.
@@ -53,6 +55,20 @@ func Run(cfg Config, prog Program) (Result, error) {
 	// Retained per-launch state for dependence lookups.
 	finishes := make([][]float64, len(stream))
 	owners := make([][]int, len(stream))
+
+	// Profiling state: execute-span IDs per launch point (for dependence
+	// edges) and the last span on each processor lane (for the queueing
+	// edges the critical-path walk follows through busy processors).
+	rec := cfg.Profile
+	var ids [][]int64
+	var gpuLast [][]int64
+	if rec != nil {
+		ids = make([][]int64, len(stream))
+		gpuLast = make([][]int64, n)
+		for i := range gpuLast {
+			gpuLast[i] = make([]int64, g)
+		}
+	}
 
 	res := Result{BusyByLaunch: map[string]float64{}}
 	bodySeen := 0
@@ -127,10 +143,18 @@ func Run(cfg Config, prog Program) (Result, error) {
 
 		// --- Execution.
 		fin := make([]float64, l.Points)
+		var lids []int64
+		if rec != nil {
+			lids = make([]int64, l.Points)
+		}
 		localIdx := make([]int, n)
 		for p := 0; p < l.Points; p++ {
 			node := owner[p]
 			start := ready[p]
+			// bindID tracks the execute span of whichever predecessor the
+			// final start time is bound by — the edge the critical path
+			// follows. Zero means the runtime pipeline (ready) bound it.
+			var bindID int64
 			for _, dep := range l.Deps {
 				tgt := li - dep.Back
 				if tgt < 0 {
@@ -145,6 +169,9 @@ func Run(cfg Config, prog Program) (Result, error) {
 						}
 						if t > start {
 							start = t
+							if rec != nil {
+								bindID = ids[tgt][q]
+							}
 						}
 					}
 					continue
@@ -160,6 +187,9 @@ func Run(cfg Config, prog Program) (Result, error) {
 					}
 					if t > start {
 						start = t
+						if rec != nil {
+							bindID = ids[tgt][q]
+						}
 					}
 				}
 			}
@@ -167,6 +197,9 @@ func Run(cfg Config, prog Program) (Result, error) {
 			localIdx[node]++
 			if gpuFree[node][gi] > start {
 				start = gpuFree[node][gi]
+				if rec != nil {
+					bindID = gpuLast[node][gi]
+				}
 			}
 			busy := cost.GPULaunch + l.ComputeSec
 			issuedTotal++
@@ -176,6 +209,9 @@ func Run(cfg Config, prog Program) (Result, error) {
 				busy += cost.GPULaunch + l.ComputeSec
 				start += cost.RetryPenalty
 				res.Retries++
+				if rec != nil {
+					rec.Mark(node, obs.StageRetry, l.Name, l.Name, domain.Pt1(int64(p)), profNS(start))
+				}
 			}
 			end := start + busy
 			gpuFree[node][gi] = end
@@ -185,11 +221,31 @@ func Run(cfg Config, prog Program) (Result, error) {
 			if end > res.MakespanSec {
 				res.MakespanSec = end
 			}
+			if rec != nil {
+				id := rec.NextID()
+				lids[p] = id
+				if bindID != 0 {
+					rec.Edge(bindID, id)
+				}
+				rec.SpanID(id, node, obs.StageExecute, l.Name, l.Name,
+					domain.Pt1(int64(p)), profNS(start), profNS(end))
+				gpuLast[node][gi] = id
+			}
 		}
 		finishes[li] = fin
 		owners[li] = owner
+		if rec != nil {
+			ids[li] = lids
+		}
 		res.Tasks += int64(l.Points)
 		res.Launches++
+	}
+	if rec != nil {
+		// Every simulated run implicitly ends with an execution fence: the
+		// makespan is its completion time. Recording it keeps the stage set
+		// identical to a fenced internal/rt run of the same workload.
+		rec.Span(0, obs.StageFence, "", "fence", domain.Point{}, profNS(res.MakespanSec), profNS(res.MakespanSec))
+		rec.SetWall(profNS(res.MakespanSec))
 	}
 	return res, nil
 }
@@ -229,6 +285,9 @@ func runDCR(cfg Config, l Launch, replay bool, phys, checkCost float64, localCou
 		default:
 			c = float64(l.Points)*l.perTaskIssue(cost) + local*phys
 		}
+		if rec := cfg.Profile; rec != nil {
+			profDCRNode(rec, cfg, l, replay, phys, checkCost, local, node, rtFree[node])
+		}
 		rtFree[node] += c
 	}
 }
@@ -245,11 +304,19 @@ func runCentralized(cfg Config, l Launch, replay bool, phys, checkCost float64,
 		// Compact slice distribution through the broadcast tree. Bulk
 		// trace replays additionally skip logical analysis and the
 		// per-task physical analysis at the destinations.
+		bulkReplay := replay && cfg.BulkTracing
 		perLocal := cost.ExpandPerTask + phys
-		if replay && cfg.BulkTracing {
+		if bulkReplay {
+			if rec := cfg.Profile; rec != nil {
+				profSeg(rec, 0, obs.StageIssue, l.Name, rtFree[0], cost.LaunchIssue)
+			}
 			rtFree[0] += cost.LaunchIssue
 			perLocal = cost.ExpandPerTask
 		} else {
+			if rec := cfg.Profile; rec != nil {
+				t := profSeg(rec, 0, obs.StageIssue, l.Name, rtFree[0], cost.LaunchIssue)
+				profSeg(rec, 0, obs.StageLogical, l.Name, t, cost.LogicalLaunch+checkCost)
+			}
 			rtFree[0] += cost.LaunchIssue + cost.LogicalLaunch + checkCost
 		}
 		t0 := rtFree[0]
@@ -270,6 +337,13 @@ func runCentralized(cfg Config, l Launch, replay bool, phys, checkCost float64,
 			if arrival[node] > start {
 				start = arrival[node]
 			}
+			if rec := cfg.Profile; rec != nil {
+				local := float64(localCount[node])
+				t := profSeg(rec, node, obs.StageDistribute, l.Name, start, local*cost.ExpandPerTask)
+				if !bulkReplay {
+					profSeg(rec, node, obs.StagePhysical, l.Name, t, local*phys)
+				}
+			}
 			rtFree[node] = start + float64(localCount[node])*perLocal
 		}
 		for p := range ready {
@@ -281,6 +355,15 @@ func runCentralized(cfg Config, l Launch, replay bool, phys, checkCost float64,
 	// Per-task path: either no index launches, or tracing has forced the
 	// launch to expand before distribution (paper §6.2.1). Node 0
 	// processes and ships every task serially.
+	if rec := cfg.Profile; rec != nil {
+		remote := 0
+		for node, c := range localCount {
+			if node != 0 {
+				remote += c
+			}
+		}
+		profCentralIssue(rec, cfg, l, replay, phys, localCount[0], remote, rtFree[0])
+	}
 	t := rtFree[0]
 	if cfg.IDX {
 		// The index launch is built, then immediately expanded: pure
@@ -314,6 +397,9 @@ func runCentralized(cfg Config, l Launch, replay bool, phys, checkCost float64,
 			start = arr
 		}
 		if !replay {
+			if rec := cfg.Profile; rec != nil {
+				profSeg(rec, node, obs.StagePhysical, l.Name, start, phys)
+			}
 			start += phys
 		}
 		destFree[node] = start
