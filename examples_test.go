@@ -20,6 +20,7 @@ var exampleCases = []struct {
 	{"./examples/soleil", "0 fallbacks"},
 	{"./examples/compilerdemo", "index launch (static)"},
 	{"./examples/faulttol", "degraded-mode completion: sum=300000 (want 300000)"},
+	{"./examples/chaos", "chaos-mode completion: sum=640 (want 640)"},
 	{"./examples/profiling", "critical path:"},
 }
 

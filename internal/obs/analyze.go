@@ -153,10 +153,14 @@ var stageMarks = [numStages]byte{
 	StageFence:      'f',
 	StageCapture:    'c',
 	StageReplay:     'r',
+	StageSend:       '>',
+	StageRecv:       '<',
+	StageRetransmit: '~',
 }
 
 var paintOrder = []Stage{
 	StageFence, StageCapture, StageIssue, StageLogical, StageDistribute,
+	StageSend, StageRecv, StageRetransmit,
 	StageReplay, StagePhysical, StageExecute, StageRetry, StageFault,
 }
 
@@ -217,7 +221,7 @@ func RenderTimeline(p *Profile, width int) string {
 		fmt.Fprintf(&b, "node %-4d |%s| exec %5.1f%%\n", n, string(row), occ)
 	}
 	b.WriteString("          +" + strings.Repeat("-", width) + "+\n")
-	b.WriteString("  marks: # execute  p physical  d distribute  l logical  i issue  r replay  ! retry  X fault  f fence  c capture\n")
+	b.WriteString("  marks: # execute  p physical  d distribute  l logical  i issue  r replay  ! retry  X fault  f fence  c capture  > send  < recv  ~ retransmit\n")
 	return b.String()
 }
 

@@ -58,13 +58,21 @@ const (
 	StageCapture
 	// StageReplay is trace-replay work standing in for skipped analysis.
 	StageReplay
+	// StageSend is one reliable hop send on the message transport: the span
+	// covers first transmission through ack receipt.
+	StageSend
+	// StageRecv marks a message arriving (first receipt) at a node.
+	StageRecv
+	// StageRetransmit marks one ack-timeout-driven re-send of a hop.
+	StageRetransmit
 
-	numStages = int(StageReplay) + 1
+	numStages = int(StageRetransmit) + 1
 )
 
 var stageNames = [numStages]string{
 	"issue", "logical", "distribute", "physical", "execute",
 	"retry", "fault", "fence", "capture", "replay",
+	"send", "recv", "retransmit",
 }
 
 // String renders the stage name used in exports and reports.

@@ -69,16 +69,32 @@ type RetryPolicy struct {
 	// Backoff is the sleep before the first re-execution; each further
 	// attempt doubles it. Zero retries immediately.
 	Backoff time.Duration
+	// MaxBackoff caps the doubling; zero defaults to one minute. The cap
+	// wins even when it is below Backoff.
+	MaxBackoff time.Duration
 }
 
-// backoffFor returns the sleep before re-execution attempt (1-based).
+// defaultMaxBackoff caps retry backoff when RetryPolicy.MaxBackoff is zero.
+const defaultMaxBackoff = time.Minute
+
+// backoffFor returns the sleep before re-execution attempt (1-based). The
+// doubling is capped at MaxBackoff: large attempt counts saturate at the
+// cap rather than overflowing the shift.
 func (rp RetryPolicy) backoffFor(attempt int) time.Duration {
 	if rp.Backoff <= 0 || attempt < 1 {
 		return 0
 	}
-	d := rp.Backoff << (attempt - 1)
-	if d < rp.Backoff { // overflow
-		return rp.Backoff
+	max := rp.MaxBackoff
+	if max <= 0 {
+		max = defaultMaxBackoff
+	}
+	shift := uint(attempt - 1)
+	if shift >= 63 {
+		return max
+	}
+	d := rp.Backoff << shift
+	if d <= 0 || d>>shift != rp.Backoff || d > max {
+		return max
 	}
 	return d
 }
@@ -219,6 +235,11 @@ func (r *Runtime) killNodeLocked(node int) bool {
 	}
 	r.dead[node] = true
 	r.nodeFailures.Add(1)
+	if r.xp != nil {
+		// Future broadcasts re-parent the node's orphaned subtree onto
+		// surviving ancestors (or fall back to direct node-0 sends).
+		r.xp.MarkDead(node)
+	}
 	if prof := r.cfg.Profile; prof != nil {
 		prof.Mark(node, obs.StageFault, "node-kill", "", domain.Point{}, prof.Now())
 	}

@@ -213,6 +213,39 @@ func TestRetryRecoversTransientFailures(t *testing.T) {
 	}
 }
 
+// backoffFor saturates at MaxBackoff for large attempt counts instead of
+// overflowing the shift — the regression the old `d < rp.Backoff` wrap
+// check missed for shifts past 63 bits.
+func TestBackoffForLargeAttempts(t *testing.T) {
+	rp := RetryPolicy{Backoff: time.Second, MaxBackoff: 5 * time.Second}
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second,
+		5 * time.Second, 5 * time.Second}
+	for i, w := range want {
+		if got := rp.backoffFor(i + 1); got != w {
+			t.Errorf("backoffFor(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	for _, attempt := range []int{32, 33, 63, 64, 65, 100, 1 << 20} {
+		if got := rp.backoffFor(attempt); got != 5*time.Second {
+			t.Errorf("backoffFor(%d) = %v, want saturated cap", attempt, got)
+		}
+	}
+	// Zero MaxBackoff defaults to one minute; the default never goes
+	// negative either.
+	def := RetryPolicy{Backoff: time.Second}
+	for _, attempt := range []int{1, 31, 32, 63, 64, 1 << 20} {
+		got := def.backoffFor(attempt)
+		if got <= 0 || got > defaultMaxBackoff {
+			t.Errorf("default backoffFor(%d) = %v, want (0, %v]", attempt, got, defaultMaxBackoff)
+		}
+	}
+	// The cap wins even when it undercuts the base backoff.
+	tight := RetryPolicy{Backoff: time.Minute, MaxBackoff: time.Millisecond}
+	if got := tight.backoffFor(1); got != time.Millisecond {
+		t.Errorf("capped first backoff = %v, want 1ms", got)
+	}
+}
+
 // A task failing beyond Retry.Max fails terminally with an attempt count.
 func TestRetryExhaustionFailsTerminally(t *testing.T) {
 	r := MustNew(Config{

@@ -14,6 +14,7 @@ import (
 	"indexlaunch/internal/privilege"
 	"indexlaunch/internal/region"
 	"indexlaunch/internal/safety"
+	"indexlaunch/internal/xport"
 )
 
 // Config selects the runtime's execution mode. The four evaluation
@@ -59,6 +60,15 @@ type Config struct {
 	// Fault optionally injects deterministic simulated node failures at
 	// issuance boundaries; nil injects none.
 	Fault *FaultInjector
+	// Chaos injects deterministic message-level faults (drop, delay,
+	// duplication, reordering, partitions) into the centralized path's
+	// slice transport. Requires DCR == false: the DCR path replicates
+	// control and sends no slice messages. Nil injects none; the transport
+	// still carries slices fault-free when the path is centralized.
+	Chaos *xport.ChaosPlan
+	// Retransmit tunes the transport's per-hop ack-timeout ladder; the
+	// zero value uses the transport defaults.
+	Retransmit xport.RetransmitPolicy
 	// Profile attaches an observability recorder (internal/obs): pipeline
 	// stage spans (issuance, logical, distribution, physical, execute),
 	// retry/fault/fence incidents and trace capture/replay events are
@@ -106,6 +116,21 @@ type Stats struct {
 	// tasks re-mapped off a dead node at issuance.
 	NodeFailures int64
 	Remapped     int64
+	// Message-transport counters, all zero when the runtime has no
+	// transport (DCR mode). MsgSends counts hop-level slice sends,
+	// MsgRetransmits timeout-driven re-sends, MsgDrops chaos-lost
+	// transmissions (data and acks), MsgDedups received duplicates
+	// suppressed by sequence numbers.
+	MsgSends       int64
+	MsgRetransmits int64
+	MsgDrops       int64
+	MsgDedups      int64
+	// Reparents counts broadcast-tree orphan adoptions (live nodes routed
+	// through a surviving ancestor because their parent died);
+	// DirectBroadcasts counts broadcasts that abandoned a too-degraded
+	// tree for direct node-0 sends.
+	Reparents        int64
+	DirectBroadcasts int64
 }
 
 // Runtime is a single-process implementation of the paper's runtime
@@ -139,6 +164,17 @@ type Runtime struct {
 	// counter that drives deterministic fault injection.
 	dead        []bool
 	issuedTotal int64
+
+	// Message transport for the centralized path; nil in DCR mode. The
+	// per-broadcast delivery handler is installed by shipSlices under
+	// deliverMu (transport goroutines call it concurrently).
+	xp        *xport.Transport
+	deliverMu sync.Mutex
+	deliverFn func(node int, payload any)
+
+	// stop cancels in-flight retry backoff waits on Shutdown.
+	stop     chan struct{}
+	stopOnce sync.Once
 
 	// Profiling state, guarded by issueMu: span IDs of live completion
 	// events (for dependence-edge recording) and the per-launch physical
@@ -195,6 +231,9 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Retry.Max < 0 {
 		return nil, fmt.Errorf("rt: config requires Retry.Max >= 0, got %d", cfg.Retry.Max)
 	}
+	if cfg.Chaos != nil && cfg.DCR {
+		return nil, fmt.Errorf("rt: Chaos requires the centralized path (DCR == false): the DCR path sends no slice messages")
+	}
 	r := &Runtime{
 		cfg:    cfg,
 		mapper: m,
@@ -202,6 +241,19 @@ func New(cfg Config) (*Runtime, error) {
 		vm:     newVersionMap(),
 		slots:  make([]chan struct{}, cfg.Nodes),
 		dead:   make([]bool, cfg.Nodes),
+		stop:   make(chan struct{}),
+	}
+	if !cfg.DCR {
+		xp, err := xport.New(cfg.Nodes, xport.Options{
+			Chaos:      cfg.Chaos,
+			Retransmit: cfg.Retransmit,
+			Prof:       cfg.Profile,
+			Deliver:    r.transportDeliver,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.xp = xp
 	}
 	if cfg.Profile != nil {
 		r.profIDs = map[*Event]int64{}
@@ -252,6 +304,10 @@ func (r *Runtime) Stats() Stats {
 	r.vm.mu.Lock()
 	vq, de := r.vm.queries, r.vm.deps
 	r.vm.mu.Unlock()
+	var xs xport.Stats
+	if r.xp != nil {
+		xs = r.xp.Stats()
+	}
 	return Stats{
 		LaunchCalls:       r.launchCalls.Load(),
 		SingleCalls:       r.singleCalls.Load(),
@@ -271,7 +327,21 @@ func (r *Runtime) Stats() Stats {
 		TasksSkipped:      r.tasksSkipped.Load(),
 		NodeFailures:      r.nodeFailures.Load(),
 		Remapped:          r.remapped.Load(),
+		MsgSends:          xs.Sends,
+		MsgRetransmits:    xs.Retransmits,
+		MsgDrops:          xs.Drops,
+		MsgDedups:         xs.Dedups,
+		Reparents:         xs.Reparents,
+		DirectBroadcasts:  xs.DirectBroadcasts,
 	}
+}
+
+// Shutdown cancels the runtime's in-flight retry backoff waits: a task
+// sleeping in its backoff ladder wakes immediately and fails with its last
+// error instead of holding fences hostage for the rest of the ladder.
+// Tasks already executing run to completion. Idempotent.
+func (r *Runtime) Shutdown() {
+	r.stopOnce.Do(func() { close(r.stop) })
 }
 
 // ExecuteIndex issues an index launch and returns its future map. The
@@ -328,7 +398,7 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 	if prof != nil {
 		tDist = prof.Now()
 	}
-	assign := r.assignNodes(l.Domain)
+	assign := r.assignNodes(l.Domain, l.Tag)
 	if prof != nil {
 		distNS = prof.Now() - tDist
 	}
@@ -456,15 +526,18 @@ func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, 
 	return fut, nil
 }
 
-// assignNodes returns the point → node assignment for a launch domain.
-func (r *Runtime) assignNodes(d domain.Domain) func(domain.Point) int {
+// assignNodes returns the point → node assignment for a launch domain. On
+// the centralized path the slices are first shipped from node 0 through the
+// message transport's broadcast tree; the assignment is built from the
+// delivered slices, reassembled into the slicing functor's original order.
+func (r *Runtime) assignNodes(d domain.Domain, tag string) func(domain.Point) int {
 	if r.cfg.DCR {
 		return func(p domain.Point) int {
 			n := r.mapper.ShardPoint(d, p, r.cfg.Nodes)
 			return clampNode(n, r.cfg.Nodes)
 		}
 	}
-	slices := r.mapper.Slice(d, r.cfg.Nodes)
+	slices := r.shipSlices(tag, r.mapper.Slice(d, r.cfg.Nodes))
 	return func(p domain.Point) int {
 		for _, s := range slices {
 			if s.Domain.Contains(p) {
@@ -605,7 +678,11 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 				prof.Mark(node, obs.StageRetry, name, tag, p, prof.Now())
 			}
 			if d := retry.backoffFor(attempts); d > 0 {
-				time.Sleep(d)
+				if !r.sleepBackoff(d) {
+					// Shutdown mid-ladder: give up on the retry and fail
+					// the task with its last error now.
+					break
+				}
 			}
 		}
 		r.tasksExecuted.Add(1)
@@ -645,6 +722,19 @@ func (r *Runtime) profNote(ev *Event, id int64) {
 		}
 	}
 	r.profIDs[ev] = id
+}
+
+// sleepBackoff waits out one retry backoff, returning false if Shutdown
+// cancelled the wait.
+func (r *Runtime) sleepBackoff(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-r.stop:
+		return false
+	}
 }
 
 // panicError carries a recovered task-body panic out of runBody.

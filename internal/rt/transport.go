@@ -1,0 +1,80 @@
+package rt
+
+import (
+	"sync"
+
+	"indexlaunch/internal/xport"
+)
+
+// This file wires the message transport (internal/xport) into the
+// centralized (non-DCR) distribution path. The paper's §5 pipeline ships
+// slices from node 0 through an O(log N) broadcast tree; with a transport
+// attached, the runtime makes those messages explicit: every slice bound
+// for a remote node travels hop-by-hop through the tree, subject to the
+// configured ChaosPlan, and the launch proceeds only once every slice has
+// been delivered exactly once. Slices for node 0 itself, and slices whose
+// destination is already dead at broadcast time, never enter the transport:
+// they stay local and the per-point faultCheck re-maps them exactly as it
+// did before the transport existed, which is what keeps chaos runs
+// byte-identical to fault-free runs.
+
+// sliceMsg is the payload of one slice shipment: the slice plus its index
+// in the slicing functor's output, so deliveries — which complete in
+// arbitrary order under chaos — reassemble into the original deterministic
+// slice order.
+type sliceMsg struct {
+	idx int
+	s   Slice
+}
+
+// transportDeliver is the Transport's Deliver callback. The per-broadcast
+// handler is installed by shipSlices; the indirection exists because the
+// transport is built once in New but each broadcast reassembles into its
+// own slice array.
+func (r *Runtime) transportDeliver(node int, payload any) {
+	r.deliverMu.Lock()
+	fn := r.deliverFn
+	r.deliverMu.Unlock()
+	if fn != nil {
+		fn(node, payload)
+	}
+}
+
+// shipSlices broadcasts the launch's slices through the transport and
+// returns them reassembled in original slice order. Caller holds issueMu
+// (which serializes broadcasts and makes the r.dead read safe). Without a
+// transport it is the identity.
+func (r *Runtime) shipSlices(tag string, slices []Slice) []Slice {
+	if r.xp == nil || len(slices) == 0 {
+		return slices
+	}
+	out := make([]Slice, len(slices))
+	items := make([]xport.Item, 0, len(slices))
+	for i, s := range slices {
+		node := clampNode(s.Node, r.cfg.Nodes)
+		if node == 0 || r.dead[node] {
+			// Node-0-local slices have nowhere to go; dead-destination
+			// slices stay local so faultCheck re-maps their points.
+			out[i] = s
+			continue
+		}
+		items = append(items, xport.Item{Dst: node, Payload: sliceMsg{idx: i, s: s}})
+	}
+	if len(items) == 0 {
+		return out
+	}
+	var mu sync.Mutex
+	r.deliverMu.Lock()
+	r.deliverFn = func(node int, payload any) {
+		m := payload.(sliceMsg)
+		mu.Lock()
+		out[m.idx] = m.s
+		mu.Unlock()
+	}
+	r.deliverMu.Unlock()
+	r.xp.Broadcast(tag, items)
+	r.deliverMu.Lock()
+	r.deliverFn = nil
+	r.deliverMu.Unlock()
+	return out
+}

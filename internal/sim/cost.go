@@ -67,6 +67,15 @@ type CostModel struct {
 	// SliceHandling is the per-hop handling cost of one slice in the
 	// broadcast tree.
 	SliceHandling float64
+	// HopLatency is the message-transport overhead per broadcast-tree hop
+	// (sequence bookkeeping and ack turnaround), on top of the network
+	// latency and SliceHandling — the cost-domain mirror of
+	// internal/xport's reliable hop.
+	HopLatency float64
+	// RetransmitTimeout is the delay a hop pays when its transmission is
+	// dropped (FaultModel.DropEveryHop): the ack timeout that elapses
+	// before the re-send.
+	RetransmitTimeout float64
 	// PhysBase + PhysPerLog·log2(|P|) is the physical (per-task) dependence
 	// analysis cost, the bounding-volume-hierarchy query of §5.
 	PhysBase   float64
@@ -101,6 +110,8 @@ func DefaultCosts() CostModel {
 		SendPerTask:       4e-6,
 		CentralPerTask:    150e-6,
 		SliceHandling:     2e-6,
+		HopLatency:        0.5e-6,
+		RetransmitTimeout: 120e-6,
 		PhysBase:          2e-6,
 		PhysPerLog:        0.5e-6,
 		CheckPerPointArg:  2.5e-9,
@@ -115,9 +126,13 @@ func DefaultCosts() CostModel {
 // mirroring internal/rt's retry machinery in the cost domain: every
 // RetryEvery-th point task (counted runtime-wide in issuance order) fails
 // once and re-executes on its processor, paying RetryPenalty plus a second
-// kernel launch and compute. Zero disables injection.
+// kernel launch and compute. DropEveryHop does the same for the message
+// transport: every DropEveryHop-th broadcast-tree hop transmission (counted
+// runtime-wide) is dropped and re-sent after RetransmitTimeout, mirroring
+// internal/xport's chaos injection. Zeros disable injection.
 type FaultModel struct {
-	RetryEvery int64
+	RetryEvery   int64
+	DropEveryHop int64
 }
 
 // Config selects one simulated execution configuration — one curve of one

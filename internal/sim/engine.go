@@ -26,6 +26,11 @@ type Result struct {
 	CheckSec float64
 	// Retries is the number of injected task re-executions (Config.Faults).
 	Retries int64
+	// HopSends is the number of broadcast-tree hop transmissions charged on
+	// the centralized path; MsgRetransmits counts the injected hop drops
+	// (Config.Faults.DropEveryHop) that were re-sent after the timeout.
+	HopSends       int64
+	MsgRetransmits int64
 	// BusyByLaunch is the total processor time per launch name — the
 	// workload profile idxsim prints.
 	BusyByLaunch map[string]float64
@@ -131,7 +136,7 @@ func Run(cfg Config, prog Program) (Result, error) {
 				ready[p] = rtFree[owner[p]]
 			}
 		} else {
-			runCentralized(cfg, l, replay, phys, checkCost, owner, localCount, rtFree, ready, net)
+			runCentralized(cfg, l, replay, phys, checkCost, owner, localCount, rtFree, ready, net, &res)
 		}
 		res.RuntimeBusySec += sum(rtFree) - rtBefore
 
@@ -297,7 +302,7 @@ func runDCR(cfg Config, l Launch, replay bool, phys, checkCost float64, localCou
 // broadcast tree for distribution, and destinations for expansion and
 // physical analysis.
 func runCentralized(cfg Config, l Launch, replay bool, phys, checkCost float64,
-	owner []int, localCount []int, rtFree, ready []float64, net machine.Network) {
+	owner []int, localCount []int, rtFree, ready []float64, net machine.Network, res *Result) {
 
 	cost := cfg.Cost
 	if cfg.IDX && (!cfg.Tracing || cfg.BulkTracing) {
@@ -320,14 +325,48 @@ func runCentralized(cfg Config, l Launch, replay bool, phys, checkCost float64,
 			rtFree[0] += cost.LaunchIssue + cost.LogicalLaunch + checkCost
 		}
 		t0 := rtFree[0]
+		// Per-hop walk down the broadcast tree (node i's parent is
+		// (i-1)/2): each hop pays network latency, slice handling and the
+		// transport's reliable-hop overhead, and DropEveryHop injects
+		// deterministic drops that stall the hop for the ack timeout before
+		// the re-send. Only hops on routes to nodes that receive slices are
+		// charged, mirroring the transport's per-destination routing. With
+		// HopLatency = 0 and no drops this reduces to the former closed
+		// form t0 + depth·(latency + handling).
 		arrival := make([]float64, len(rtFree))
-		for node := range arrival {
-			if node == 0 {
-				arrival[node] = t0
+		arrival[0] = t0
+		need := make([]bool, len(rtFree))
+		for node, c := range localCount {
+			if node != 0 && c > 0 {
+				for i := node; i != 0; i = (i - 1) / 2 {
+					need[i] = true
+				}
+			}
+		}
+		hopCost := net.LatencySec + cost.SliceHandling + cost.HopLatency
+		rec := cfg.Profile
+		for node := 1; node < len(arrival); node++ {
+			if !need[node] {
 				continue
 			}
-			depth := float64(machine.BroadcastDepth(node))
-			arrival[node] = t0 + depth*(net.LatencySec+cost.SliceHandling)
+			parent := (node - 1) / 2
+			t := arrival[parent]
+			sendStart := t
+			res.HopSends++
+			if de := cfg.Faults.DropEveryHop; de > 0 && res.HopSends%de == 0 {
+				t += cost.RetransmitTimeout
+				res.MsgRetransmits++
+				res.HopSends++
+				if rec != nil {
+					rec.Mark(parent, obs.StageRetransmit, l.Name, l.Name, domain.Point{}, profNS(t))
+				}
+			}
+			t += hopCost
+			arrival[node] = t
+			if rec != nil {
+				rec.Span(parent, obs.StageSend, l.Name, l.Name, domain.Point{}, profNS(sendStart), profNS(t))
+				rec.Mark(node, obs.StageRecv, l.Name, l.Name, domain.Point{}, profNS(t))
+			}
 		}
 		for node := range rtFree {
 			if localCount[node] == 0 {
@@ -391,7 +430,18 @@ func runCentralized(cfg Config, l Launch, replay bool, phys, checkCost float64,
 			continue
 		}
 		t += cost.SendPerTask
-		arr := t + net.LatencySec
+		res.HopSends++
+		arr := t + net.LatencySec + cost.HopLatency
+		if de := cfg.Faults.DropEveryHop; de > 0 && res.HopSends%de == 0 {
+			// Dropped send: the task's arrival stalls for the ack timeout
+			// before the re-send; node 0's issue loop is not blocked.
+			arr += cost.RetransmitTimeout
+			res.MsgRetransmits++
+			res.HopSends++
+			if rec := cfg.Profile; rec != nil {
+				rec.Mark(0, obs.StageRetransmit, l.Name, l.Name, domain.Pt1(int64(p)), profNS(arr))
+			}
+		}
 		start := destFree[node]
 		if arr > start {
 			start = arr

@@ -358,3 +358,73 @@ func TestFaultRetryOverhead(t *testing.T) {
 		t.Errorf("fault model nondeterministic: %+v vs %+v", again, faulty)
 	}
 }
+
+func TestHopDropRetransmitOverhead(t *testing.T) {
+	// Centralized IDX path on 8 nodes: slices travel hop-by-hop through the
+	// broadcast tree. Dropping every 3rd hop transmission stalls those hops
+	// for the ack timeout, stretching the makespan; disabling drops recovers
+	// the baseline, and the injection is deterministic.
+	cfg := simpleConfig(8, false, true)
+	prog := flatProgram(8, 1e-3, 4)
+
+	base, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.HopSends == 0 {
+		t.Error("centralized broadcast should charge hop sends")
+	}
+	if base.MsgRetransmits != 0 {
+		t.Errorf("baseline retransmits = %d, want 0", base.MsgRetransmits)
+	}
+
+	cfg.Faults = FaultModel{DropEveryHop: 3}
+	faulty, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.MsgRetransmits == 0 {
+		t.Error("DropEveryHop=3 injected no retransmits")
+	}
+	if faulty.MakespanSec <= base.MakespanSec {
+		t.Errorf("hop drops should stretch the makespan: %v <= %v",
+			faulty.MakespanSec, base.MakespanSec)
+	}
+
+	again, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.MsgRetransmits != faulty.MsgRetransmits || again.MakespanSec != faulty.MakespanSec {
+		t.Errorf("hop-drop injection nondeterministic: %+v vs %+v", again, faulty)
+	}
+}
+
+func TestHopLatencyReducesToClosedFormWhenZero(t *testing.T) {
+	// With HopLatency zeroed and no drops, the per-hop arrival walk must
+	// reproduce the closed form t0 + depth·(latency + handling) the engine
+	// previously used — i.e. adding the transport terms changed nothing for
+	// fault-free runs beyond the calibrated HopLatency itself.
+	cfg := simpleConfig(8, false, true)
+	cfg.Cost.HopLatency = 0
+	res, err := Run(cfg, prog8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withLat := simpleConfig(8, false, true)
+	res2, err := Run(withLat, prog8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// node 7 sits at depth 3: the calibrated run is later by at most
+	// depth·HopLatency plus scheduling effects, never earlier.
+	if res2.MakespanSec < res.MakespanSec {
+		t.Errorf("hop latency should not shorten the makespan: %v < %v",
+			res2.MakespanSec, res.MakespanSec)
+	}
+	if res2.MakespanSec > res.MakespanSec+10*withLat.Cost.HopLatency {
+		t.Errorf("hop latency overcharged: %v vs %v", res2.MakespanSec, res.MakespanSec)
+	}
+}
+
+func prog8() Program { return flatProgram(8, 1e-3, 2) }

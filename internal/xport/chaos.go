@@ -1,0 +1,145 @@
+package xport
+
+import (
+	"fmt"
+	"time"
+)
+
+// ChaosPlan injects deterministic message-level faults into a Transport.
+// Every decision — drop this transmission, delay it, duplicate it, let a
+// later message overtake it — derives from a seeded hash of the link, the
+// message sequence number and the transmission attempt, never from shared
+// RNG state or goroutine interleaving. Two transmissions with the same
+// (seed, link, seq, attempt) identity meet the same fate in every run, so a
+// chaos schedule is a pure function of the plan, not of scheduling luck.
+//
+// The zero plan (or a nil *ChaosPlan) injects nothing: messages deliver
+// immediately and exactly once.
+type ChaosPlan struct {
+	// Seed keys every per-transmission decision.
+	Seed int64
+	// Drop is the probability a transmission (data or ack) is lost on a
+	// link. Must be < 1: the retransmission layer guarantees eventual
+	// delivery only when every attempt has a positive chance of surviving.
+	Drop float64
+	// Dup is the probability a delivered transmission arrives twice; the
+	// receiver deduplicates the copy.
+	Dup float64
+	// Reorder is the probability a transmission is held an extra DelayMax,
+	// letting later messages on the link overtake it.
+	Reorder float64
+	// DelayMax bounds the uniform per-transmission link delay.
+	DelayMax time.Duration
+	// Partitions take links down for bounded transmission windows.
+	Partitions []Partition
+}
+
+// Partition is a bounded outage of the link between nodes A and B (both
+// directions): every transmission attempted while the link's lifetime
+// transmission count is in [AfterSends, AfterSends+Sends) is lost.
+// Retransmission attempts advance the count, so an outage always heals.
+type Partition struct {
+	A, B       int
+	AfterSends int64
+	Sends      int64
+}
+
+// Validate reports plans whose faults the transport cannot survive.
+func (c *ChaosPlan) Validate() error {
+	if c == nil {
+		return nil
+	}
+	for name, p := range map[string]float64{"Drop": c.Drop, "Dup": c.Dup, "Reorder": c.Reorder} {
+		if p < 0 || p >= 1 {
+			return fmt.Errorf("xport: ChaosPlan.%s = %v, want [0, 1): probability 1 would block delivery forever", name, p)
+		}
+	}
+	if c.DelayMax < 0 {
+		return fmt.Errorf("xport: ChaosPlan.DelayMax = %v, want >= 0", c.DelayMax)
+	}
+	for i, p := range c.Partitions {
+		if p.AfterSends < 0 || p.Sends < 0 {
+			return fmt.Errorf("xport: ChaosPlan.Partitions[%d] has negative window %+v", i, p)
+		}
+	}
+	return nil
+}
+
+// Decision salts, one per fault axis, so one (link, seq, attempt) identity
+// yields independent rolls for drop, dup, delay and reorder.
+const (
+	saltDrop uint64 = iota + 1
+	saltDup
+	saltDelay
+	saltReorder
+	saltAck
+	saltJitter
+)
+
+// splitmix64 is the standard splitmix64 finalizer — a cheap, well-mixed
+// hash good enough to turn identities into uniform rolls.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll returns a uniform [0,1) float keyed on the transmission identity.
+func (c *ChaosPlan) roll(salt uint64, lk link, seq uint64, attempt int) float64 {
+	h := splitmix64(uint64(c.Seed) ^ salt)
+	h = splitmix64(h ^ uint64(lk.src)<<32 ^ uint64(uint32(lk.dst)))
+	h = splitmix64(h ^ seq ^ uint64(attempt)<<48)
+	return float64(h>>11) / (1 << 53)
+}
+
+// cut reports whether the link's n-th lifetime transmission falls inside a
+// partition window.
+func (c *ChaosPlan) cut(lk link, n int64) bool {
+	if c == nil {
+		return false
+	}
+	for _, p := range c.Partitions {
+		if (p.A == lk.src && p.B == lk.dst) || (p.A == lk.dst && p.B == lk.src) {
+			if n >= p.AfterSends && n < p.AfterSends+p.Sends {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *ChaosPlan) drop(lk link, seq uint64, attempt int) bool {
+	return c != nil && c.Drop > 0 && c.roll(saltDrop, lk, seq, attempt) < c.Drop
+}
+
+func (c *ChaosPlan) dropAck(lk link, seq uint64, attempt int) bool {
+	return c != nil && c.Drop > 0 && c.roll(saltAck, lk, seq, attempt) < c.Drop
+}
+
+func (c *ChaosPlan) dup(lk link, seq uint64, attempt int) bool {
+	return c != nil && c.Dup > 0 && c.roll(saltDup, lk, seq, attempt) < c.Dup
+}
+
+// delay returns the link delay for one transmission: a uniform draw up to
+// DelayMax, plus a full extra DelayMax when the reorder roll fires, so
+// later transmissions on the link can overtake this one.
+func (c *ChaosPlan) delay(lk link, seq uint64, attempt int) time.Duration {
+	if c == nil || c.DelayMax <= 0 {
+		return 0
+	}
+	d := time.Duration(c.roll(saltDelay, lk, seq, attempt) * float64(c.DelayMax))
+	if c.Reorder > 0 && c.roll(saltReorder, lk, seq, attempt) < c.Reorder {
+		d += c.DelayMax
+	}
+	return d
+}
+
+// jitter derives the deterministic retransmission jitter for an attempt:
+// up to half the base timeout, keyed like every other decision.
+func (c *ChaosPlan) jitter(base time.Duration, lk link, seq uint64, attempt int) time.Duration {
+	if c == nil || base <= 0 {
+		return 0
+	}
+	return time.Duration(c.roll(saltJitter, lk, seq, attempt) * float64(base) / 2)
+}

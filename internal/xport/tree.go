@@ -1,0 +1,77 @@
+package xport
+
+// Broadcast-tree routing. The transport ships payloads from node 0 (the
+// issuing node of the paper's non-DCR pipeline, §5) through the same binary
+// broadcast tree internal/machine charges for: node i's children are 2i+1
+// and 2i+2, so every route is O(log N) hops.
+//
+// Node death degrades the tree gracefully. A route never relays through a
+// dead node: each node's effective parent is its nearest surviving ancestor
+// in the original tree, so the orphaned subtree of a killed interior node
+// re-parents as a unit and the tree depth never grows. When the tree is too
+// degraded to be worth maintaining — fewer than half the configured nodes
+// survive — routing falls back to direct node-0 sends, trading the O(log N)
+// fan-out for not depending on any interior relay.
+
+// origParent returns node n's parent in the intact broadcast tree.
+func origParent(n int) int { return (n - 1) / 2 }
+
+// liveParent returns n's nearest surviving ancestor, walking up the intact
+// tree; node 0 is always its own terminus.
+func liveParent(n int, alive []bool) int {
+	p := origParent(n)
+	for p > 0 && !alive[p] {
+		p = origParent(p)
+	}
+	return p
+}
+
+// routePlan is one broadcast's routing decision, computed from a liveness
+// snapshot before any message moves so that every hop targets a node known
+// live at plan time.
+type routePlan struct {
+	// routes maps each destination to its relay chain from node 0: every
+	// interior entry is a live relay, the final entry is the destination.
+	routes map[int][]int
+	// reparents counts live non-root nodes whose original parent is dead —
+	// the orphan adoptions this plan performs.
+	reparents int
+	// direct reports that the tree was abandoned for direct node-0 sends.
+	direct bool
+}
+
+// planRoutes computes the routing for one broadcast over the given liveness
+// snapshot. Destinations must be live, non-zero node ids.
+func planRoutes(alive []bool, dsts []int) routePlan {
+	plan := routePlan{routes: make(map[int][]int, len(dsts))}
+	live := 0
+	for _, a := range alive {
+		if a {
+			live++
+		}
+	}
+	for n := 1; n < len(alive); n++ {
+		if alive[n] && !alive[origParent(n)] {
+			plan.reparents++
+		}
+	}
+	// Fewer than half the nodes surviving: the tree is too degraded —
+	// route every payload straight from node 0.
+	plan.direct = live*2 < len(alive)
+	for _, d := range dsts {
+		if plan.direct {
+			plan.routes[d] = []int{d}
+			continue
+		}
+		var rev []int
+		for n := d; n > 0; n = liveParent(n, alive) {
+			rev = append(rev, n)
+		}
+		route := make([]int, len(rev))
+		for i, n := range rev {
+			route[len(rev)-1-i] = n
+		}
+		plan.routes[d] = route
+	}
+	return plan
+}

@@ -1,0 +1,374 @@
+// Package xport is an in-process, deterministic message transport for the
+// runtime's centralized (non-DCR) distribution path. The paper's §5
+// pipeline ships slices from node 0 through an O(log N) broadcast tree;
+// internal/rt previously modeled that as a direct in-process assignment —
+// there were no messages, so no message could be lost. This package makes
+// the messages explicit so they can fail:
+//
+//   - a seeded ChaosPlan injects per-link drop, delay, duplication,
+//     reordering and bounded partitions, every decision a pure function of
+//     (seed, link, sequence, attempt) — never of goroutine interleaving;
+//   - every hop is covered by ack/timeout-driven retransmission with capped
+//     exponential backoff plus deterministic jitter;
+//   - receivers deduplicate by per-link sequence number, so chaos-injected
+//     duplicates and timeout-raced retransmissions deliver exactly once;
+//   - routing degrades gracefully under node death: the orphaned subtree of
+//     a killed interior relay re-parents onto its nearest surviving
+//     ancestor, and when fewer than half the nodes survive the tree is
+//     abandoned for direct node-0 sends (tree.go).
+//
+// The net guarantee the chaos property suite leans on: as long as the plan
+// admits eventual delivery (Drop < 1, partitions bounded — enforced by
+// ChaosPlan.Validate), Broadcast returns only after every payload has been
+// delivered exactly once, so the task stream issued on top of the transport
+// is identical to a fault-free run's.
+package xport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/obs"
+)
+
+// link is one directed node pair; data flows src→dst, acks dst→src.
+type link struct{ src, dst int }
+
+// RetransmitPolicy tunes the per-hop ack-timeout ladder.
+type RetransmitPolicy struct {
+	// Timeout is the ack wait before the first retransmission; each
+	// further attempt doubles it. Zero defaults to 1ms.
+	Timeout time.Duration
+	// MaxBackoff caps the doubling; zero defaults to 16ms.
+	MaxBackoff time.Duration
+}
+
+const (
+	defaultTimeout    = time.Millisecond
+	defaultMaxBackoff = 16 * time.Millisecond
+)
+
+// waitFor returns the capped ack timeout for the given 1-based attempt.
+func (rp RetransmitPolicy) waitFor(attempt int) time.Duration {
+	base := rp.Timeout
+	if base <= 0 {
+		base = defaultTimeout
+	}
+	max := rp.MaxBackoff
+	if max <= 0 {
+		max = defaultMaxBackoff
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	shift := uint(attempt - 1)
+	if shift >= 63 {
+		return max
+	}
+	d := base << shift
+	if d <= 0 || d > max || d>>shift != base {
+		return max
+	}
+	return d
+}
+
+// Stats is a snapshot of the transport counters.
+type Stats struct {
+	// Sends counts hop-level message sends (first transmissions);
+	// Retransmits counts timeout-driven re-sends on top of them.
+	Sends       int64
+	Retransmits int64
+	// Drops counts transmissions (data and acks) lost to chaos.
+	Drops int64
+	// Dedups counts received duplicates suppressed by sequence numbers.
+	Dedups int64
+	// Reparents counts orphan adoptions: live nodes routed through a
+	// surviving ancestor because their broadcast-tree parent is dead,
+	// accumulated per broadcast.
+	Reparents int64
+	// DirectBroadcasts counts broadcasts that abandoned the degraded tree
+	// for direct node-0 sends.
+	DirectBroadcasts int64
+}
+
+// Options configures a Transport.
+type Options struct {
+	// Chaos injects message faults; nil runs fault-free.
+	Chaos *ChaosPlan
+	// Retransmit tunes the ack-timeout ladder; the zero value uses
+	// defaults.
+	Retransmit RetransmitPolicy
+	// Prof records send/recv/retransmit events; nil disables profiling.
+	Prof *obs.Recorder
+	// Deliver receives each payload exactly once at its destination node.
+	// It may be called from transport goroutines and must be safe for
+	// concurrent use.
+	Deliver func(node int, payload any)
+}
+
+// Item is one payload addressed to a destination node.
+type Item struct {
+	Dst     int
+	Payload any
+}
+
+// msg is one in-flight payload with its remaining relay route.
+type msg struct {
+	tag     string
+	route   []int // remaining hops; the last entry is the destination
+	payload any
+	done    func()
+}
+
+// Transport is the in-process message fabric. One Transport belongs to one
+// runtime; Broadcast may only be called by one goroutine at a time (the
+// runtime's issuance lock provides that), but the internal machinery —
+// relays, retransmission timers, chaos delays — is fully concurrent.
+type Transport struct {
+	nodes int
+	chaos *ChaosPlan
+	rp    RetransmitPolicy
+	prof  *obs.Recorder
+	hand  func(node int, payload any)
+
+	mu        sync.Mutex
+	alive     []bool
+	nextSeq   map[link]uint64
+	sendCount map[link]int64
+	seen      map[link]map[uint64]struct{}
+	ackWait   map[link]map[uint64]chan struct{}
+
+	sends, retransmits, drops, dedups, reparents, directs atomic.Int64
+}
+
+// New creates a transport over nodes nodes, all initially alive.
+func New(nodes int, opts Options) (*Transport, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("xport: transport requires >= 1 node, got %d", nodes)
+	}
+	if err := opts.Chaos.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Deliver == nil {
+		return nil, fmt.Errorf("xport: Options.Deliver is required")
+	}
+	t := &Transport{
+		nodes: nodes, chaos: opts.Chaos, rp: opts.Retransmit,
+		prof: opts.Prof, hand: opts.Deliver,
+		alive:     make([]bool, nodes),
+		nextSeq:   map[link]uint64{},
+		sendCount: map[link]int64{},
+		seen:      map[link]map[uint64]struct{}{},
+		ackWait:   map[link]map[uint64]chan struct{}{},
+	}
+	for i := range t.alive {
+		t.alive[i] = true
+	}
+	return t, nil
+}
+
+// MarkDead removes a node from routing: future broadcasts re-parent its
+// orphaned subtree onto surviving ancestors. In-flight messages are not
+// recalled — the caller serializes MarkDead against Broadcast.
+func (t *Transport) MarkDead(node int) {
+	if node < 0 || node >= t.nodes {
+		return
+	}
+	t.mu.Lock()
+	t.alive[node] = false
+	t.mu.Unlock()
+}
+
+// Stats snapshots the transport counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Sends:            t.sends.Load(),
+		Retransmits:      t.retransmits.Load(),
+		Drops:            t.drops.Load(),
+		Dedups:           t.dedups.Load(),
+		Reparents:        t.reparents.Load(),
+		DirectBroadcasts: t.directs.Load(),
+	}
+}
+
+// Broadcast ships every item from node 0 to its destination through the
+// broadcast tree and blocks until each payload has been delivered exactly
+// once. Destinations must be live, non-zero nodes — the caller owns the
+// liveness snapshot (node-0-local and dead-node payloads never enter the
+// transport).
+func (t *Transport) Broadcast(tag string, items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	t.mu.Lock()
+	alive := make([]bool, len(t.alive))
+	copy(alive, t.alive)
+	t.mu.Unlock()
+
+	dsts := make([]int, len(items))
+	for i, it := range items {
+		dsts[i] = it.Dst
+	}
+	plan := planRoutes(alive, dsts)
+	t.reparents.Add(int64(plan.reparents))
+	if plan.direct {
+		t.directs.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for _, it := range items {
+		m := &msg{tag: tag, route: plan.routes[it.Dst], payload: it.Payload, done: wg.Done}
+		go t.ship(0, m)
+	}
+	wg.Wait()
+}
+
+// ship moves m one hop from `from` toward its destination, reliably.
+func (t *Transport) ship(from int, m *msg) {
+	t.sendReliable(link{src: from, dst: m.route[0]}, m)
+}
+
+// sendReliable transmits m over one link and blocks until the hop is
+// acked, retransmitting on a capped exponential backoff with deterministic
+// jitter.
+func (t *Transport) sendReliable(lk link, m *msg) {
+	t.sends.Add(1)
+	t.mu.Lock()
+	seq := t.nextSeq[lk]
+	t.nextSeq[lk] = seq + 1
+	ack := make(chan struct{})
+	aw := t.ackWait[lk]
+	if aw == nil {
+		aw = map[uint64]chan struct{}{}
+		t.ackWait[lk] = aw
+	}
+	aw[seq] = ack
+	t.mu.Unlock()
+
+	var start int64
+	if t.prof != nil {
+		start = t.prof.Now()
+	}
+	for attempt := 1; ; attempt++ {
+		t.transmit(lk, seq, attempt, m)
+		wait := t.rp.waitFor(attempt) + t.chaos.jitter(t.rp.waitFor(attempt), lk, seq, attempt)
+		timer := time.NewTimer(wait)
+		select {
+		case <-ack:
+			timer.Stop()
+			if t.prof != nil {
+				t.prof.Span(lk.src, obs.StageSend, "xfer", m.tag, domain.Point{}, start, t.prof.Now())
+			}
+			return
+		case <-timer.C:
+			t.retransmits.Add(1)
+			if t.prof != nil {
+				t.prof.Mark(lk.src, obs.StageRetransmit, "xfer", m.tag, domain.Point{}, t.prof.Now())
+			}
+		}
+	}
+}
+
+// transmit performs one transmission attempt, applying the chaos plan.
+func (t *Transport) transmit(lk link, seq uint64, attempt int, m *msg) {
+	if t.chaos.cut(lk, t.bumpSendCount(lk)) || t.chaos.drop(lk, seq, attempt) {
+		t.drops.Add(1)
+		return
+	}
+	copies := 1
+	if t.chaos.dup(lk, seq, attempt) {
+		copies = 2
+	}
+	delay := t.chaos.delay(lk, seq, attempt)
+	for i := 0; i < copies; i++ {
+		if delay > 0 || i > 0 {
+			go func() {
+				time.Sleep(delay)
+				t.receive(lk, seq, attempt, m)
+			}()
+			continue
+		}
+		t.receive(lk, seq, attempt, m)
+	}
+}
+
+// receive handles one arriving transmission at lk.dst: deduplicate,
+// deliver or relay on first receipt, and ack (acks are chaos-subjected
+// too — a lost ack triggers a retransmission the dedup layer absorbs).
+func (t *Transport) receive(lk link, seq uint64, attempt int, m *msg) {
+	t.mu.Lock()
+	sn := t.seen[lk]
+	if sn == nil {
+		sn = map[uint64]struct{}{}
+		t.seen[lk] = sn
+	}
+	_, dup := sn[seq]
+	if !dup {
+		sn[seq] = struct{}{}
+	}
+	t.mu.Unlock()
+
+	if dup {
+		t.dedups.Add(1)
+	} else {
+		if t.prof != nil {
+			t.prof.Mark(lk.dst, obs.StageRecv, "xfer", m.tag, domain.Point{}, t.prof.Now())
+		}
+		if len(m.route) == 1 {
+			t.hand(lk.dst, m.payload)
+			m.done()
+		} else {
+			next := &msg{tag: m.tag, route: m.route[1:], payload: m.payload, done: m.done}
+			go t.ship(lk.dst, next)
+		}
+	}
+	t.sendAck(lk, seq, attempt)
+}
+
+// sendAck returns an ack to the sender over the reverse link. The ack
+// decision is keyed on the data attempt number so a seq whose first ack is
+// doomed is not doomed forever.
+func (t *Transport) sendAck(lk link, seq uint64, attempt int) {
+	rk := link{src: lk.dst, dst: lk.src}
+	if t.chaos.cut(rk, t.bumpSendCount(rk)) || t.chaos.dropAck(rk, seq, attempt) {
+		t.drops.Add(1)
+		return
+	}
+	if delay := t.chaos.delay(rk, seq, attempt); delay > 0 {
+		go func() {
+			time.Sleep(delay)
+			t.signalAck(lk, seq)
+		}()
+		return
+	}
+	t.signalAck(lk, seq)
+}
+
+// signalAck completes the sender's wait for (lk, seq); late or duplicate
+// acks for an already-acked sequence are ignored.
+func (t *Transport) signalAck(lk link, seq uint64) {
+	t.mu.Lock()
+	var ack chan struct{}
+	if aw := t.ackWait[lk]; aw != nil {
+		ack = aw[seq]
+		delete(aw, seq)
+	}
+	t.mu.Unlock()
+	if ack != nil {
+		close(ack)
+	}
+}
+
+// bumpSendCount advances the link's lifetime transmission counter and
+// returns its pre-increment value — the clock partition windows run on.
+func (t *Transport) bumpSendCount(lk link) int64 {
+	t.mu.Lock()
+	n := t.sendCount[lk]
+	t.sendCount[lk] = n + 1
+	t.mu.Unlock()
+	return n
+}

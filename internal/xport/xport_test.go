@@ -1,0 +1,316 @@
+package xport
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector is a Deliver handler recording (node, payload) pairs.
+type collector struct {
+	mu  sync.Mutex
+	got map[int][]any
+}
+
+func newCollector() *collector { return &collector{got: map[int][]any{}} }
+
+func (c *collector) deliver(node int, payload any) {
+	c.mu.Lock()
+	c.got[node] = append(c.got[node], payload)
+	c.mu.Unlock()
+}
+
+func mustNew(t *testing.T, nodes int, opts Options) *Transport {
+	t.Helper()
+	tr, err := New(nodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func allItems(nodes int) []Item {
+	items := make([]Item, 0, nodes-1)
+	for n := 1; n < nodes; n++ {
+		items = append(items, Item{Dst: n, Payload: n * 10})
+	}
+	return items
+}
+
+// checkDelivered asserts every non-root node received exactly its payload.
+func checkDelivered(t *testing.T, c *collector, nodes int) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for n := 1; n < nodes; n++ {
+		ps := c.got[n]
+		if len(ps) != 1 || ps[0] != n*10 {
+			t.Errorf("node %d received %v, want exactly [%d]", n, ps, n*10)
+		}
+	}
+	if len(c.got) != nodes-1 {
+		t.Errorf("deliveries reached %d nodes, want %d", len(c.got), nodes-1)
+	}
+}
+
+func TestFaultFreeBroadcastDeliversOnce(t *testing.T) {
+	const nodes = 8
+	c := newCollector()
+	tr := mustNew(t, nodes, Options{Deliver: c.deliver})
+	tr.Broadcast("b", allItems(nodes))
+	checkDelivered(t, c, nodes)
+	st := tr.Stats()
+	// 7 destinations routed through the binary tree: depth(1..7) =
+	// 1+1+2+2+2+2+3 = 13 hop sends, nothing else.
+	if st.Sends != 13 || st.Retransmits != 0 || st.Drops != 0 || st.Dedups != 0 || st.Reparents != 0 {
+		t.Errorf("stats = %+v, want 13 clean sends", st)
+	}
+}
+
+func TestChaosDropsForceRetransmits(t *testing.T) {
+	const nodes = 8
+	c := newCollector()
+	tr := mustNew(t, nodes, Options{
+		Deliver: c.deliver,
+		Chaos:   &ChaosPlan{Seed: 7, Drop: 0.4},
+		// Short timeouts keep the test fast; dropped hops re-send quickly.
+		Retransmit: RetransmitPolicy{Timeout: 200 * time.Microsecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	for round := 0; round < 4; round++ {
+		tr.Broadcast("b", allItems(nodes))
+	}
+	c.mu.Lock()
+	for n := 1; n < nodes; n++ {
+		if len(c.got[n]) != 4 {
+			t.Errorf("node %d received %d payloads, want 4", n, len(c.got[n]))
+		}
+	}
+	c.mu.Unlock()
+	st := tr.Stats()
+	if st.Drops == 0 || st.Retransmits == 0 {
+		t.Errorf("40%% drop produced no faults: %+v", st)
+	}
+}
+
+func TestChaosDuplicatesAreDeduped(t *testing.T) {
+	const nodes = 8
+	c := newCollector()
+	tr := mustNew(t, nodes, Options{
+		Deliver: c.deliver,
+		Chaos:   &ChaosPlan{Seed: 3, Dup: 0.6},
+	})
+	for round := 0; round < 4; round++ {
+		tr.Broadcast("b", allItems(nodes))
+	}
+	c.mu.Lock()
+	for n := 1; n < nodes; n++ {
+		if len(c.got[n]) != 4 {
+			t.Errorf("node %d received %d payloads, want 4 (duplicates must dedup)", n, len(c.got[n]))
+		}
+	}
+	c.mu.Unlock()
+	if st := tr.Stats(); st.Dedups == 0 {
+		t.Errorf("60%% duplication produced no dedups: %+v", st)
+	}
+}
+
+func TestPartitionHealsAndDelivers(t *testing.T) {
+	const nodes = 4
+	c := newCollector()
+	tr := mustNew(t, nodes, Options{
+		Deliver: c.deliver,
+		// Link 0–1 is down for its first 3 transmissions: the first sends
+		// to node 1 (and relays toward 3) must retransmit through the
+		// outage until it heals.
+		Chaos:      &ChaosPlan{Seed: 1, Partitions: []Partition{{A: 0, B: 1, AfterSends: 0, Sends: 3}}},
+		Retransmit: RetransmitPolicy{Timeout: 100 * time.Microsecond, MaxBackoff: time.Millisecond},
+	})
+	tr.Broadcast("b", allItems(nodes))
+	checkDelivered(t, c, nodes)
+	st := tr.Stats()
+	if st.Drops < 3 || st.Retransmits < 3 {
+		t.Errorf("outage window should cost >= 3 drops and retransmits: %+v", st)
+	}
+}
+
+func TestDeadInteriorNodeReparentsSubtree(t *testing.T) {
+	const nodes = 8
+	c := newCollector()
+	tr := mustNew(t, nodes, Options{Deliver: c.deliver})
+	// Node 1 is an interior relay for nodes 3, 4 (children) and 7
+	// (grandchild via 3). Killing it must re-parent the subtree onto node
+	// 0 and still deliver everywhere else.
+	tr.MarkDead(1)
+	items := []Item{}
+	for n := 2; n < nodes; n++ {
+		items = append(items, Item{Dst: n, Payload: n * 10})
+	}
+	tr.Broadcast("b", items)
+	c.mu.Lock()
+	for n := 2; n < nodes; n++ {
+		if len(c.got[n]) != 1 {
+			t.Errorf("node %d received %d payloads, want 1", n, len(c.got[n]))
+		}
+	}
+	c.mu.Unlock()
+	// Orphans of node 1: nodes 3 and 4 (node 7 keeps its live parent 3).
+	if st := tr.Stats(); st.Reparents != 2 {
+		t.Errorf("reparents = %d, want 2", st.Reparents)
+	}
+}
+
+func TestDegradedTreeFallsBackToDirectSends(t *testing.T) {
+	const nodes = 8
+	c := newCollector()
+	tr := mustNew(t, nodes, Options{Deliver: c.deliver})
+	for _, n := range []int{1, 2, 3, 4, 5} {
+		tr.MarkDead(n)
+	}
+	tr.Broadcast("b", []Item{{Dst: 6, Payload: 60}, {Dst: 7, Payload: 70}})
+	c.mu.Lock()
+	if len(c.got[6]) != 1 || len(c.got[7]) != 1 {
+		t.Errorf("direct fallback failed: %v", c.got)
+	}
+	c.mu.Unlock()
+	st := tr.Stats()
+	if st.DirectBroadcasts != 1 {
+		t.Errorf("direct broadcasts = %d, want 1", st.DirectBroadcasts)
+	}
+	// Direct routes are single hops: exactly one send per destination.
+	if st.Sends != 2 {
+		t.Errorf("sends = %d, want 2 single-hop sends", st.Sends)
+	}
+}
+
+func TestRoutesNeverRelayThroughDeadNodes(t *testing.T) {
+	alive := []bool{true, false, true, true, true, true, true, false}
+	plan := planRoutes(alive, []int{3, 4, 6})
+	for d, route := range plan.routes {
+		if route[len(route)-1] != d {
+			t.Errorf("route to %d ends at %d", d, route[len(route)-1])
+		}
+		for _, hop := range route {
+			if !alive[hop] {
+				t.Errorf("route to %d relays through dead node %d: %v", d, hop, route)
+			}
+		}
+	}
+	// Orphans: 3 and 4 (parent 1 dead).
+	if plan.reparents != 2 {
+		t.Errorf("reparents = %d, want 2", plan.reparents)
+	}
+	if plan.direct {
+		t.Error("6/8 alive should keep the tree")
+	}
+}
+
+// Chaos decisions must be pure functions of identity — independent of call
+// order and of wall time.
+func TestChaosDecisionsDeterministic(t *testing.T) {
+	c := &ChaosPlan{Seed: 42, Drop: 0.3, Dup: 0.3, Reorder: 0.3, DelayMax: time.Millisecond}
+	lk := link{src: 0, dst: 5}
+	type fate struct {
+		drop, dup bool
+		delay     time.Duration
+	}
+	read := func() []fate {
+		var out []fate
+		for seq := uint64(0); seq < 64; seq++ {
+			for attempt := 1; attempt <= 3; attempt++ {
+				out = append(out, fate{c.drop(lk, seq, attempt), c.dup(lk, seq, attempt), c.delay(lk, seq, attempt)})
+			}
+		}
+		return out
+	}
+	a, b := read(), read()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across reads: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// The fates must actually vary (the hash is not constant).
+	drops := 0
+	for _, f := range a {
+		if f.drop {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Errorf("drop rolls degenerate: %d/%d", drops, len(a))
+	}
+}
+
+func TestChaosPlanValidate(t *testing.T) {
+	bad := []*ChaosPlan{
+		{Drop: 1.0},
+		{Dup: -0.1},
+		{Reorder: 1.5},
+		{DelayMax: -time.Second},
+		{Partitions: []Partition{{A: 0, B: 1, AfterSends: -1}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("plan %d should fail validation: %+v", i, c)
+		}
+	}
+	ok := &ChaosPlan{Seed: 1, Drop: 0.5, Dup: 0.5, Reorder: 0.9, DelayMax: time.Millisecond}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	if err := (*ChaosPlan)(nil).Validate(); err != nil {
+		t.Errorf("nil plan rejected: %v", err)
+	}
+}
+
+func TestRetransmitPolicyWaitForCaps(t *testing.T) {
+	rp := RetransmitPolicy{Timeout: time.Millisecond, MaxBackoff: 8 * time.Millisecond}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 8 * time.Millisecond}
+	for i, w := range want {
+		if got := rp.waitFor(i + 1); got != w {
+			t.Errorf("waitFor(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Huge attempt counts must stay at the cap, not wrap.
+	for _, attempt := range []int{32, 63, 64, 1 << 20} {
+		if got := rp.waitFor(attempt); got != 8*time.Millisecond {
+			t.Errorf("waitFor(%d) = %v, want cap", attempt, got)
+		}
+	}
+	var zero RetransmitPolicy
+	if zero.waitFor(1) != defaultTimeout || zero.waitFor(1000) != defaultMaxBackoff {
+		t.Errorf("zero policy defaults wrong: %v, %v", zero.waitFor(1), zero.waitFor(1000))
+	}
+}
+
+// Full-chaos soak: drops + dups + delays + reorders + a partition, many
+// rounds, and delivery still happens exactly once per payload per round.
+func TestChaosSoakDeliversExactlyOnce(t *testing.T) {
+	const nodes, rounds = 8, 6
+	c := newCollector()
+	tr := mustNew(t, nodes, Options{
+		Deliver: c.deliver,
+		Chaos: &ChaosPlan{
+			Seed: 99, Drop: 0.25, Dup: 0.25, Reorder: 0.3, DelayMax: 100 * time.Microsecond,
+			Partitions: []Partition{{A: 0, B: 2, AfterSends: 2, Sends: 4}},
+		},
+		Retransmit: RetransmitPolicy{Timeout: 300 * time.Microsecond, MaxBackoff: 3 * time.Millisecond},
+	})
+	for round := 0; round < rounds; round++ {
+		tr.Broadcast("soak", allItems(nodes))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var got []int
+	for n, ps := range c.got {
+		if len(ps) != rounds {
+			t.Errorf("node %d received %d payloads, want %d", n, len(ps), rounds)
+		}
+		got = append(got, n)
+	}
+	sort.Ints(got)
+	if len(got) != nodes-1 {
+		t.Errorf("deliveries reached nodes %v, want all of 1..%d", got, nodes-1)
+	}
+}
