@@ -1,20 +1,29 @@
 // Command idxbench regenerates the paper's evaluation tables and figures
 // from the command line:
 //
-//	idxbench                 # everything (Figures 4–10, Tables 2–3)
-//	idxbench -fig 5          # one figure
-//	idxbench -table 2        # one table
-//	idxbench -iters 30       # longer simulated runs
-//	idxbench -max-nodes 128  # cap the node sweep (faster)
+//	idxbench                         # everything (Figures 4–10, Tables 2–3)
+//	idxbench -fig 5                  # one figure
+//	idxbench -table 2                # one table
+//	idxbench -iters 30               # longer simulated runs
+//	idxbench -max-nodes 128          # cap the node sweep (faster)
+//	idxbench -fig 5 -json out        # also write out/BENCH_fig5.json
+//	idxbench -metrics 127.0.0.1:8080 # serve live /metrics while running
+//
+// The BENCH_<fig>.json snapshots feed the `idxprof diff` regression gate:
+// run the same figure twice and diff the two files to see which series
+// points moved beyond a threshold.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"time"
 
 	"indexlaunch/internal/bench"
+	"indexlaunch/internal/metrics"
 )
 
 func main() {
@@ -25,6 +34,8 @@ func main() {
 	iters := flag.Int("iters", 0, "simulated timesteps per data point (0 = default)")
 	maxNodes := flag.Int("max-nodes", 0, "cap the node sweep (0 = paper's range)")
 	profile := flag.String("profile", "", "with -fig: also profile the figure's DCR+IDX configuration and write a Chrome trace (view with idxprof)")
+	jsonDir := flag.String("json", "", "write machine-readable BENCH_<fig>.json snapshots into this directory (compare runs with: idxprof diff)")
+	metricsAddr := flag.String("metrics", "", "serve live /metrics, /metrics.json and /statusz on this address while figures run (watch with: idxprof watch)")
 	flag.Parse()
 
 	render := func(f bench.Figure) string {
@@ -35,6 +46,35 @@ func main() {
 	}
 
 	opts := bench.Options{Iters: *iters, MaxNodes: *maxNodes}
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		srv, err := metrics.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "idxbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		opts.Metrics = reg
+		fmt.Printf("metrics: serving %s/metrics (watch with: idxprof watch %s)\n", srv.URL(), srv.Addr())
+	}
+	writeSnap := func(f bench.Figure) {
+		if *jsonDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "idxbench: %v\n", err)
+			os.Exit(1)
+		}
+		snap := bench.BenchFromFigure(f)
+		snap.CreatedUnix = time.Now().Unix()
+		path := filepath.Join(*jsonDir, "BENCH_"+snap.Name+".json")
+		if err := snap.WriteFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "idxbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench: wrote %s (%d values); compare runs with: idxprof diff\n", path, len(snap.Values))
+	}
+
 	figures := bench.Figures()
 	tables := bench.Tables()
 
@@ -45,7 +85,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "idxbench: no figure %d (have 4-10)\n", *fig)
 			os.Exit(1)
 		}
-		fmt.Print(render(gen(opts)))
+		f := gen(opts)
+		fmt.Print(render(f))
+		writeSnap(f)
 		if *profile != "" {
 			p, err := bench.ProfileFigure(*fig, opts)
 			if err != nil {
@@ -76,7 +118,9 @@ func main() {
 		}
 		sort.Ints(figIDs)
 		for _, id := range figIDs {
-			fmt.Print(render(figures[id](opts)))
+			f := figures[id](opts)
+			fmt.Print(render(f))
+			writeSnap(f)
 			fmt.Println()
 		}
 		var tabIDs []int
@@ -89,7 +133,9 @@ func main() {
 			fmt.Println()
 		}
 		if *extension {
-			fmt.Print(render(bench.FigBulkTracing(opts)))
+			f := bench.FigBulkTracing(opts)
+			fmt.Print(render(f))
+			writeSnap(f)
 		}
 	}
 }

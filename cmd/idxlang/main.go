@@ -5,6 +5,7 @@
 //	idxlang file.rg           # print the optimizer report
 //	idxlang -run file.rg      # also execute against a synthetic binding
 //	idxlang -demo             # compile the built-in demo program
+//	idxlang -run -demo -metrics 127.0.0.1:8080  # live /metrics + /statusz
 //
 // In -run mode, every partition named by the program is bound to a fresh
 // 1-d collection (-elems elements split into -blocks blocks) and every task
@@ -19,6 +20,7 @@ import (
 	"indexlaunch/internal/core"
 	"indexlaunch/internal/domain"
 	"indexlaunch/internal/lang"
+	"indexlaunch/internal/metrics"
 	"indexlaunch/internal/obs"
 	"indexlaunch/internal/region"
 	"indexlaunch/internal/rt"
@@ -50,6 +52,7 @@ func main() {
 	blocks := flag.Int("blocks", 32, "blocks per synthetic partition in -run mode")
 	elems := flag.Int64("elems", 1024, "elements per synthetic collection in -run mode")
 	profile := flag.String("profile", "", "with -run: write a pipeline profile as Chrome trace JSON (view with idxprof)")
+	metricsAddr := flag.String("metrics", "", "with -run: serve the runtime's live /metrics, /metrics.json and /statusz on this address during execution")
 	flag.Parse()
 
 	src := demo
@@ -77,15 +80,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "idxlang: -profile requires -run")
 			os.Exit(2)
 		}
+		if *metricsAddr != "" {
+			fmt.Fprintln(os.Stderr, "idxlang: -metrics requires -run")
+			os.Exit(2)
+		}
 		return
 	}
 	var rec *obs.Recorder
 	if *profile != "" {
 		rec = obs.NewRecorder("rt", 4, 1<<14)
 	}
-	b, err := syntheticBinding(plan, *blocks, *elems, rec)
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+	}
+	b, err := syntheticBinding(plan, *blocks, *elems, rec, reg)
 	if err != nil {
 		fail(err)
+	}
+	if reg != nil {
+		srv, err := metrics.Serve(*metricsAddr, reg, func() any { return b.RT.Status() })
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: serving %s/metrics and %s/statusz (watch with: idxprof watch %s)\n",
+			srv.URL(), srv.URL(), srv.Addr())
 	}
 	stats, err := lang.Exec(plan, b)
 	if err != nil {
@@ -110,8 +130,8 @@ func main() {
 
 // syntheticBinding builds a no-op task for every declared task and a fresh
 // partitioned collection for every partition name the plan references.
-func syntheticBinding(plan *lang.Plan, blocks int, elems int64, rec *obs.Recorder) (*lang.Binding, error) {
-	r, err := rt.New(rt.Config{Nodes: 4, ProcsPerNode: 2, DCR: true, IndexLaunches: true, Profile: rec})
+func syntheticBinding(plan *lang.Plan, blocks int, elems int64, rec *obs.Recorder, reg *metrics.Registry) (*lang.Binding, error) {
+	r, err := rt.New(rt.Config{Nodes: 4, ProcsPerNode: 2, DCR: true, IndexLaunches: true, Profile: rec, Metrics: reg})
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@
 //
 //	idxsim -app circuit -nodes 512 -dcr -idx -tracing
 //	idxsim -app soleil-full -nodes 32 -dcr -idx -checks=false
+//	idxsim -app stencil -metrics 127.0.0.1:8080   # live /metrics + summary
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"indexlaunch/internal/apps/soleil"
 	"indexlaunch/internal/apps/stencil"
 	"indexlaunch/internal/machine"
+	"indexlaunch/internal/metrics"
 	"indexlaunch/internal/obs"
 	"indexlaunch/internal/sim"
 )
@@ -32,6 +34,7 @@ func main() {
 	overdecompose := flag.Int("overdecompose", 1, "tasks per node (circuit)")
 	breakdown := flag.Bool("breakdown", false, "print per-launch processor-time breakdown")
 	profile := flag.String("profile", "", "write a pipeline profile of the run as Chrome trace JSON (view with idxprof)")
+	metricsAddr := flag.String("metrics", "", "serve live /metrics, /metrics.json and /statusz on this address during the run and print a metrics summary after it")
 	flag.Parse()
 
 	var prog sim.Program
@@ -86,6 +89,18 @@ func main() {
 		rec = obs.NewRecorder("sim", *nodes, 1<<14)
 		cfg.Profile = rec
 	}
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+		srv, err := metrics.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "idxsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: serving %s/metrics (watch with: idxprof watch %s)\n", srv.URL(), srv.Addr())
+	}
 	res, err := sim.Run(cfg, prog)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "idxsim: %v\n", err)
@@ -105,6 +120,10 @@ func main() {
 		}
 		fmt.Printf("profile: wrote %s (%d events); inspect with: idxprof %s\n",
 			*profile, len(p.Events), *profile)
+	}
+	if reg != nil {
+		fmt.Println("metrics (simulated clock):")
+		fmt.Print(metrics.RenderDelta(metrics.Snapshot{}, reg.Gather()))
 	}
 	if *breakdown {
 		names := make([]string, 0, len(res.BusyByLaunch))

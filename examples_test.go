@@ -22,6 +22,7 @@ var exampleCases = []struct {
 	{"./examples/faulttol", "degraded-mode completion: sum=300000 (want 300000)"},
 	{"./examples/chaos", "chaos-mode completion: sum=640 (want 640)"},
 	{"./examples/profiling", "critical path:"},
+	{"./examples/metrics", "stage-latency histogram"},
 }
 
 // TestExamplesRun builds and runs every example binary end to end, checking
@@ -97,6 +98,35 @@ func TestProfilePipeline(t *testing.T) {
 	}
 }
 
+// TestBenchDiffPipeline exercises the bench-regression gate end to end: two
+// idxbench runs of the same figure write BENCH_fig5.json snapshots, and
+// idxprof diff compares them. The simulator is deterministic, so the second
+// run must show no movement and the gate must pass.
+func TestBenchDiffPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration tests; skipped with -short")
+	}
+	dir := t.TempDir()
+	for _, sub := range []string{"a", "b"} {
+		out, err := exec.Command("go", "run", "./cmd/idxbench",
+			"-fig", "5", "-max-nodes", "8", "-iters", "3", "-json", dir+"/"+sub).CombinedOutput()
+		if err != nil {
+			t.Fatalf("idxbench -json: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "BENCH_fig5.json") {
+			t.Fatalf("idxbench did not report the snapshot path:\n%s", out)
+		}
+	}
+	out, err := exec.Command("go", "run", "./cmd/idxprof", "diff",
+		dir+"/a/BENCH_fig5.json", dir+"/b/BENCH_fig5.json").CombinedOutput()
+	if err != nil {
+		t.Fatalf("idxprof diff flagged identical runs: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "no values moved beyond the threshold") {
+		t.Errorf("diff output missing clean verdict:\n%s", out)
+	}
+}
+
 // TestCLIsRun smoke-tests the command-line tools.
 func TestCLIsRun(t *testing.T) {
 	if testing.Short() {
@@ -111,6 +141,8 @@ func TestCLIsRun(t *testing.T) {
 		{"idxbench-fig10", []string{"run", "./cmd/idxbench", "-fig", "10", "-iters", "3"}, "DCR, IDX (dynamic check)"},
 		{"idxlang-demo", []string{"run", "./cmd/idxlang", "-demo", "-run"}, "index launches"},
 		{"idxsim", []string{"run", "./cmd/idxsim", "-app", "stencil", "-nodes", "16", "-iters", "3"}, "throughput"},
+		{"idxsim-metrics", []string{"run", "./cmd/idxsim", "-app", "stencil", "-nodes", "8", "-iters", "3",
+			"-metrics", "127.0.0.1:0"}, "idx_tasks_executed_total"},
 	}
 	for _, c := range cases {
 		c := c

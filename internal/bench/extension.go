@@ -40,6 +40,7 @@ func FigBulkTracing(o Options) Figure {
 				Machine: machine.PizDaint(n), Cost: sim.DefaultCosts(),
 				DCR: cfg.dcr, IDX: cfg.idx, Tracing: true,
 				BulkTracing: cfg.bulkTrace, DynChecks: true,
+				Metrics: o.Metrics,
 			}, prog)
 			if err != nil {
 				panic(err)

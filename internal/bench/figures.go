@@ -13,6 +13,7 @@ import (
 	"indexlaunch/internal/apps/soleil"
 	"indexlaunch/internal/apps/stencil"
 	"indexlaunch/internal/machine"
+	"indexlaunch/internal/metrics"
 	"indexlaunch/internal/sim"
 )
 
@@ -65,6 +66,11 @@ type Options struct {
 	Iters int
 	// MaxNodes caps the node sweep (power-of-two points up to the cap).
 	MaxNodes int
+	// Metrics optionally attaches a live metrics registry to every
+	// simulation of the sweep (idxbench -metrics): the cost model's
+	// pipeline counters and stage-latency histograms accumulate across the
+	// whole figure, so a scrape mid-sweep shows progress.
+	Metrics *metrics.Registry
 }
 
 func (o Options) iters(def int) int {
@@ -97,10 +103,11 @@ var fourConfigs = []struct {
 	{"No DCR, No IDX", false, false},
 }
 
-func runSim(nodes int, dcr, idx, tracing, checks bool, prog sim.Program) float64 {
+func runSim(o Options, nodes int, dcr, idx, tracing, checks bool, prog sim.Program) float64 {
 	res, err := sim.Run(sim.Config{
 		Machine: machine.PizDaint(nodes), Cost: sim.DefaultCosts(),
 		DCR: dcr, IDX: idx, Tracing: tracing, DynChecks: checks,
+		Metrics: o.Metrics,
 	}, prog)
 	if err != nil {
 		panic(err) // programs are generated; a failure is a harness bug
@@ -121,7 +128,7 @@ func Fig4CircuitStrong(o Options) Figure {
 			prog := circuit.SimProgram(circuit.SimParams{
 				Nodes: n, TasksPerNode: 1, WiresPerTask: totalWires / float64(n), Iters: iters,
 			})
-			mk := runSim(n, cfg.dcr, cfg.idx, true, true, prog)
+			mk := runSim(o, n, cfg.dcr, cfg.idx, true, true, prog)
 			s.X = append(s.X, n)
 			s.Y = append(s.Y, circuit.WiresPerSecond(totalWires, iters, mk)/1e6)
 		}
@@ -143,7 +150,7 @@ func Fig5CircuitWeak(o Options) Figure {
 			prog := circuit.SimProgram(circuit.SimParams{
 				Nodes: n, TasksPerNode: 1, WiresPerTask: wiresPerNode, Iters: iters,
 			})
-			mk := runSim(n, cfg.dcr, cfg.idx, true, true, prog)
+			mk := runSim(o, n, cfg.dcr, cfg.idx, true, true, prog)
 			s.X = append(s.X, n)
 			s.Y = append(s.Y, circuit.WiresPerSecond(wiresPerNode*float64(n), iters, mk)/float64(n)/1e6)
 		}
@@ -167,7 +174,7 @@ func Fig6CircuitWeakOverdecomposed(o Options) Figure {
 				Nodes: n, TasksPerNode: overdecompose,
 				WiresPerTask: wiresPerNode / overdecompose, Iters: iters,
 			})
-			mk := runSim(n, cfg.dcr, cfg.idx, false, true, prog)
+			mk := runSim(o, n, cfg.dcr, cfg.idx, false, true, prog)
 			s.X = append(s.X, n)
 			s.Y = append(s.Y, circuit.WiresPerSecond(wiresPerNode*float64(n), iters, mk)/float64(n)/1e6)
 		}
@@ -189,7 +196,7 @@ func Fig7StencilStrong(o Options) Figure {
 			prog := stencil.SimProgram(stencil.SimParams{
 				Nodes: n, CellsPerTask: totalCells / float64(n), Iters: iters,
 			})
-			mk := runSim(n, cfg.dcr, cfg.idx, true, true, prog)
+			mk := runSim(o, n, cfg.dcr, cfg.idx, true, true, prog)
 			s.X = append(s.X, n)
 			s.Y = append(s.Y, stencil.CellsPerSecond(totalCells, iters, mk)/1e9)
 		}
@@ -211,7 +218,7 @@ func Fig8StencilWeak(o Options) Figure {
 			prog := stencil.SimProgram(stencil.SimParams{
 				Nodes: n, CellsPerTask: cellsPerNode, Iters: iters,
 			})
-			mk := runSim(n, cfg.dcr, cfg.idx, true, true, prog)
+			mk := runSim(o, n, cfg.dcr, cfg.idx, true, true, prog)
 			s.X = append(s.X, n)
 			s.Y = append(s.Y, stencil.CellsPerSecond(cellsPerNode*float64(n), iters, mk)/float64(n)/1e9)
 		}
@@ -233,7 +240,7 @@ func Fig9SoleilFluidWeak(o Options) Figure {
 		s := Series{Label: cfg.label}
 		for _, n := range o.nodes(512) {
 			prog := soleil.SimProgram(soleil.SimParams{Nodes: n, Iters: iters})
-			mk := runSim(n, true, cfg.idx, true, true, prog)
+			mk := runSim(o, n, true, cfg.idx, true, true, prog)
 			s.X = append(s.X, n)
 			s.Y = append(s.Y, soleil.IterPerSecondPerNode(iters, mk))
 		}
@@ -261,7 +268,7 @@ func Fig10SoleilFullWeak(o Options) Figure {
 			prog := soleil.SimProgram(soleil.SimParams{
 				Nodes: n, DOM: true, Particles: true, Iters: iters,
 			})
-			mk := runSim(n, true, cfg.idx, true, cfg.checks, prog)
+			mk := runSim(o, n, true, cfg.idx, true, cfg.checks, prog)
 			s.X = append(s.X, n)
 			s.Y = append(s.Y, soleil.IterPerSecondPerNode(iters, mk))
 		}

@@ -60,7 +60,7 @@ func ProfileFigure(id int, o Options) (*obs.Profile, error) {
 	_, err := sim.Run(sim.Config{
 		Machine: machine.PizDaint(nodes), Cost: sim.DefaultCosts(),
 		DCR: true, IDX: true, Tracing: tracing, DynChecks: true,
-		Profile: rec,
+		Profile: rec, Metrics: o.Metrics,
 	}, prog)
 	if err != nil {
 		return nil, err

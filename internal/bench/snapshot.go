@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"indexlaunch/internal/metrics"
+)
+
+// BenchFromFigure flattens a figure into a machine-readable bench snapshot
+// (one value per series point, named "fig5/DCR, IDX/16") for `idxbench
+// -json` and the `idxprof diff` regression gate. The orientation is derived
+// from the figure's Y axis — every throughput figure is better-higher; cost
+// axes are better-lower — so the comparator needs no out-of-band knowledge.
+// The simulator is deterministic, which is what makes a committed snapshot
+// a stable baseline for CI to diff against.
+func BenchFromFigure(f Figure) metrics.BenchSnapshot {
+	better := "lower"
+	if strings.Contains(strings.ToLower(f.YLabel), "throughput") {
+		better = "higher"
+	}
+	snap := metrics.BenchSnapshot{
+		Name: strings.ToLower(f.ID),
+		Meta: map[string]string{"title": f.Title, "ylabel": f.YLabel},
+	}
+	for _, s := range f.Series {
+		for i, x := range s.X {
+			if i >= len(s.Y) {
+				continue
+			}
+			snap.Values = append(snap.Values, metrics.BenchValue{
+				Name:   fmt.Sprintf("%s/%s/%d", strings.ToLower(f.ID), s.Label, x),
+				Value:  s.Y[i],
+				Better: better,
+			})
+		}
+	}
+	return snap
+}

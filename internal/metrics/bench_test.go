@@ -1,0 +1,137 @@
+package metrics
+
+import "testing"
+
+// The overhead contract, mirroring internal/obs: a nil *Registry (metrics
+// disabled) must cost one branch and zero allocations per hook, and enabled
+// instruments must stay single-atomic-op cheap. CI runs the benchmarks in
+// its smoke pass, so a regression in either direction shows up as allocs/op.
+
+func TestDisabledMetricsAllocatesNothing(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_ns", "")
+	cv := r.CounterVec("cv_total", "", "k")
+	hv := r.HistogramVec("hv_ns", "", "k")
+	if NewPipeline(r) != nil {
+		t.Fatal("NewPipeline(nil) != nil")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(5)
+		g.Set(3)
+		g.Add(-1)
+		h.Observe(1234)
+		cv.With("x").Inc()
+		hv.With("x").Observe(99)
+		_ = c.Value()
+		_ = h.Count()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled metrics allocate %.1f per op, want 0", allocs)
+	}
+}
+
+// Enabled instruments must not allocate either: recording is atomic ops on
+// pre-resolved pointers.
+func TestEnabledRecordingAllocatesNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_ns", "")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(4096)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled recording allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("c_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabledParallel(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("h_ns", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("h_ns", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramEnabledParallel(b *testing.B) {
+	h := NewRegistry().Histogram("h_ns", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			h.Observe(i)
+			i++
+		}
+	})
+}
+
+func BenchmarkVecWithResolution(b *testing.B) {
+	v := NewRegistry().CounterVec("v_total", "", "stage")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("issue").Inc()
+	}
+}
+
+func BenchmarkGather(b *testing.B) {
+	r := NewRegistry()
+	p := NewPipeline(r)
+	for i := int64(0); i < 1000; i++ {
+		p.LaunchCalls.Inc()
+		p.LatIssue.Observe(i * 100)
+		p.LatExecute.Observe(i * 1000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap := r.Gather(); len(snap.Families) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}

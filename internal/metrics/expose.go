@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Exposition formats: Prometheus text format 0.0.4 (WriteProm), JSON
+// (WriteJSON) and a fixed-width terminal rendering with optional deltas
+// against a previous snapshot (RenderDelta) — the watch mode of the CLIs.
+
+// WriteProm writes the snapshot in Prometheus text format: one HELP and
+// TYPE line per family followed by its samples; histograms expose
+// cumulative `_bucket{le="..."}` samples ending in `+Inf`, plus `_sum` and
+// `_count`, with `_count` always equal to the `+Inf` bucket.
+func WriteProm(w io.Writer, s Snapshot) error {
+	for _, f := range s.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, ss := range f.Series {
+			if f.Type == TypeHistogram.String() {
+				if err := writePromHistogram(w, f.Name, ss); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.Name, promLabels(ss.Labels, "", 0), ss.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, ss SeriesSnapshot) error {
+	for _, b := range ss.Buckets {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(ss.Labels, "le", b.Le), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabelsInf(ss.Labels), ss.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, promLabels(ss.Labels, "", 0), ss.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(ss.Labels, "", 0), ss.Count)
+	return err
+}
+
+// promLabels renders a label set, optionally with a trailing numeric `le`.
+func promLabels(labels []Label, le string, bound int64) string {
+	var parts []string
+	for _, l := range labels {
+		parts = append(parts, fmt.Sprintf("%s=\"%s\"", l.Key, escapeLabel(l.Value)))
+	}
+	if le != "" {
+		parts = append(parts, fmt.Sprintf("%s=\"%d\"", le, bound))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func promLabelsInf(labels []Label) string {
+	var parts []string
+	for _, l := range labels {
+		parts = append(parts, fmt.Sprintf("%s=\"%s\"", l.Key, escapeLabel(l.Value)))
+	}
+	parts = append(parts, `le="+Inf"`)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// escapeLabel escapes a label value per the text format: backslash, double
+// quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// WriteJSON writes the snapshot as indented JSON — the `/metrics.json`
+// payload idxprof's watch mode polls.
+func WriteJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSONSnapshot parses a WriteJSON payload.
+func ReadJSONSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("metrics: parsing JSON snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// RenderDelta renders the snapshot as an aligned terminal table. With a
+// non-zero previous snapshot, a third column shows the per-scalar delta
+// since prev — the CLIs' watch tick. Zero-valued scalars with zero delta
+// are elided to keep the live view short.
+func RenderDelta(prev, cur Snapshot) string {
+	prevVals := map[string]float64{}
+	for _, sc := range prev.Scalars() {
+		prevVals[sc.Name] = sc.Value
+	}
+	var b strings.Builder
+	for _, sc := range cur.Scalars() {
+		d := sc.Value - prevVals[sc.Name]
+		if sc.Value == 0 && d == 0 {
+			continue
+		}
+		if len(prev.Families) > 0 {
+			fmt.Fprintf(&b, "%-64s %16.6g %+14.6g\n", sc.Name, sc.Value, d)
+		} else {
+			fmt.Fprintf(&b, "%-64s %16.6g\n", sc.Name, sc.Value)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,274 @@
+package metrics
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Prometheus text-format conformance for WriteProm: valid metric and label
+// names, HELP/TYPE exactly once per family and before its samples,
+// cumulative non-decreasing _bucket series ending in +Inf, _bucket{+Inf} ==
+// _count, and proper label-value escaping. The parser here is deliberately
+// independent of the writer: it checks the emitted text, not the code path.
+
+var (
+	promMetricRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (-?[0-9]+)$`)
+	promPairRe   = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+func promText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestPromFormatConformance(t *testing.T) {
+	r := NewRegistry()
+	p := NewPipeline(r)
+	p.LaunchCalls.Add(3)
+	p.TasksExecuted.Add(12)
+	p.InflightTasks.Set(2)
+	for i := int64(1); i <= 100; i++ {
+		p.LatIssue.Observe(i * 1000)
+		p.LatExecute.Observe(i * 50000)
+	}
+	p.FenceWait.Observe(123456)
+	r.CounterVec("escape_total", "tricky \"help\"\nline", "who").
+		With(`a"b\c` + "\nd").Inc()
+
+	text := promText(t, r)
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]bool{}
+	sampleSeen := map[string]bool{}
+	// familyOf maps a sample name to the family that must own it (histogram
+	// samples use the family name + _bucket/_sum/_count).
+	typeOf := map[string]string{}
+	bucketCum := map[string]int64{} // series key -> last cumulative bucket
+	bucketLe := map[string]int64{}  // series key -> last le bound
+	infCount := map[string]int64{}  // series key -> +Inf bucket value
+	countVal := map[string]int64{}  // series key -> _count value
+
+	for _, line := range lines {
+		if line == "" {
+			t.Fatalf("blank line in exposition:\n%s", text)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			if !promMetricRe.MatchString(name) {
+				t.Errorf("HELP for invalid metric name %q", name)
+			}
+			if helpSeen[name] {
+				t.Errorf("duplicate HELP for %s", name)
+			}
+			if strings.ContainsAny(help, "\n") {
+				t.Errorf("unescaped newline in HELP for %s", name)
+			}
+			helpSeen[name] = true
+			if sampleSeen[name] {
+				t.Errorf("HELP for %s appears after its samples", name)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			name, typ := fields[0], fields[1]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Errorf("TYPE %s has unknown type %q", name, typ)
+			}
+			if typeSeen[name] {
+				t.Errorf("duplicate TYPE for %s", name)
+			}
+			typeSeen[name] = true
+			typeOf[name] = typ
+			if sampleSeen[name] {
+				t.Errorf("TYPE for %s appears after its samples", name)
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		name, labels := m[1], m[3]
+		val, _ := strconv.ParseInt(m[4], 10, 64)
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && typeOf[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		sampleSeen[base] = true
+		if _, ok := typeOf[base]; !ok {
+			t.Errorf("sample %s has no TYPE line", name)
+		}
+
+		var le string
+		var nonLe []string
+		if labels != "" {
+			for _, pair := range splitPromPairs(labels) {
+				pm := promPairRe.FindStringSubmatch(pair)
+				if pm == nil {
+					t.Fatalf("malformed label pair %q in %q", pair, line)
+				}
+				if !promLabelRe.MatchString(pm[1]) {
+					t.Errorf("invalid label name %q in %q", pm[1], line)
+				}
+				if pm[1] == "le" {
+					le = pm[2]
+				} else {
+					nonLe = append(nonLe, pair)
+				}
+			}
+		}
+		seriesKey := base + "{" + strings.Join(nonLe, ",") + "}"
+		switch {
+		case strings.HasSuffix(name, "_bucket") && typeOf[base] == "histogram":
+			if le == "" {
+				t.Errorf("bucket sample without le label: %q", line)
+			}
+			if val < bucketCum[seriesKey] {
+				t.Errorf("bucket counts decrease for %s at le=%s", seriesKey, le)
+			}
+			bucketCum[seriesKey] = val
+			if le == "+Inf" {
+				infCount[seriesKey] = val
+			} else {
+				bound, err := strconv.ParseInt(le, 10, 64)
+				if err != nil {
+					t.Errorf("non-numeric le %q in %q", le, line)
+				}
+				if bound <= bucketLe[seriesKey] && bucketLe[seriesKey] != 0 {
+					t.Errorf("le bounds not increasing for %s", seriesKey)
+				}
+				bucketLe[seriesKey] = bound
+			}
+		case strings.HasSuffix(name, "_count") && typeOf[base] == "histogram":
+			countVal[seriesKey] = val
+		}
+	}
+
+	for name := range helpSeen {
+		if !typeSeen[name] {
+			t.Errorf("HELP without TYPE for %s", name)
+		}
+	}
+	if len(infCount) == 0 {
+		t.Fatal("no histogram buckets in exposition")
+	}
+	for key, inf := range infCount {
+		if countVal[key] != inf {
+			t.Errorf("%s: +Inf bucket %d != _count %d", key, inf, countVal[key])
+		}
+	}
+	// The escaped label round-trips: backslash, quote and newline escaped.
+	if !strings.Contains(text, `who="a\"b\\c\nd"`) {
+		t.Errorf("label escaping wrong; exposition:\n%s", grepLines(text, "escape_total"))
+	}
+	if !strings.Contains(text, `# HELP escape_total tricky "help"\nline`) {
+		t.Errorf("HELP escaping wrong; exposition:\n%s", grepLines(text, "# HELP escape_total"))
+	}
+}
+
+// splitPromPairs splits a label body on commas not inside quoted values.
+func splitPromPairs(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, c := range s {
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteRune(c)
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func grepLines(text, substr string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestJSONSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	p := NewPipeline(r)
+	p.LaunchCalls.Add(5)
+	p.LatIssue.Observe(1000)
+	p.LatIssue.Observe(2000)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Gather()
+	if len(got.Families) != len(want.Families) {
+		t.Fatalf("round trip lost families: %d != %d", len(got.Families), len(want.Families))
+	}
+	gotScalars := got.Scalars()
+	wantScalars := want.Scalars()
+	if len(gotScalars) != len(wantScalars) {
+		t.Fatalf("round trip lost scalars: %d != %d", len(gotScalars), len(wantScalars))
+	}
+	for i := range wantScalars {
+		if gotScalars[i] != wantScalars[i] {
+			t.Errorf("scalar %d: %+v != %+v", i, gotScalars[i], wantScalars[i])
+		}
+	}
+}
+
+func TestRenderDeltaElidesZeroes(t *testing.T) {
+	r := NewRegistry()
+	p := NewPipeline(r)
+	p.LaunchCalls.Add(2)
+	first := r.Gather()
+	out := RenderDelta(Snapshot{}, first)
+	if !strings.Contains(out, "idx_launch_calls_total") {
+		t.Errorf("render missing non-zero scalar:\n%s", out)
+	}
+	if strings.Contains(out, "idx_panics_total") {
+		t.Errorf("render shows zero scalar:\n%s", out)
+	}
+	p.LaunchCalls.Add(3)
+	out = RenderDelta(first, r.Gather())
+	if !strings.Contains(out, "+3") {
+		t.Errorf("delta column missing +3:\n%s", out)
+	}
+}

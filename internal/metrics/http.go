@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Embedded HTTP exposition: an optional listener serving the registry three
+// ways —
+//
+//	/metrics       Prometheus text format 0.0.4
+//	/metrics.json  JSON snapshot (what `idxprof watch` polls)
+//	/statusz       live introspection: the StatusFunc's view of the running
+//	               system (node liveness, broadcast-tree shape, in-flight
+//	               launches) plus registry metadata
+//
+// The listener is opt-in (the -metrics flag of the CLIs); nothing in the
+// hot path knows it exists.
+
+// StatusFunc produces the live-introspection payload for /statusz. It is
+// called per request from HTTP goroutines and must be safe for concurrent
+// use; nil serves an empty status.
+type StatusFunc func() any
+
+// Handler serves /metrics, /metrics.json and /statusz over reg.
+func Handler(reg *Registry, status StatusFunc) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			serveJSON(w, reg)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, reg.Gather())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		serveJSON(w, reg)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		payload := struct {
+			Status      any    `json:"status,omitempty"`
+			TakenUnixNS int64  `json:"taken_unix_ns"`
+			UptimeSec   string `json:"uptime,omitempty"`
+			Metrics     int    `json:"metric_families"`
+		}{TakenUnixNS: time.Now().UnixNano()}
+		if status != nil {
+			payload.Status = status()
+		}
+		if !reg.Epoch().IsZero() {
+			payload.UptimeSec = time.Since(reg.Epoch()).Round(time.Millisecond).String()
+		}
+		payload.Metrics = len(reg.Gather().Families)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "endpoints: /metrics /metrics.json /statusz\n")
+	})
+	return mux
+}
+
+func serveJSON(w http.ResponseWriter, reg *Registry) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = WriteJSON(w, reg.Gather())
+}
+
+// Server is an embedded metrics listener started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP listener on addr (":0" selects an ephemeral port)
+// serving Handler(reg, status) until Close.
+func Serve(addr string, reg *Registry, status StatusFunc) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg, status)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the listener's resolved address, e.g. "127.0.0.1:43210".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

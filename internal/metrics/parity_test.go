@@ -1,0 +1,89 @@
+package metrics_test
+
+import (
+	"fmt"
+	"testing"
+
+	"indexlaunch/internal/apps/circuit"
+	"indexlaunch/internal/machine"
+	"indexlaunch/internal/metrics"
+	"indexlaunch/internal/rt"
+	"indexlaunch/internal/sim"
+)
+
+// TestRTSimMetricParity is the metrics face of the rt/sim parity guarantee
+// (the spans face lives in internal/obs): the same circuit workload run for
+// real on internal/rt and through the internal/sim cost model must register
+// the identical metric-family vocabulary, and the counters with exact
+// semantics in both worlds must agree. One dashboard reads both.
+func TestRTSimMetricParity(t *testing.T) {
+	const pieces, iters = 4, 3
+
+	// Real run, metrics on.
+	rtReg := metrics.NewRegistry()
+	r := rt.MustNew(rt.Config{
+		Nodes: pieces, ProcsPerNode: 2, DCR: true, IndexLaunches: true,
+		Metrics: rtReg,
+	})
+	c, err := circuit.Build(circuit.Params{
+		Pieces: pieces, NodesPerPiece: 8, WiresPerPiece: 16, CrossFraction: 0.2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := circuit.NewApp(c, r).Run(iters); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulated run of the same workload shape, metrics on.
+	simReg := metrics.NewRegistry()
+	_, err = sim.Run(sim.Config{
+		Machine: machine.PizDaint(pieces), Cost: sim.DefaultCosts(),
+		DCR: true, IDX: true, Metrics: simReg,
+	}, circuit.SimProgram(circuit.SimParams{
+		Nodes: pieces, TasksPerNode: 1, WiresPerTask: 1000, Iters: iters,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rtNames, simNames := rtReg.Names(), simReg.Names()
+	if got, want := fmt.Sprint(rtNames), fmt.Sprint(simNames); got != want {
+		t.Errorf("metric vocabularies differ:\n  rt:  %s\n  sim: %s", got, want)
+	}
+	if len(rtNames) == 0 {
+		t.Fatal("rt registered no metric families")
+	}
+
+	// Both worlds saw index launches and executed tasks.
+	for _, reg := range []struct {
+		name string
+		reg  *metrics.Registry
+	}{{"rt", rtReg}, {"sim", simReg}} {
+		vals := scalarMap(reg.reg)
+		if vals["idx_launch_calls_total"] == 0 {
+			t.Errorf("%s: no launch calls recorded", reg.name)
+		}
+		if vals["idx_index_launched_total"] == 0 {
+			t.Errorf("%s: no index launches recorded", reg.name)
+		}
+		if vals["idx_tasks_executed_total"] == 0 {
+			t.Errorf("%s: no tasks recorded", reg.name)
+		}
+		// Stage latency histograms populated on the hot stages.
+		for _, stage := range []string{"issue", "execute"} {
+			key := fmt.Sprintf("idx_stage_latency_ns{stage=%q}_count", stage)
+			if vals[key] == 0 {
+				t.Errorf("%s: stage %s latency histogram is empty", reg.name, stage)
+			}
+		}
+	}
+}
+
+func scalarMap(r *metrics.Registry) map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range r.Gather().Scalars() {
+		out[s.Name] = s.Value
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// Snapshot-while-recording semantics, exercised under -race in CI: Gather
+// may run concurrently with Observe/Inc from many goroutines, successive
+// snapshots must be monotonic for counters and histograms, and every
+// snapshot must satisfy the histogram invariant that the +Inf bucket (the
+// derived count) equals the last cumulative bucket.
+
+func TestConcurrentRecordingAndSnapshots(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 20000
+	)
+	r := NewRegistry()
+	c := r.Counter("ops_total", "")
+	g := r.Gauge("depth", "")
+	h := r.Histogram("lat_ns", "")
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				// Spread observations across octaves so snapshots see the
+				// bucket array mid-update.
+				h.Observe(int64(i%1000) * int64(w+1))
+				g.Add(-1)
+			}
+		}(w)
+	}
+
+	snapshotter := func() {
+		defer wg.Done()
+		<-start
+		var prevCount, prevSum, prevC int64
+		var prevBuckets map[int64]int64
+		for i := 0; i < 200; i++ {
+			snap := r.Gather()
+			var hs SeriesSnapshot
+			var cv int64
+			for _, f := range snap.Families {
+				switch f.Name {
+				case "lat_ns":
+					hs = f.Series[0]
+				case "ops_total":
+					cv = f.Series[0].Value
+				}
+			}
+			if cv < prevC {
+				t.Errorf("counter went backwards: %d -> %d", prevC, cv)
+				return
+			}
+			prevC = cv
+			if hs.Count < prevCount {
+				t.Errorf("histogram count went backwards: %d -> %d", prevCount, hs.Count)
+				return
+			}
+			if hs.Sum < prevSum {
+				t.Errorf("histogram sum went backwards: %d -> %d", prevSum, hs.Sum)
+				return
+			}
+			prevCount, prevSum = hs.Count, hs.Sum
+			// Cumulative within one snapshot; the derived count equals the
+			// last cumulative bucket by construction — verify anyway.
+			var cum int64
+			cur := map[int64]int64{}
+			var prevLe int64 = -1
+			for _, b := range hs.Buckets {
+				if b.Le <= prevLe {
+					t.Errorf("bucket bounds not increasing: %d after %d", b.Le, prevLe)
+					return
+				}
+				if b.Count < cum {
+					t.Errorf("bucket counts not cumulative at le=%d", b.Le)
+					return
+				}
+				prevLe = b.Le
+				cum = b.Count
+				cur[b.Le] = b.Count
+			}
+			if cum != hs.Count {
+				t.Errorf("+Inf bucket %d != count %d", cum, hs.Count)
+				return
+			}
+			// Per-bucket monotonicity across snapshots: a bound's cumulative
+			// count never decreases. (Compare per bound; new bounds appear as
+			// buckets fill in.)
+			for le, prev := range prevBuckets {
+				// The cumulative count at bound le in the current snapshot is
+				// the count of the last bucket with Le <= le.
+				var now int64
+				for _, b := range hs.Buckets {
+					if b.Le > le {
+						break
+					}
+					now = b.Count
+				}
+				if now < prev {
+					t.Errorf("cumulative count at le=%d went backwards: %d -> %d", le, prev, now)
+					return
+				}
+			}
+			prevBuckets = cur
+		}
+	}
+	wg.Add(1)
+	go snapshotter()
+
+	close(start)
+	wg.Wait()
+
+	// Final consistency: every write landed exactly once.
+	const total = writers * perWriter
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0 after balanced adds", got)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	var wantSum int64
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			wantSum += int64(i%1000) * int64(w+1)
+		}
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %d, want %d", got, wantSum)
+	}
+}
+
+// TestConcurrentRegistration hammers idempotent registration from many
+// goroutines: everyone must get the same instrument, and concurrent Vec
+// label resolution must never mint duplicate series.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	counters := make([]*Counter, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			counters[i] = r.Counter("shared_total", "")
+			v := r.CounterVec("vec_total", "", "k")
+			v.With("a").Inc()
+			v.With("b").Inc()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if counters[i] != counters[0] {
+			t.Fatalf("goroutine %d got a different instrument for shared_total", i)
+		}
+	}
+	for _, f := range r.Gather().Families {
+		if f.Name == "vec_total" {
+			if len(f.Series) != 2 {
+				t.Fatalf("vec_total has %d series, want 2", len(f.Series))
+			}
+			for _, s := range f.Series {
+				if s.Value != goroutines {
+					t.Errorf("vec_total%v = %d, want %d", s.Labels, s.Value, goroutines)
+				}
+			}
+		}
+	}
+}

@@ -102,7 +102,7 @@ func (r *Runtime) endBulkTrace(id uint64) error {
 			r.bulkStore = map[uint64]*bulkTemplate{}
 		}
 		r.bulkStore[id] = bs.tmpl
-		r.captures.Add(1)
+		r.mx.TraceCaptures.Inc()
 		if prof := r.cfg.Profile; prof != nil {
 			prof.Mark(0, obs.StageCapture, "bulk-trace", "trace", domain.Point{}, prof.Now())
 		}
@@ -119,7 +119,7 @@ func (r *Runtime) endBulkTrace(id uint64) error {
 			r.vm.access(key.tree, key.field, ivs, privilege.Read, privilege.OpNone, terminal)
 		}
 		r.outstanding = append(r.outstanding, pendingTask{ev: terminal, name: "bulk-trace-replay", tag: "trace"})
-		r.replays.Add(1)
+		r.mx.TraceReplays.Inc()
 		if prof := r.cfg.Profile; prof != nil {
 			prof.Mark(0, obs.StageReplay, "bulk-trace", "trace", domain.Point{}, prof.Now())
 		}

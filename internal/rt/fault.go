@@ -182,7 +182,7 @@ func (fi *FaultInjector) KillRandomNode(nodes int, afterIssued int64) *FaultInje
 func (r *Runtime) faultCheck(d domain.Domain, p domain.Point, node int) int {
 	if r.dead[node] {
 		node = r.remapPoint(d, p, node)
-		r.remapped.Add(1)
+		r.mx.Remapped.Inc()
 		if prof := r.cfg.Profile; prof != nil {
 			prof.Mark(node, obs.StageFault, "remap", "", p, prof.Now())
 		}
@@ -234,7 +234,7 @@ func (r *Runtime) killNodeLocked(node int) bool {
 		return false
 	}
 	r.dead[node] = true
-	r.nodeFailures.Add(1)
+	r.mx.NodeFailures.Inc()
 	if r.xp != nil {
 		// Future broadcasts re-parent the node's orphaned subtree onto
 		// surviving ancestors (or fall back to direct node-0 sends).

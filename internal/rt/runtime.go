@@ -5,11 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"indexlaunch/internal/core"
 	"indexlaunch/internal/domain"
+	"indexlaunch/internal/metrics"
 	"indexlaunch/internal/obs"
 	"indexlaunch/internal/privilege"
 	"indexlaunch/internal/region"
@@ -76,6 +76,14 @@ type Config struct {
 	// analysis walks. Nil disables profiling; the disabled hooks cost one
 	// predictable branch per site and allocate nothing.
 	Profile *obs.Recorder
+	// Metrics attaches a live metrics registry (internal/metrics): pipeline
+	// counters, stage-latency histograms, worker-queue gauges and the
+	// message-transport counters are registered and recorded into it, ready
+	// for /metrics exposition. Nil disables the timing-dependent
+	// observations (the clock reads); the counters themselves are always
+	// maintained — in a private registry — because Runtime.Stats is a
+	// read-through view over them.
+	Metrics *metrics.Registry
 }
 
 // Stats counts runtime pipeline activity; read them with Runtime.Stats.
@@ -182,24 +190,17 @@ type Runtime struct {
 	profIDs    map[*Event]int64
 	profPhysNS int64
 
-	// Pipeline counters. All are atomics so Stats can snapshot them
-	// without tearing while tasks execute concurrently.
-	tasksExecuted atomic.Int64
-	dynEvals      atomic.Int64
-	captures      atomic.Int64
-	replays       atomic.Int64
-	skipped       atomic.Int64
-	launchCalls   atomic.Int64
-	singleCalls   atomic.Int64
-	indexLaunched atomic.Int64
-	expanded      atomic.Int64
-	fallbacks     atomic.Int64
-	panics        atomic.Int64
-	retries       atomic.Int64
-	tasksFailed   atomic.Int64
-	tasksSkipped  atomic.Int64
-	nodeFailures  atomic.Int64
-	remapped      atomic.Int64
+	// Pipeline metrics. The counters live in reg (the caller's registry,
+	// or a private one when Config.Metrics is nil) and Stats reads them
+	// back — there is no second bookkeeping path. mxOn gates the
+	// timing-dependent histogram observations: counting is one atomic add
+	// either way, but latency histograms need clock reads the disabled
+	// state must not pay for. mxEpoch anchors those clock reads when no
+	// profiler supplies a timebase.
+	reg     *metrics.Registry
+	mx      *metrics.Pipeline
+	mxOn    bool
+	mxEpoch time.Time
 }
 
 // pendingTask is an outstanding point task a fence may wait on, with enough
@@ -234,20 +235,30 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Chaos != nil && cfg.DCR {
 		return nil, fmt.Errorf("rt: Chaos requires the centralized path (DCR == false): the DCR path sends no slice messages")
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	mx := metrics.NewPipeline(reg)
 	r := &Runtime{
-		cfg:    cfg,
-		mapper: m,
-		byName: map[string]core.TaskID{},
-		vm:     newVersionMap(),
-		slots:  make([]chan struct{}, cfg.Nodes),
-		dead:   make([]bool, cfg.Nodes),
-		stop:   make(chan struct{}),
+		cfg:     cfg,
+		mapper:  m,
+		byName:  map[string]core.TaskID{},
+		vm:      newVersionMap(mx.VersionQueries, mx.DepEdges),
+		slots:   make([]chan struct{}, cfg.Nodes),
+		dead:    make([]bool, cfg.Nodes),
+		stop:    make(chan struct{}),
+		reg:     reg,
+		mx:      mx,
+		mxOn:    cfg.Metrics != nil,
+		mxEpoch: time.Now(),
 	}
 	if !cfg.DCR {
 		xp, err := xport.New(cfg.Nodes, xport.Options{
 			Chaos:      cfg.Chaos,
 			Retransmit: cfg.Retransmit,
 			Prof:       cfg.Profile,
+			Metrics:    reg,
 			Deliver:    r.transportDeliver,
 		})
 		if err != nil {
@@ -297,43 +308,54 @@ func (r *Runtime) MustRegisterTask(name string, fn TaskFn) core.TaskID {
 // Config returns the runtime's configuration.
 func (r *Runtime) Config() Config { return r.cfg }
 
-// Stats returns a snapshot of the pipeline counters. Every counter is
-// maintained atomically (or copied under its owning lock), so snapshots
-// taken while tasks execute concurrently are never torn.
+// Stats returns a snapshot of the pipeline counters. It is a read-through
+// view over the runtime's metrics registry — the same counters /metrics
+// exposes — so every value is an atomic read and snapshots taken while
+// tasks execute concurrently are never torn. The transport registers its
+// counters on the same registry, so the Msg* fields need no transport
+// round-trip (they stay zero in DCR mode, which sends no slice messages).
 func (r *Runtime) Stats() Stats {
-	r.vm.mu.Lock()
-	vq, de := r.vm.queries, r.vm.deps
-	r.vm.mu.Unlock()
-	var xs xport.Stats
-	if r.xp != nil {
-		xs = r.xp.Stats()
-	}
+	mx := r.mx
 	return Stats{
-		LaunchCalls:       r.launchCalls.Load(),
-		SingleCalls:       r.singleCalls.Load(),
-		IndexLaunched:     r.indexLaunched.Load(),
-		Expanded:          r.expanded.Load(),
-		Fallbacks:         r.fallbacks.Load(),
-		TasksExecuted:     r.tasksExecuted.Load(),
-		VersionQueries:    vq,
-		DepEdges:          de,
-		DynamicCheckEvals: r.dynEvals.Load(),
-		TraceCaptures:     r.captures.Load(),
-		TraceReplays:      r.replays.Load(),
-		AnalysisSkipped:   r.skipped.Load(),
-		Panics:            r.panics.Load(),
-		Retries:           r.retries.Load(),
-		TasksFailed:       r.tasksFailed.Load(),
-		TasksSkipped:      r.tasksSkipped.Load(),
-		NodeFailures:      r.nodeFailures.Load(),
-		Remapped:          r.remapped.Load(),
-		MsgSends:          xs.Sends,
-		MsgRetransmits:    xs.Retransmits,
-		MsgDrops:          xs.Drops,
-		MsgDedups:         xs.Dedups,
-		Reparents:         xs.Reparents,
-		DirectBroadcasts:  xs.DirectBroadcasts,
+		LaunchCalls:       mx.LaunchCalls.Value(),
+		SingleCalls:       mx.SingleCalls.Value(),
+		IndexLaunched:     mx.IndexLaunched.Value(),
+		Expanded:          mx.Expanded.Value(),
+		Fallbacks:         mx.Fallbacks.Value(),
+		TasksExecuted:     mx.TasksExecuted.Value(),
+		VersionQueries:    mx.VersionQueries.Value(),
+		DepEdges:          mx.DepEdges.Value(),
+		DynamicCheckEvals: mx.DynamicCheckEvals.Value(),
+		TraceCaptures:     mx.TraceCaptures.Value(),
+		TraceReplays:      mx.TraceReplays.Value(),
+		AnalysisSkipped:   mx.AnalysisSkipped.Value(),
+		Panics:            mx.Panics.Value(),
+		Retries:           mx.Retries.Value(),
+		TasksFailed:       mx.TasksFailed.Value(),
+		TasksSkipped:      mx.TasksSkipped.Value(),
+		NodeFailures:      mx.NodeFailures.Value(),
+		Remapped:          mx.Remapped.Value(),
+		MsgSends:          mx.Sends.Value(),
+		MsgRetransmits:    mx.Retransmits.Value(),
+		MsgDrops:          mx.Drops.Value(),
+		MsgDedups:         mx.Dedups.Value(),
+		Reparents:         mx.Reparents.Value(),
+		DirectBroadcasts:  mx.DirectBroadcasts.Value(),
 	}
+}
+
+// Metrics returns the registry the runtime records into: the caller's
+// Config.Metrics registry, or the private one backing Stats when none was
+// attached. Serve it with metrics.Serve to expose /metrics and /statusz.
+func (r *Runtime) Metrics() *metrics.Registry { return r.reg }
+
+// nowNS reads the runtime's metrics timebase: the profiler's clock when one
+// is attached (so spans and histograms agree), the wall clock otherwise.
+func (r *Runtime) nowNS() int64 {
+	if p := r.cfg.Profile; p != nil {
+		return p.Now()
+	}
+	return time.Since(r.mxEpoch).Nanoseconds()
 }
 
 // Shutdown cancels the runtime's in-flight retry backoff waits: a task
@@ -350,42 +372,55 @@ func (r *Runtime) Shutdown() {
 func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 	r.issueMu.Lock()
 	defer r.issueMu.Unlock()
-	r.launchCalls.Add(1)
+	r.mx.LaunchCalls.Inc()
 
 	if int(l.Task) >= len(r.tasks) {
 		return nil, fmt.Errorf("rt: launch %q names unregistered task %d", l.Tag, l.Task)
 	}
 
 	prof := r.cfg.Profile
+	timed := prof != nil || r.mxOn
 	name := r.tasks[l.Task].name
 	var tLaunch, tLogical, logicalNS, distNS int64
-	if prof != nil {
-		tLaunch = prof.Now()
+	if timed {
+		tLaunch = r.nowNS()
 		tLogical = tLaunch
 		r.profPhysNS = 0
 	}
 
 	useIndex := r.cfg.IndexLaunches
 	if useIndex && r.cfg.VerifyLaunches && !r.replaying() && !r.bulkReplaying() {
+		var tCheck int64
+		if r.mxOn {
+			tCheck = r.nowNS()
+		}
 		res := l.Verify(r.cfg.Checks)
-		r.dynEvals.Add(res.DynamicEvaluations)
+		if r.mxOn {
+			r.mx.CheckEval.Observe(r.nowNS() - tCheck)
+		}
+		r.mx.DynamicCheckEvals.Add(res.DynamicEvaluations)
 		if !res.Safe {
 			// Listing 3's else-branch: run the original task loop.
-			r.fallbacks.Add(1)
+			r.mx.Fallbacks.Inc()
 			useIndex = false
 		}
 	}
-	if prof != nil {
+	if timed {
 		// Logical stage: whole-launch analysis including the dynamic safety
 		// check (near-zero duration when VerifyLaunches is off).
-		logicalNS = prof.Now() - tLogical
-		prof.Span(0, obs.StageLogical, name, l.Tag, domain.Point{}, tLogical, tLogical+logicalNS)
+		logicalNS = r.nowNS() - tLogical
+		if prof != nil {
+			prof.Span(0, obs.StageLogical, name, l.Tag, domain.Point{}, tLogical, tLogical+logicalNS)
+		}
+		if r.mxOn {
+			r.mx.LatLogical.Observe(logicalNS)
+		}
 	}
 
 	if useIndex {
-		r.indexLaunched.Add(1)
+		r.mx.IndexLaunched.Inc()
 	} else {
-		r.expanded.Add(1)
+		r.mx.Expanded.Inc()
 	}
 
 	// Distribution: compute the node for every point. With DCR the
@@ -395,12 +430,12 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 	// assignment; the cost difference between the two paths is modeled in
 	// internal/sim.
 	var tDist int64
-	if prof != nil {
-		tDist = prof.Now()
+	if timed {
+		tDist = r.nowNS()
 	}
 	assign := r.assignNodes(l.Domain, l.Tag)
-	if prof != nil {
-		distNS = prof.Now() - tDist
+	if timed {
+		distNS = r.nowNS() - tDist
 	}
 
 	if r.bulkReplaying() {
@@ -416,12 +451,12 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 			prs[i] = PhysicalRegion{Region: reg, Priv: req.Priv, RedOp: req.RedOp, Fields: req.Fields}
 		}
 		var tShard int64
-		if prof != nil {
-			tShard = prof.Now()
+		if timed {
+			tShard = r.nowNS()
 		}
 		node := r.faultCheck(l.Domain, pt.Point, assign(pt.Point))
-		if prof != nil {
-			distNS += prof.Now() - tShard
+		if timed {
+			distNS += r.nowNS() - tShard
 		}
 		fut := r.issuePoint(l.Task, l.Tag, pt.Point, node, prs, l.ArgsAt(pt.Point))
 		fm.add(pt.Point, fut)
@@ -440,17 +475,23 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 		r.pendingBulkDeps = nil
 	}
 	fm.seal()
-	if prof != nil {
+	if timed {
 		// Distribution span: sharding/slicing time aggregated over the
 		// launch; issue span: the residual launch bookkeeping, so the four
 		// issuance-side stages partition the time spent under issueMu.
-		end := prof.Now()
-		prof.Span(0, obs.StageDistribute, name, l.Tag, domain.Point{}, tDist, tDist+distNS)
+		end := r.nowNS()
 		resid := (end - tLaunch) - logicalNS - distNS - r.profPhysNS
 		if resid < 0 {
 			resid = 0
 		}
-		prof.Span(0, obs.StageIssue, name, l.Tag, domain.Point{}, tLaunch, tLaunch+resid)
+		if prof != nil {
+			prof.Span(0, obs.StageDistribute, name, l.Tag, domain.Point{}, tDist, tDist+distNS)
+			prof.Span(0, obs.StageIssue, name, l.Tag, domain.Point{}, tLaunch, tLaunch+resid)
+		}
+		if r.mxOn {
+			r.mx.LatDistribute.Observe(distNS)
+			r.mx.LatIssue.Observe(resid)
+		}
 	}
 	return fm, nil
 }
@@ -472,15 +513,16 @@ type SingleReq struct {
 func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, args []byte) (*Future, error) {
 	r.issueMu.Lock()
 	defer r.issueMu.Unlock()
-	r.singleCalls.Add(1)
+	r.mx.SingleCalls.Inc()
 	if int(task) >= len(r.tasks) {
 		return nil, fmt.Errorf("rt: single launch %q names unregistered task %d", tag, task)
 	}
 	prof := r.cfg.Profile
+	timed := prof != nil || r.mxOn
 	name := r.tasks[task].name
 	var tLaunch, distNS int64
-	if prof != nil {
-		tLaunch = prof.Now()
+	if timed {
+		tLaunch = r.nowNS()
 		r.profPhysNS = 0
 	}
 	prs := make([]PhysicalRegion, len(reqs))
@@ -492,13 +534,13 @@ func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, 
 	}
 	p := domain.Pt1(0)
 	var tDist int64
-	if prof != nil {
-		tDist = prof.Now()
+	if timed {
+		tDist = r.nowNS()
 	}
 	node := clampNode(r.mapper.ShardPoint(domain.Range1(0, 0), p, r.cfg.Nodes), r.cfg.Nodes)
 	node = r.faultCheck(domain.Range1(0, 0), p, node)
-	if prof != nil {
-		distNS = prof.Now() - tDist
+	if timed {
+		distNS = r.nowNS() - tDist
 	}
 	if r.bulkReplaying() {
 		r.pendingBulkDeps = r.bulk.replayLaunchDeps(task, 1)
@@ -514,14 +556,20 @@ func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, 
 		r.bulk.replayLaunchDone(r.pendingPointEvs)
 		r.pendingBulkDeps = nil
 	}
-	if prof != nil {
-		end := prof.Now()
-		prof.Span(0, obs.StageDistribute, name, tag, domain.Point{}, tDist, tDist+distNS)
+	if timed {
+		end := r.nowNS()
 		resid := (end - tLaunch) - distNS - r.profPhysNS
 		if resid < 0 {
 			resid = 0
 		}
-		prof.Span(0, obs.StageIssue, name, tag, domain.Point{}, tLaunch, tLaunch+resid)
+		if prof != nil {
+			prof.Span(0, obs.StageDistribute, name, tag, domain.Point{}, tDist, tDist+distNS)
+			prof.Span(0, obs.StageIssue, name, tag, domain.Point{}, tLaunch, tLaunch+resid)
+		}
+		if r.mxOn {
+			r.mx.LatDistribute.Observe(distNS)
+			r.mx.LatIssue.Observe(resid)
+		}
 	}
 	return fut, nil
 }
@@ -566,21 +614,22 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 	fut := newFuture()
 	ev := fut.ev
 	prof := r.cfg.Profile
+	timed := prof != nil || r.mxOn
 	name := r.tasks[task].name
 
 	var deps []*Event
 	switch {
 	case r.replaying():
 		deps = r.trace.replayDeps(task, p, ev)
-		r.skipped.Add(1)
+		r.mx.AnalysisSkipped.Inc()
 	case r.bulkReplaying():
 		deps = r.pendingBulkDeps
 		r.pendingPointEvs = append(r.pendingPointEvs, ev)
-		r.skipped.Add(1)
+		r.mx.AnalysisSkipped.Inc()
 	default:
 		var tPhys int64
-		if prof != nil {
-			tPhys = prof.Now()
+		if timed {
+			tPhys = r.nowNS()
 		}
 		depSet := map[*Event]struct{}{}
 		for _, pr := range prs {
@@ -604,12 +653,17 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 			}
 			r.bulk.capturePoint(ev, prs)
 		}
-		if prof != nil {
+		if timed {
 			// Physical stage, attributed to the owning node as in DCR:
 			// each node analyzes its local points.
-			tEnd := prof.Now()
+			tEnd := r.nowNS()
 			r.profPhysNS += tEnd - tPhys
-			prof.Span(node, obs.StagePhysical, name, tag, p, tPhys, tEnd)
+			if prof != nil {
+				prof.Span(node, obs.StagePhysical, name, tag, p, tPhys, tEnd)
+			}
+			if r.mxOn {
+				r.mx.LatPhysical.Observe(tEnd - tPhys)
+			}
 		}
 	}
 
@@ -631,11 +685,13 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 	fn := r.tasks[task].fn
 	retry := r.cfg.Retry
 	skipOnFailure := r.cfg.OnUpstreamFailure == SkipDependents
+	r.mx.InflightTasks.Add(1)
 	go func() {
+		defer r.mx.InflightTasks.Add(-1)
 		if cause := WaitAllErr(deps); cause != nil && skipOnFailure {
 			// A precondition is poisoned: skip the body and cascade the
 			// failure downstream through this task's own event.
-			r.tasksSkipped.Add(1)
+			r.mx.TasksSkipped.Inc()
 			if prof != nil {
 				prof.Mark(node, obs.StageFault, name, tag, p, prof.Now())
 			}
@@ -647,10 +703,14 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 		}
 		slot := r.slots[node]
 		slot <- struct{}{}
-		defer func() { <-slot }()
+		r.mx.BusyProcs.Add(1)
+		defer func() {
+			r.mx.BusyProcs.Add(-1)
+			<-slot
+		}()
 		var tExec int64
-		if prof != nil {
-			tExec = prof.Now()
+		if timed {
+			tExec = r.nowNS()
 		}
 		var val []byte
 		var err error
@@ -673,7 +733,7 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 			if attempts > retry.Max {
 				break
 			}
-			r.retries.Add(1)
+			r.mx.Retries.Inc()
 			if prof != nil {
 				prof.Mark(node, obs.StageRetry, name, tag, p, prof.Now())
 			}
@@ -685,19 +745,25 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 				}
 			}
 		}
-		r.tasksExecuted.Add(1)
+		r.mx.TasksExecuted.Inc()
 		if err != nil {
-			r.tasksFailed.Add(1)
+			r.mx.TasksFailed.Inc()
 			te := &TaskError{Task: name, Tag: tag, Point: p, Node: node, Attempts: attempts, Err: err}
 			if pe, ok := err.(*panicError); ok {
 				te.PanicValue, te.Err = pe.value, nil
 			}
 			err = te
 		}
-		if prof != nil {
-			// Record before completing so a fence-then-snapshot sees the
-			// span of every task it waited on.
-			prof.SpanID(spanID, node, obs.StageExecute, name, tag, p, tExec, prof.Now())
+		if timed {
+			tEnd := r.nowNS()
+			if prof != nil {
+				// Record before completing so a fence-then-snapshot sees the
+				// span of every task it waited on.
+				prof.SpanID(spanID, node, obs.StageExecute, name, tag, p, tExec, tEnd)
+			}
+			if r.mxOn {
+				r.mx.LatExecute.Observe(tEnd - tExec)
+			}
 		}
 		fut.complete(val, err)
 	}()
@@ -747,7 +813,7 @@ func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.value) }
 func (r *Runtime) runBody(fn TaskFn, ctx *Context) (val []byte, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			r.panics.Add(1)
+			r.mx.Panics.Inc()
 			err = &panicError{value: rec}
 		}
 	}()
@@ -783,15 +849,27 @@ func (r *Runtime) takePending() []pendingTask {
 // bound the wait on a hung task.
 func (r *Runtime) Fence() {
 	prof := r.cfg.Profile
+	timed := prof != nil || r.mxOn
 	var t0 int64
-	if prof != nil {
-		t0 = prof.Now()
+	if timed {
+		t0 = r.nowNS()
 	}
 	for _, pt := range r.takePending() {
 		pt.ev.Wait()
 	}
-	if prof != nil {
-		prof.Span(0, obs.StageFence, "", "fence", domain.Point{}, t0, prof.Now())
+	if timed {
+		r.fenceDone(t0)
+	}
+}
+
+// fenceDone records one completed fence wait that started at t0.
+func (r *Runtime) fenceDone(t0 int64) {
+	end := r.nowNS()
+	if prof := r.cfg.Profile; prof != nil {
+		prof.Span(0, obs.StageFence, "", "fence", domain.Point{}, t0, end)
+	}
+	if r.mxOn {
+		r.mx.FenceWait.Observe(end - t0)
 	}
 }
 
@@ -800,9 +878,10 @@ func (r *Runtime) Fence() {
 // succeeded.
 func (r *Runtime) FenceErr() error {
 	prof := r.cfg.Profile
+	timed := prof != nil || r.mxOn
 	var t0 int64
-	if prof != nil {
-		t0 = prof.Now()
+	if timed {
+		t0 = r.nowNS()
 	}
 	var errs []error
 	for _, pt := range r.takePending() {
@@ -810,8 +889,8 @@ func (r *Runtime) FenceErr() error {
 			errs = append(errs, err)
 		}
 	}
-	if prof != nil {
-		prof.Span(0, obs.StageFence, "", "fence", domain.Point{}, t0, prof.Now())
+	if timed {
+		r.fenceDone(t0)
 	}
 	return errors.Join(errs...)
 }
@@ -830,11 +909,9 @@ func (r *Runtime) FenceTimeout(d time.Duration) error {
 // unfinished tasks are put back on the outstanding list and a descriptive
 // error naming them is returned.
 func (r *Runtime) FenceContext(ctx context.Context) error {
-	if prof := r.cfg.Profile; prof != nil {
-		t0 := prof.Now()
-		defer func() {
-			prof.Span(0, obs.StageFence, "", "fence", domain.Point{}, t0, prof.Now())
-		}()
+	if r.cfg.Profile != nil || r.mxOn {
+		t0 := r.nowNS()
+		defer r.fenceDone(t0)
 	}
 	pend := r.takePending()
 	var errs []error

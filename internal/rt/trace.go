@@ -136,7 +136,7 @@ func (r *Runtime) EndTrace(id uint64) error {
 	case traceCapturing:
 		ts.tmpl.id = id
 		r.traceTemplates()[id] = ts.tmpl
-		r.captures.Add(1)
+		r.mx.TraceCaptures.Inc()
 		if prof := r.cfg.Profile; prof != nil {
 			prof.Mark(0, obs.StageCapture, "trace", "trace", domain.Point{}, prof.Now())
 		}
@@ -155,7 +155,7 @@ func (r *Runtime) EndTrace(id uint64) error {
 			r.vm.access(key.tree, key.field, ivs, privilege.Read, privilege.OpNone, terminal)
 		}
 		r.outstanding = append(r.outstanding, pendingTask{ev: terminal, name: "trace-replay", tag: "trace"})
-		r.replays.Add(1)
+		r.mx.TraceReplays.Inc()
 		if prof := r.cfg.Profile; prof != nil {
 			prof.Mark(0, obs.StageReplay, "trace", "trace", domain.Point{}, prof.Now())
 		}

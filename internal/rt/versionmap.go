@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"indexlaunch/internal/metrics"
 	"indexlaunch/internal/privilege"
 	"indexlaunch/internal/region"
 )
@@ -18,10 +19,11 @@ type versionMap struct {
 	mu     sync.Mutex
 	fields map[fieldKey]*fieldState
 
-	// Queries counts Access calls; Deps counts dependence edges returned.
-	// Exposed through Runtime stats.
-	queries int64
-	deps    int64
+	// queries counts access calls; deps counts dependence edges returned.
+	// The counters are the runtime's registry instruments, so Stats and
+	// /metrics read them without taking vm.mu.
+	queries *metrics.Counter
+	deps    *metrics.Counter
 }
 
 type fieldKey struct {
@@ -43,8 +45,8 @@ type segment struct {
 	reducers []*Event
 }
 
-func newVersionMap() *versionMap {
-	return &versionMap{fields: map[fieldKey]*fieldState{}}
+func newVersionMap(queries, deps *metrics.Counter) *versionMap {
+	return &versionMap{fields: map[fieldKey]*fieldState{}, queries: queries, deps: deps}
 }
 
 // access registers an access to the given intervals with privilege priv and
@@ -59,7 +61,7 @@ func (vm *versionMap) access(tree region.TreeID, field region.FieldID,
 	}
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
-	vm.queries++
+	vm.queries.Inc()
 
 	key := fieldKey{tree: tree, field: field}
 	fs := vm.fields[key]
@@ -82,7 +84,7 @@ func (vm *versionMap) access(tree region.TreeID, field region.FieldID,
 			deps = append(deps, d)
 		}
 	}
-	vm.deps += int64(len(deps))
+	vm.deps.Add(int64(len(deps)))
 	return deps
 }
 

@@ -59,7 +59,7 @@ func BenchmarkAblationVersionMapIntervalTree(b *testing.B) {
 	for _, p := range []int{64, 512} {
 		b.Run(benchName(p), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				vm := newVersionMap()
+				vm := newVersionMap(nil, nil)
 				for step := 0; step < 4; step++ {
 					accessPattern(p, func(ivs []region.Interval, priv privilege.Privilege) {
 						vm.access(1, 0, ivs, priv, privilege.OpNone, NewEvent())

@@ -27,7 +27,7 @@ func containsEvent(deps []*Event, e *Event) bool {
 }
 
 func TestVersionMapReadAfterWrite(t *testing.T) {
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	w := NewEvent()
 	deps := vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w)
 	if len(deps) != 0 {
@@ -47,7 +47,7 @@ func TestVersionMapReadAfterWrite(t *testing.T) {
 }
 
 func TestVersionMapWriteAfterRead(t *testing.T) {
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	r1, r2 := NewEvent(), NewEvent()
 	vm.access(1, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r1)
 	vm.access(1, 0, ivs(5, 14), privilege.Read, privilege.OpNone, r2)
@@ -59,7 +59,7 @@ func TestVersionMapWriteAfterRead(t *testing.T) {
 }
 
 func TestVersionMapWriteAfterWrite(t *testing.T) {
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	w1 := NewEvent()
 	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w1)
 	w2 := NewEvent()
@@ -76,7 +76,7 @@ func TestVersionMapWriteAfterWrite(t *testing.T) {
 }
 
 func TestVersionMapReadersDoNotDependOnEachOther(t *testing.T) {
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	r1 := NewEvent()
 	vm.access(1, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r1)
 	r2 := NewEvent()
@@ -87,7 +87,7 @@ func TestVersionMapReadersDoNotDependOnEachOther(t *testing.T) {
 }
 
 func TestVersionMapSameOpReductionsCommute(t *testing.T) {
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	a, b := NewEvent(), NewEvent()
 	vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpSumF64, a)
 	deps := vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpSumF64, b)
@@ -103,7 +103,7 @@ func TestVersionMapSameOpReductionsCommute(t *testing.T) {
 }
 
 func TestVersionMapDifferentOpReductionsSerialize(t *testing.T) {
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	a, b := NewEvent(), NewEvent()
 	vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpSumF64, a)
 	deps := vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpProdF64, b)
@@ -117,7 +117,7 @@ func TestVersionMapLaterReducersStillOrderAfterReaders(t *testing.T) {
 	// depending on them, so a *later* same-operator reducer — which has no
 	// edge through the pending reducers (they commute) — was left unordered
 	// against the read (observed as a read racing a reducer's flush).
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	r := NewEvent()
 	vm.access(1, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r)
 	a := NewEvent()
@@ -137,7 +137,7 @@ func TestVersionMapOpSwitchKeepsDisplacedReducersOrdered(t *testing.T) {
 	// ordering later reducers of the new operator (which commute with each
 	// other, so there is no transitive path through the first new-op
 	// reducer).
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	a := NewEvent()
 	vm.access(1, 0, ivs(0, 9), privilege.Reduce, privilege.OpSumF64, a)
 	b := NewEvent()
@@ -177,7 +177,7 @@ func TestVersionMapConflictOrderingProperty(t *testing.T) {
 			}
 			ops[i] = op
 		}
-		vm := newVersionMap()
+		vm := newVersionMap(nil, nil)
 		deps := make([][]*Event, n)
 		idx := map[*Event]int{}
 		for i, op := range ops {
@@ -224,7 +224,7 @@ func TestVersionMapConflictOrderingProperty(t *testing.T) {
 }
 
 func TestVersionMapReduceAfterWriteAndRead(t *testing.T) {
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	w, r := NewEvent(), NewEvent()
 	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w)
 	vm.access(1, 0, ivs(0, 9), privilege.Read, privilege.OpNone, r)
@@ -236,7 +236,7 @@ func TestVersionMapReduceAfterWriteAndRead(t *testing.T) {
 }
 
 func TestVersionMapSegmentSplitting(t *testing.T) {
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	w := NewEvent()
 	vm.access(1, 0, ivs(0, 99), privilege.Write, privilege.OpNone, w)
 	// Write to the middle: splits [0,99] into three segments.
@@ -265,7 +265,7 @@ func TestVersionMapSplitSegmentsHaveIndependentEpochs(t *testing.T) {
 	// array. An append through one half with spare capacity then overwrote
 	// an event the sibling still referenced, silently dropping a dependence
 	// edge (observed as a read racing a reducer's flush under -race).
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	e1, e2, e3 := NewEvent(), NewEvent(), NewEvent()
 	// Three same-op reductions: reducers slice ends with spare capacity.
 	vm.access(1, 0, ivs(0, 7), privilege.Reduce, privilege.OpSumF64, e1)
@@ -290,7 +290,7 @@ func TestVersionMapSplitSegmentsHaveIndependentEpochs(t *testing.T) {
 }
 
 func TestVersionMapFieldsIndependent(t *testing.T) {
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	w := NewEvent()
 	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w)
 	r := NewEvent()
@@ -301,7 +301,7 @@ func TestVersionMapFieldsIndependent(t *testing.T) {
 }
 
 func TestVersionMapTreesIndependent(t *testing.T) {
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	w := NewEvent()
 	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w)
 	r := NewEvent()
@@ -316,7 +316,7 @@ func TestVersionMapCompletedDepsRetained(t *testing.T) {
 	// already-triggered upstream event is still returned (waiting on it is
 	// free), so trace capture sees every edge and dependents issued after
 	// an upstream failure still observe its poison.
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	w := NewEvent()
 	w.Trigger()
 	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w)
@@ -326,7 +326,7 @@ func TestVersionMapCompletedDepsRetained(t *testing.T) {
 		t.Errorf("deps = %v, want the completed writer retained", deps)
 	}
 
-	vm2 := newVersionMap()
+	vm2 := newVersionMap(nil, nil)
 	p := NewEvent()
 	p.Poison(fmt.Errorf("upstream died"))
 	vm2.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, p)
@@ -338,7 +338,7 @@ func TestVersionMapCompletedDepsRetained(t *testing.T) {
 }
 
 func TestVersionMapLastEventsAndBulkWrite(t *testing.T) {
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	w := NewEvent()
 	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w)
 	evs := vm.lastEvents(1, 0, ivs(0, 9))
@@ -355,7 +355,7 @@ func TestVersionMapLastEventsAndBulkWrite(t *testing.T) {
 }
 
 func TestVersionMapNonePrivilegeNoop(t *testing.T) {
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	e := NewEvent()
 	if deps := vm.access(1, 0, ivs(0, 9), privilege.None, privilege.OpNone, e); deps != nil {
 		t.Error("None access should be a no-op")
@@ -363,7 +363,7 @@ func TestVersionMapNonePrivilegeNoop(t *testing.T) {
 }
 
 func TestVersionMapMultiIntervalAccess(t *testing.T) {
-	vm := newVersionMap()
+	vm := newVersionMap(nil, nil)
 	w1, w2 := NewEvent(), NewEvent()
 	vm.access(1, 0, ivs(0, 9), privilege.Write, privilege.OpNone, w1)
 	vm.access(1, 0, ivs(20, 29), privilege.Write, privilege.OpNone, w2)

@@ -29,6 +29,7 @@ package sim
 
 import (
 	"indexlaunch/internal/machine"
+	"indexlaunch/internal/metrics"
 	"indexlaunch/internal/obs"
 )
 
@@ -163,6 +164,12 @@ type Config struct {
 	// real runs are viewed with one tool. Nil disables profiling; the
 	// simulated timings are identical either way.
 	Profile *obs.Recorder
+	// Metrics attaches a live metrics registry (internal/metrics): the cost
+	// model's charges are recorded as the same counter and histogram
+	// families internal/rt maintains, on the simulated clock — the metrics
+	// face of the rt/sim parity guarantee. Nil disables metrics; the
+	// simulated timings are identical either way.
+	Metrics *metrics.Registry
 }
 
 // Label renders the configuration the way the paper's legends do.

@@ -6,6 +6,7 @@ import (
 
 	"indexlaunch/internal/domain"
 	"indexlaunch/internal/machine"
+	"indexlaunch/internal/metrics"
 	"indexlaunch/internal/obs"
 )
 
@@ -65,6 +66,11 @@ func Run(cfg Config, prog Program) (Result, error) {
 	// edges) and the last span on each processor lane (for the queueing
 	// edges the critical-path walk follows through busy processors).
 	rec := cfg.Profile
+	em := newEmitter(rec, cfg.Metrics)
+	var mx *metrics.Pipeline
+	if em != nil {
+		mx = em.mx
+	}
 	var ids [][]int64
 	var gpuLast [][]int64
 	if rec != nil {
@@ -91,6 +97,21 @@ func Run(cfg Config, prog Program) (Result, error) {
 				replay = true
 			}
 			bodySeen++
+		}
+		if mx != nil {
+			mx.LaunchCalls.Inc()
+			// The launch stays compact exactly when the engine takes a
+			// compact path: IDX everywhere except the centralized
+			// tracing-forced expansion (paper §6.2.1).
+			if cfg.IDX && (cfg.DCR || !cfg.Tracing || cfg.BulkTracing) {
+				mx.IndexLaunched.Inc()
+			} else {
+				mx.Expanded.Inc()
+			}
+			if replay {
+				mx.TraceReplays.Inc()
+				mx.AnalysisSkipped.Add(int64(l.Points))
+			}
 		}
 
 		owner := make([]int, l.Points)
@@ -125,18 +146,22 @@ func Run(cfg Config, prog Program) (Result, error) {
 			}
 			checkCost = float64(l.Points) * float64(args) * cost.CheckPerPointArg
 			res.CheckSec += checkCost
+			if mx != nil {
+				mx.DynamicCheckEvals.Add(int64(l.Points) * int64(args))
+				mx.CheckEval.Observe(profNS(checkCost))
+			}
 		}
 
 		// --- Issuance, logical analysis, distribution, physical analysis.
 		ready := make([]float64, l.Points)
 		rtBefore := sum(rtFree)
 		if cfg.DCR {
-			runDCR(cfg, l, replay, phys, checkCost, localCount, rtFree)
+			runDCR(cfg, em, l, replay, phys, checkCost, localCount, rtFree)
 			for p := 0; p < l.Points; p++ {
 				ready[p] = rtFree[owner[p]]
 			}
 		} else {
-			runCentralized(cfg, l, replay, phys, checkCost, owner, localCount, rtFree, ready, net, &res)
+			runCentralized(cfg, em, l, replay, phys, checkCost, owner, localCount, rtFree, ready, net, &res)
 		}
 		res.RuntimeBusySec += sum(rtFree) - rtBefore
 
@@ -214,11 +239,17 @@ func Run(cfg Config, prog Program) (Result, error) {
 				busy += cost.GPULaunch + l.ComputeSec
 				start += cost.RetryPenalty
 				res.Retries++
+				if mx != nil {
+					mx.Retries.Inc()
+				}
 				if rec != nil {
 					rec.Mark(node, obs.StageRetry, l.Name, l.Name, domain.Pt1(int64(p)), profNS(start))
 				}
 			}
 			end := start + busy
+			if mx != nil {
+				mx.LatExecute.Observe(profNS(busy))
+			}
 			gpuFree[node][gi] = end
 			fin[p] = end
 			res.GPUBusySec += busy
@@ -244,6 +275,13 @@ func Run(cfg Config, prog Program) (Result, error) {
 		}
 		res.Tasks += int64(l.Points)
 		res.Launches++
+		if mx != nil {
+			mx.TasksExecuted.Add(int64(l.Points))
+		}
+	}
+	if mx != nil {
+		mx.Sends.Add(res.HopSends)
+		mx.Retransmits.Add(res.MsgRetransmits)
 	}
 	if rec != nil {
 		// Every simulated run implicitly ends with an execution fence: the
@@ -267,7 +305,7 @@ func depPoints(dep DepSpec, p, targetLen int) []int {
 
 // runDCR charges every node's runtime core for its replicated share of the
 // launch.
-func runDCR(cfg Config, l Launch, replay bool, phys, checkCost float64, localCount []int, rtFree []float64) {
+func runDCR(cfg Config, em *emitter, l Launch, replay bool, phys, checkCost float64, localCount []int, rtFree []float64) {
 	cost := cfg.Cost
 	for node := range rtFree {
 		local := float64(localCount[node])
@@ -290,8 +328,8 @@ func runDCR(cfg Config, l Launch, replay bool, phys, checkCost float64, localCou
 		default:
 			c = float64(l.Points)*l.perTaskIssue(cost) + local*phys
 		}
-		if rec := cfg.Profile; rec != nil {
-			profDCRNode(rec, cfg, l, replay, phys, checkCost, local, node, rtFree[node])
+		if em != nil {
+			profDCRNode(em, cfg, l, replay, phys, checkCost, local, node, rtFree[node])
 		}
 		rtFree[node] += c
 	}
@@ -301,7 +339,7 @@ func runDCR(cfg Config, l Launch, replay bool, phys, checkCost float64, localCou
 // or with tracing-forced expansion, for per-task processing and sends), the
 // broadcast tree for distribution, and destinations for expansion and
 // physical analysis.
-func runCentralized(cfg Config, l Launch, replay bool, phys, checkCost float64,
+func runCentralized(cfg Config, em *emitter, l Launch, replay bool, phys, checkCost float64,
 	owner []int, localCount []int, rtFree, ready []float64, net machine.Network, res *Result) {
 
 	cost := cfg.Cost
@@ -312,15 +350,15 @@ func runCentralized(cfg Config, l Launch, replay bool, phys, checkCost float64,
 		bulkReplay := replay && cfg.BulkTracing
 		perLocal := cost.ExpandPerTask + phys
 		if bulkReplay {
-			if rec := cfg.Profile; rec != nil {
-				profSeg(rec, 0, obs.StageIssue, l.Name, rtFree[0], cost.LaunchIssue)
+			if em != nil {
+				profSeg(em, 0, obs.StageIssue, l.Name, rtFree[0], cost.LaunchIssue)
 			}
 			rtFree[0] += cost.LaunchIssue
 			perLocal = cost.ExpandPerTask
 		} else {
-			if rec := cfg.Profile; rec != nil {
-				t := profSeg(rec, 0, obs.StageIssue, l.Name, rtFree[0], cost.LaunchIssue)
-				profSeg(rec, 0, obs.StageLogical, l.Name, t, cost.LogicalLaunch+checkCost)
+			if em != nil {
+				t := profSeg(em, 0, obs.StageIssue, l.Name, rtFree[0], cost.LaunchIssue)
+				profSeg(em, 0, obs.StageLogical, l.Name, t, cost.LogicalLaunch+checkCost)
 			}
 			rtFree[0] += cost.LaunchIssue + cost.LogicalLaunch + checkCost
 		}
@@ -376,11 +414,11 @@ func runCentralized(cfg Config, l Launch, replay bool, phys, checkCost float64,
 			if arrival[node] > start {
 				start = arrival[node]
 			}
-			if rec := cfg.Profile; rec != nil {
+			if em != nil {
 				local := float64(localCount[node])
-				t := profSeg(rec, node, obs.StageDistribute, l.Name, start, local*cost.ExpandPerTask)
+				t := profSeg(em, node, obs.StageDistribute, l.Name, start, local*cost.ExpandPerTask)
 				if !bulkReplay {
-					profSeg(rec, node, obs.StagePhysical, l.Name, t, local*phys)
+					profSeg(em, node, obs.StagePhysical, l.Name, t, local*phys)
 				}
 			}
 			rtFree[node] = start + float64(localCount[node])*perLocal
@@ -394,14 +432,14 @@ func runCentralized(cfg Config, l Launch, replay bool, phys, checkCost float64,
 	// Per-task path: either no index launches, or tracing has forced the
 	// launch to expand before distribution (paper §6.2.1). Node 0
 	// processes and ships every task serially.
-	if rec := cfg.Profile; rec != nil {
+	if em != nil {
 		remote := 0
 		for node, c := range localCount {
 			if node != 0 {
 				remote += c
 			}
 		}
-		profCentralIssue(rec, cfg, l, replay, phys, localCount[0], remote, rtFree[0])
+		profCentralIssue(em, cfg, l, replay, phys, localCount[0], remote, rtFree[0])
 	}
 	t := rtFree[0]
 	if cfg.IDX {
@@ -447,8 +485,8 @@ func runCentralized(cfg Config, l Launch, replay bool, phys, checkCost float64,
 			start = arr
 		}
 		if !replay {
-			if rec := cfg.Profile; rec != nil {
-				profSeg(rec, node, obs.StagePhysical, l.Name, start, phys)
+			if em != nil {
+				profSeg(em, node, obs.StagePhysical, l.Name, start, phys)
 			}
 			start += phys
 		}

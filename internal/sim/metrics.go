@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"indexlaunch/internal/metrics"
+	"indexlaunch/internal/obs"
+)
+
+// The simulator's metrics adapter. Like the profiling adapter (profile.go),
+// it derives its observations from the exact cost components the engine
+// charges, so internal/sim populates the same metric families internal/rt
+// maintains — same names, same stage labels, simulated clock instead of
+// wall time. The engine's arithmetic never depends on the emitter, so
+// enabling metrics cannot perturb a simulated makespan.
+
+// emitter fans the cost-decomposition segments out to both observability
+// backends: pipeline-stage spans (internal/obs) and stage-latency
+// histograms (internal/metrics). A nil emitter disables both.
+type emitter struct {
+	rec *obs.Recorder
+	mx  *metrics.Pipeline
+}
+
+func newEmitter(rec *obs.Recorder, reg *metrics.Registry) *emitter {
+	mx := metrics.NewPipeline(reg)
+	if rec == nil && mx == nil {
+		return nil
+	}
+	return &emitter{rec: rec, mx: mx}
+}
+
+// stageHist maps a span stage to its latency histogram. Replay segments
+// count as issuance — under trace replay internal/rt performs the memoized
+// dependence wiring inside the issue residual — and stages without a
+// histogram return nil (Observe on nil is a no-op).
+func (em *emitter) stageHist(st obs.Stage) *metrics.Histogram {
+	if em.mx == nil {
+		return nil
+	}
+	switch st {
+	case obs.StageIssue, obs.StageReplay:
+		return em.mx.LatIssue
+	case obs.StageLogical:
+		return em.mx.LatLogical
+	case obs.StageDistribute:
+		return em.mx.LatDistribute
+	case obs.StagePhysical:
+		return em.mx.LatPhysical
+	case obs.StageExecute:
+		return em.mx.LatExecute
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package xport
+
+import (
+	"fmt"
+	"sync"
+
+	"indexlaunch/internal/metrics"
+)
+
+// Transport metrics. The aggregate families use the shared names from
+// internal/metrics, so a transport constructed with the runtime's registry
+// shares the runtime's counters — rt.Stats reads transport counts straight
+// from the registry with no second bookkeeping path. On top of the
+// aggregates, each directed link gets its own send/ack/retransmit/drop
+// counters (label link="src->dst"), resolved once per link and cached so
+// the message path never formats a label twice.
+
+type xportMetrics struct {
+	sends, retransmits, drops, dedups, reparents, directs *metrics.Counter
+	treeDepth                                             *metrics.Gauge
+
+	linkSends, linkAcks, linkRetransmits, linkDrops *metrics.CounterVec
+
+	mu    sync.Mutex
+	links map[link]*linkCounters
+}
+
+// linkCounters are one directed link's resolved per-link instruments.
+type linkCounters struct {
+	sends, acks, retransmits, drops *metrics.Counter
+}
+
+func newXportMetrics(reg *metrics.Registry) *xportMetrics {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &xportMetrics{
+		sends:       reg.Counter(metrics.NameXportSends, "hop-level message first transmissions"),
+		retransmits: reg.Counter(metrics.NameXportRetransmits, "ack-timeout-driven hop re-sends"),
+		drops:       reg.Counter(metrics.NameXportDrops, "transmissions (data and acks) lost to chaos"),
+		dedups:      reg.Counter(metrics.NameXportDedups, "received duplicates suppressed by sequence numbers"),
+		reparents:   reg.Counter(metrics.NameXportReparents, "broadcast-tree orphan adoptions"),
+		directs:     reg.Counter(metrics.NameXportDirectBroadcasts, "broadcasts that abandoned a degraded tree for direct sends"),
+		treeDepth:   reg.Gauge(metrics.NameXportTreeDepth, "fan-out depth (max hops) of the last planned broadcast"),
+
+		linkSends:       reg.CounterVec("xport_link_sends_total", "first transmissions per directed link", "link"),
+		linkAcks:        reg.CounterVec("xport_link_acks_total", "effective acks received per directed data link", "link"),
+		linkRetransmits: reg.CounterVec("xport_link_retransmits_total", "timeout-driven re-sends per directed link", "link"),
+		linkDrops:       reg.CounterVec("xport_link_drops_total", "chaos-dropped transmissions per directed link", "link"),
+
+		links: map[link]*linkCounters{},
+	}
+}
+
+// link resolves (and caches) the per-link counters for lk.
+func (m *xportMetrics) link(lk link) *linkCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lc := m.links[lk]
+	if lc == nil {
+		label := fmt.Sprintf("%d->%d", lk.src, lk.dst)
+		lc = &linkCounters{
+			sends:       m.linkSends.With(label),
+			acks:        m.linkAcks.With(label),
+			retransmits: m.linkRetransmits.With(label),
+			drops:       m.linkDrops.With(label),
+		}
+		m.links[lk] = lc
+	}
+	return lc
+}

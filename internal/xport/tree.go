@@ -40,6 +40,60 @@ type routePlan struct {
 	direct bool
 }
 
+// TreeShape is a point-in-time view of the broadcast tree for live
+// introspection (/statusz): each node's effective parent under the current
+// liveness snapshot, the resulting relay depth, and whether the next
+// broadcast would abandon the tree for direct node-0 sends.
+type TreeShape struct {
+	// Parents[i] is node i's effective parent: its nearest surviving
+	// ancestor, or -1 for node 0 and for dead nodes.
+	Parents []int `json:"parents"`
+	// Depth is the maximum relay-chain length from node 0 to any live node.
+	Depth int `json:"depth"`
+	// Direct reports that fewer than half the nodes survive, so broadcasts
+	// bypass the tree.
+	Direct bool `json:"direct"`
+	// Live is the number of surviving nodes.
+	Live int `json:"live"`
+}
+
+// Shape reports the broadcast tree's current shape under the transport's
+// liveness snapshot.
+func (t *Transport) Shape() TreeShape {
+	t.mu.Lock()
+	alive := make([]bool, len(t.alive))
+	copy(alive, t.alive)
+	t.mu.Unlock()
+
+	sh := TreeShape{Parents: make([]int, len(alive))}
+	for _, a := range alive {
+		if a {
+			sh.Live++
+		}
+	}
+	sh.Direct = sh.Live*2 < len(alive)
+	for n := range alive {
+		sh.Parents[n] = -1
+		if n == 0 || !alive[n] {
+			continue
+		}
+		if sh.Direct {
+			sh.Parents[n] = 0
+			sh.Depth = 1
+			continue
+		}
+		sh.Parents[n] = liveParent(n, alive)
+		hops := 0
+		for p := n; p != 0; p = liveParent(p, alive) {
+			hops++
+		}
+		if hops > sh.Depth {
+			sh.Depth = hops
+		}
+	}
+	return sh
+}
+
 // planRoutes computes the routing for one broadcast over the given liveness
 // snapshot. Destinations must be live, non-zero node ids.
 func planRoutes(alive []bool, dsts []int) routePlan {

@@ -27,10 +27,10 @@ package xport
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"indexlaunch/internal/domain"
+	"indexlaunch/internal/metrics"
 	"indexlaunch/internal/obs"
 )
 
@@ -103,6 +103,12 @@ type Options struct {
 	Retransmit RetransmitPolicy
 	// Prof records send/recv/retransmit events; nil disables profiling.
 	Prof *obs.Recorder
+	// Metrics receives the transport's counters: the shared xport_*
+	// aggregates (internal/metrics.NameXport*) plus per-link
+	// send/ack/retransmit/drop counters and the broadcast fan-out depth
+	// gauge. Nil keeps the counters in a private registry, so Stats always
+	// works.
+	Metrics *metrics.Registry
 	// Deliver receives each payload exactly once at its destination node.
 	// It may be called from transport goroutines and must be safe for
 	// concurrent use.
@@ -141,7 +147,7 @@ type Transport struct {
 	seen      map[link]map[uint64]struct{}
 	ackWait   map[link]map[uint64]chan struct{}
 
-	sends, retransmits, drops, dedups, reparents, directs atomic.Int64
+	mx *xportMetrics
 }
 
 // New creates a transport over nodes nodes, all initially alive.
@@ -163,6 +169,7 @@ func New(nodes int, opts Options) (*Transport, error) {
 		sendCount: map[link]int64{},
 		seen:      map[link]map[uint64]struct{}{},
 		ackWait:   map[link]map[uint64]chan struct{}{},
+		mx:        newXportMetrics(opts.Metrics),
 	}
 	for i := range t.alive {
 		t.alive[i] = true
@@ -182,15 +189,17 @@ func (t *Transport) MarkDead(node int) {
 	t.mu.Unlock()
 }
 
-// Stats snapshots the transport counters.
+// Stats snapshots the transport counters. The values are read from the
+// metrics registry the transport records into — there is no second
+// bookkeeping path.
 func (t *Transport) Stats() Stats {
 	return Stats{
-		Sends:            t.sends.Load(),
-		Retransmits:      t.retransmits.Load(),
-		Drops:            t.drops.Load(),
-		Dedups:           t.dedups.Load(),
-		Reparents:        t.reparents.Load(),
-		DirectBroadcasts: t.directs.Load(),
+		Sends:            t.mx.sends.Value(),
+		Retransmits:      t.mx.retransmits.Value(),
+		Drops:            t.mx.drops.Value(),
+		Dedups:           t.mx.dedups.Value(),
+		Reparents:        t.mx.reparents.Value(),
+		DirectBroadcasts: t.mx.directs.Value(),
 	}
 }
 
@@ -213,10 +222,17 @@ func (t *Transport) Broadcast(tag string, items []Item) {
 		dsts[i] = it.Dst
 	}
 	plan := planRoutes(alive, dsts)
-	t.reparents.Add(int64(plan.reparents))
+	t.mx.reparents.Add(int64(plan.reparents))
 	if plan.direct {
-		t.directs.Add(1)
+		t.mx.directs.Inc()
 	}
+	depth := 0
+	for _, route := range plan.routes {
+		if len(route) > depth {
+			depth = len(route)
+		}
+	}
+	t.mx.treeDepth.Set(int64(depth))
 
 	var wg sync.WaitGroup
 	wg.Add(len(items))
@@ -236,7 +252,9 @@ func (t *Transport) ship(from int, m *msg) {
 // acked, retransmitting on a capped exponential backoff with deterministic
 // jitter.
 func (t *Transport) sendReliable(lk link, m *msg) {
-	t.sends.Add(1)
+	lc := t.mx.link(lk)
+	t.mx.sends.Inc()
+	lc.sends.Inc()
 	t.mu.Lock()
 	seq := t.nextSeq[lk]
 	t.nextSeq[lk] = seq + 1
@@ -265,7 +283,8 @@ func (t *Transport) sendReliable(lk link, m *msg) {
 			}
 			return
 		case <-timer.C:
-			t.retransmits.Add(1)
+			t.mx.retransmits.Inc()
+			lc.retransmits.Inc()
 			if t.prof != nil {
 				t.prof.Mark(lk.src, obs.StageRetransmit, "xfer", m.tag, domain.Point{}, t.prof.Now())
 			}
@@ -276,7 +295,8 @@ func (t *Transport) sendReliable(lk link, m *msg) {
 // transmit performs one transmission attempt, applying the chaos plan.
 func (t *Transport) transmit(lk link, seq uint64, attempt int, m *msg) {
 	if t.chaos.cut(lk, t.bumpSendCount(lk)) || t.chaos.drop(lk, seq, attempt) {
-		t.drops.Add(1)
+		t.mx.drops.Inc()
+		t.mx.link(lk).drops.Inc()
 		return
 	}
 	copies := 1
@@ -313,7 +333,7 @@ func (t *Transport) receive(lk link, seq uint64, attempt int, m *msg) {
 	t.mu.Unlock()
 
 	if dup {
-		t.dedups.Add(1)
+		t.mx.dedups.Inc()
 	} else {
 		if t.prof != nil {
 			t.prof.Mark(lk.dst, obs.StageRecv, "xfer", m.tag, domain.Point{}, t.prof.Now())
@@ -335,7 +355,8 @@ func (t *Transport) receive(lk link, seq uint64, attempt int, m *msg) {
 func (t *Transport) sendAck(lk link, seq uint64, attempt int) {
 	rk := link{src: lk.dst, dst: lk.src}
 	if t.chaos.cut(rk, t.bumpSendCount(rk)) || t.chaos.dropAck(rk, seq, attempt) {
-		t.drops.Add(1)
+		t.mx.drops.Inc()
+		t.mx.link(rk).drops.Inc()
 		return
 	}
 	if delay := t.chaos.delay(rk, seq, attempt); delay > 0 {
@@ -359,6 +380,7 @@ func (t *Transport) signalAck(lk link, seq uint64) {
 	}
 	t.mu.Unlock()
 	if ack != nil {
+		t.mx.link(lk).acks.Inc()
 		close(ack)
 	}
 }
