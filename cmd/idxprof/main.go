@@ -25,6 +25,7 @@
 //
 //	idxprof watch 127.0.0.1:8080
 //	idxprof watch -interval 1s -count 10 http://127.0.0.1:8080
+//	idxprof watch -heartbeat -speculate 127.0.0.1:8080   # only health_*/spec_* families
 package main
 
 import (
@@ -108,9 +109,11 @@ func runWatch(args []string) {
 	fs := flag.NewFlagSet("idxprof watch", flag.ExitOnError)
 	interval := fs.Duration("interval", 2*time.Second, "poll interval")
 	count := fs.Int("count", 0, "number of polls (0 = until interrupted)")
+	heartbeat := fs.Bool("heartbeat", false, "show only the failure-detector families (health_*)")
+	speculate := fs.Bool("speculate", false, "show only the straggler-speculation families (spec_*)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: idxprof watch [-interval d] [-count n] host:port")
+		fmt.Fprintln(os.Stderr, "usage: idxprof watch [-interval d] [-count n] [-heartbeat] [-speculate] host:port")
 		os.Exit(2)
 	}
 	url := fs.Arg(0)
@@ -131,9 +134,27 @@ func runWatch(args []string) {
 			os.Exit(1)
 		}
 		fmt.Printf("-- %s\n", time.Now().Format(time.TimeOnly))
-		fmt.Print(metrics.RenderDelta(prev, snap))
+		out := metrics.RenderDelta(prev, snap)
+		if *heartbeat || *speculate {
+			out = filterFamilies(out, *heartbeat, *speculate)
+		}
+		fmt.Print(out)
 		prev = snap
 	}
+}
+
+// filterFamilies keeps only the RenderDelta lines of the self-healing
+// families: health_* when heartbeat is set, spec_* when speculate is set.
+func filterFamilies(table string, heartbeat, speculate bool) string {
+	var b strings.Builder
+	for _, line := range strings.Split(table, "\n") {
+		if heartbeat && strings.HasPrefix(line, "health_") ||
+			speculate && strings.HasPrefix(line, "spec_") {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
 }
 
 func fetchSnapshot(url string) (metrics.Snapshot, error) {

@@ -37,7 +37,7 @@ func FigBulkTracing(o Options) Figure {
 				Nodes: n, TasksPerNode: 1, WiresPerTask: wiresPerNode, Iters: iters,
 			})
 			res, err := sim.Run(sim.Config{
-				Machine: machine.PizDaint(n), Cost: sim.DefaultCosts(),
+				Machine: machine.PizDaint(n), Cost: o.cost(),
 				DCR: cfg.dcr, IDX: cfg.idx, Tracing: true,
 				BulkTracing: cfg.bulkTrace, DynChecks: true,
 				Metrics: o.Metrics,

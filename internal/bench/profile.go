@@ -58,7 +58,7 @@ func ProfileFigure(id int, o Options) (*obs.Profile, error) {
 	}
 	rec := obs.NewRecorder("sim", nodes, 1<<14)
 	_, err := sim.Run(sim.Config{
-		Machine: machine.PizDaint(nodes), Cost: sim.DefaultCosts(),
+		Machine: machine.PizDaint(nodes), Cost: o.cost(),
 		DCR: true, IDX: true, Tracing: tracing, DynChecks: true,
 		Profile: rec, Metrics: o.Metrics,
 	}, prog)

@@ -1,0 +1,169 @@
+package health
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDetectorSuspectDeadQuarantineRejoin(t *testing.T) {
+	d := New(Options{Nodes: 3, SuspectPhi: 2, DeadPhi: 4, RejoinRounds: 2})
+	down := false
+	probe := func(node int) bool {
+		if node == 1 && down {
+			return false
+		}
+		return true
+	}
+
+	// Warm up: everybody answers.
+	for i := 0; i < 4; i++ {
+		if trs := d.Tick(probe); len(trs) != 0 {
+			t.Fatalf("warmup round %d produced transitions %v", i, trs)
+		}
+	}
+	if got := d.State(1); got != Alive {
+		t.Fatalf("node 1 state after warmup = %v, want alive", got)
+	}
+
+	// Outage: with a mean gap of 1, two missed rounds reach SuspectPhi=2
+	// and four reach DeadPhi=4.
+	down = true
+	var seen []string
+	for i := 0; i < 4; i++ {
+		for _, tr := range d.Tick(probe) {
+			seen = append(seen, tr.String())
+		}
+	}
+	if d.State(1) != Dead {
+		t.Fatalf("node 1 state after 4 missed rounds = %v, want dead", d.State(1))
+	}
+	want := []string{"r6 n1 alive>suspect", "r8 n1 suspect>dead"}
+	if len(seen) != len(want) || seen[0] != want[0] || seen[1] != want[1] {
+		t.Fatalf("outage transitions = %v, want %v", seen, want)
+	}
+
+	// Recovery: first heartbeat quarantines, RejoinRounds=2 readmits.
+	down = false
+	trs := d.Tick(probe)
+	if len(trs) != 1 || trs[0].To != Quarantined {
+		t.Fatalf("first recovered round transitions = %v, want dead>quarantined", trs)
+	}
+	trs = d.Tick(probe)
+	if len(trs) != 1 || trs[0].To != Alive {
+		t.Fatalf("second recovered round transitions = %v, want quarantined>alive", trs)
+	}
+	if c := d.Counts(); c.Alive != 3 || c.Dead != 0 {
+		t.Fatalf("counts after rejoin = %+v, want all alive", c)
+	}
+}
+
+func TestDetectorQuarantineRelapse(t *testing.T) {
+	d := New(Options{Nodes: 2, RejoinRounds: 3})
+	fail := false
+	probe := func(int) bool { return !fail }
+	for i := 0; i < 3; i++ {
+		d.Tick(probe)
+	}
+	fail = true
+	for i := 0; i < 4; i++ {
+		d.Tick(probe)
+	}
+	if d.State(1) != Dead {
+		t.Fatalf("state = %v, want dead", d.State(1))
+	}
+	fail = false
+	d.Tick(probe) // dead > quarantined
+	fail = true
+	trs := d.Tick(probe)
+	if len(trs) != 1 || trs[0].From != Quarantined || trs[0].To != Suspect {
+		t.Fatalf("relapse transitions = %v, want quarantined>suspect", trs)
+	}
+}
+
+// TestDetectorAdaptivity: a node with a history of slow heartbeats (mean
+// gap 3) tolerates more missed rounds than a prompt node before suspicion.
+func TestDetectorAdaptivity(t *testing.T) {
+	// SuspectPhi 4 gives the laggard warmup headroom: before history
+	// accrues the mean gap is optimistically 1, so a lower threshold would
+	// suspect it during its very first slow cycle.
+	d := New(Options{Nodes: 3, SuspectPhi: 4})
+	round := 0
+	probe := func(node int) bool {
+		if node == 1 {
+			return true // prompt: answers every round
+		}
+		return round%3 == 0 // laggard: answers every third round
+	}
+	for i := 0; i < 24; i++ {
+		d.Tick(func(n int) bool { return probe(n) })
+		round++
+	}
+	if d.State(2) != Alive {
+		t.Fatalf("laggard was suspected despite its gap history: %v", d.State(2))
+	}
+	// Now both go silent; the prompt node (mean gap 1) must accrue
+	// suspicion faster than the laggard (mean gap ~3).
+	silentRounds := 0
+	for d.State(1) == Alive {
+		d.Tick(func(int) bool { return false })
+		silentRounds++
+		if silentRounds > 100 {
+			t.Fatal("prompt node never suspected")
+		}
+	}
+	if d.State(2) != Alive {
+		t.Fatalf("laggard suspected as fast as prompt node (after %d silent rounds)", silentRounds)
+	}
+}
+
+func TestDetectorDeterministicLog(t *testing.T) {
+	run := func() string {
+		d := New(Options{Nodes: 5})
+		for round := int64(1); round <= 60; round++ {
+			d.Tick(func(node int) bool {
+				// A fixed bursty pseudo-schedule: node n fails in
+				// four-round outage windows staggered by node id.
+				return (round/4+int64(node))%3 != 0
+			})
+		}
+		return RenderLog(d.Log())
+	}
+	first := run()
+	if !strings.Contains(first, ">suspect") {
+		t.Fatalf("schedule produced no suspects:\n%s", first)
+	}
+	for i := 0; i < 4; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d log differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
+
+func TestDetectorObserverNeverSuspected(t *testing.T) {
+	d := New(Options{Nodes: 4})
+	for i := 0; i < 10; i++ {
+		d.Tick(func(int) bool { return false })
+	}
+	if d.State(0) != Alive || d.Phi(0) != 0 {
+		t.Fatalf("observer state = %v phi = %v, want alive/0", d.State(0), d.Phi(0))
+	}
+	c := d.Counts()
+	if c.Alive != 1 {
+		t.Fatalf("counts = %+v, want exactly the observer alive", c)
+	}
+	snap := d.Snapshot()
+	if snap[0].State != "alive" {
+		t.Fatalf("snapshot row 0 = %+v, want alive", snap[0])
+	}
+}
+
+func TestCountsString(t *testing.T) {
+	c := Counts{Alive: 6, Suspect: 1, Dead: 1}
+	if got := c.String(); got != "6 alive, 1 suspect, 1 dead" {
+		t.Fatalf("Counts.String() = %q", got)
+	}
+	c.Quarantined = 2
+	if got := c.String(); got != "6 alive, 1 suspect, 1 dead, 2 quarantined" {
+		t.Fatalf("Counts.String() = %q", got)
+	}
+}

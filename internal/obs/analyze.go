@@ -156,12 +156,15 @@ var stageMarks = [numStages]byte{
 	StageSend:       '>',
 	StageRecv:       '<',
 	StageRetransmit: '~',
+	StageHealth:     'H',
+	StageSpeculate:  'S',
 }
 
 var paintOrder = []Stage{
 	StageFence, StageCapture, StageIssue, StageLogical, StageDistribute,
 	StageSend, StageRecv, StageRetransmit,
 	StageReplay, StagePhysical, StageExecute, StageRetry, StageFault,
+	StageHealth, StageSpeculate,
 }
 
 // RenderTimeline draws one row per node: the profile's wall clock scaled to

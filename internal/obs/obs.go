@@ -65,14 +65,20 @@ const (
 	StageRecv
 	// StageRetransmit marks one ack-timeout-driven re-send of a hop.
 	StageRetransmit
+	// StageHealth marks a failure-detector transition: a node turning
+	// suspect, dead, quarantined, or rejoining the node set.
+	StageHealth
+	// StageSpeculate marks a straggler-speculation incident: a backup
+	// launch, a backup that won, or a losing attempt being discarded.
+	StageSpeculate
 
-	numStages = int(StageRetransmit) + 1
+	numStages = int(StageSpeculate) + 1
 )
 
 var stageNames = [numStages]string{
 	"issue", "logical", "distribute", "physical", "execute",
 	"retry", "fault", "fence", "capture", "replay",
-	"send", "recv", "retransmit",
+	"send", "recv", "retransmit", "health", "speculate",
 }
 
 // String renders the stage name used in exports and reports.

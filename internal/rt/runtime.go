@@ -60,6 +60,18 @@ type Config struct {
 	// Fault optionally injects deterministic simulated node failures at
 	// issuance boundaries; nil injects none.
 	Fault *FaultInjector
+	// Heartbeat enables the self-healing failure detector: heartbeat probes
+	// over the transport's broadcast tree, accrual-based suspect/dead
+	// transitions, quarantine and rejoin. The zero value disables it, which
+	// keeps the explicit kill path's semantics. Enabling it gives the DCR
+	// path a transport too (probe traffic only).
+	Heartbeat HeartbeatPolicy
+	// Speculate enables straggler re-launch: point tasks running past an
+	// adaptive latency threshold get a backup attempt on another healthy
+	// node, first completion wins. The zero value disables it. Speculated
+	// task bodies must be pure or reduction-only (direct RW region writes
+	// would race between attempts) and should watch Context.Cancelled.
+	Speculate SpeculationPolicy
 	// Chaos injects deterministic message-level faults (drop, delay,
 	// duplication, reordering, partitions) into the centralized path's
 	// slice transport. Requires DCR == false: the DCR path replicates
@@ -139,6 +151,23 @@ type Stats struct {
 	// tree for direct node-0 sends.
 	Reparents        int64
 	DirectBroadcasts int64
+	// Self-healing counters, all zero without a HeartbeatPolicy.
+	// HealthProbes counts heartbeat probe round trips, HealthProbeFails
+	// probes that exhausted their attempt budget, HealthSuspects detector
+	// transitions into suspicion, HealthDeaths suspects declared dead,
+	// HealthRejoins quarantined nodes readmitted to the node set.
+	HealthProbes     int64
+	HealthProbeFails int64
+	HealthSuspects   int64
+	HealthDeaths     int64
+	HealthRejoins    int64
+	// Straggler-speculation counters, all zero without a SpeculationPolicy.
+	// SpecLaunched counts backup launches, SpecWon backups that committed
+	// before the original attempt, SpecWasted attempts discarded because
+	// the other attempt won.
+	SpecLaunched int64
+	SpecWon      int64
+	SpecWasted   int64
 }
 
 // Runtime is a single-process implementation of the paper's runtime
@@ -172,6 +201,12 @@ type Runtime struct {
 	// counter that drives deterministic fault injection.
 	dead        []bool
 	issuedTotal int64
+
+	// Self-healing state, guarded by issueMu; nil without a
+	// HeartbeatPolicy. specOn caches whether straggler speculation is
+	// active (policy enabled and more than one node to speculate onto).
+	hm     *healthManager
+	specOn bool
 
 	// Message transport for the centralized path; nil in DCR mode. The
 	// per-broadcast delivery handler is installed by shipSlices under
@@ -235,6 +270,12 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Chaos != nil && cfg.DCR {
 		return nil, fmt.Errorf("rt: Chaos requires the centralized path (DCR == false): the DCR path sends no slice messages")
 	}
+	if cfg.Heartbeat.Every < 0 {
+		return nil, fmt.Errorf("rt: config requires Heartbeat.Every >= 0, got %d", cfg.Heartbeat.Every)
+	}
+	if q := cfg.Speculate.Quantile; q < 0 || q >= 1 {
+		return nil, fmt.Errorf("rt: config requires Speculate.Quantile in [0, 1), got %v", q)
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -253,7 +294,12 @@ func New(cfg Config) (*Runtime, error) {
 		mxOn:    cfg.Metrics != nil,
 		mxEpoch: time.Now(),
 	}
-	if !cfg.DCR {
+	r.hm = newHealthManager(cfg)
+	r.specOn = cfg.Speculate.Enabled() && cfg.Nodes > 1
+	// The centralized path always gets a transport (it ships slices); with
+	// a HeartbeatPolicy the DCR path gets one too, carrying probe traffic
+	// only — the detector needs real routes for chaos to starve.
+	if !cfg.DCR || cfg.Heartbeat.Enabled() {
 		xp, err := xport.New(cfg.Nodes, xport.Options{
 			Chaos:      cfg.Chaos,
 			Retransmit: cfg.Retransmit,
@@ -341,6 +387,14 @@ func (r *Runtime) Stats() Stats {
 		MsgDedups:         mx.Dedups.Value(),
 		Reparents:         mx.Reparents.Value(),
 		DirectBroadcasts:  mx.DirectBroadcasts.Value(),
+		HealthProbes:      mx.HealthProbes.Value(),
+		HealthProbeFails:  mx.HealthProbeFails.Value(),
+		HealthSuspects:    mx.HealthSuspects.Value(),
+		HealthDeaths:      mx.HealthDeaths.Value(),
+		HealthRejoins:     mx.HealthRejoins.Value(),
+		SpecLaunched:      mx.SpecLaunched.Value(),
+		SpecWon:           mx.SpecWon.Value(),
+		SpecWasted:        mx.SpecWasted.Value(),
 	}
 }
 
@@ -358,10 +412,19 @@ func (r *Runtime) nowNS() int64 {
 	return time.Since(r.mxEpoch).Nanoseconds()
 }
 
-// Shutdown cancels the runtime's in-flight retry backoff waits: a task
-// sleeping in its backoff ladder wakes immediately and fails with its last
-// error instead of holding fences hostage for the rest of the ladder.
-// Tasks already executing run to completion. Idempotent.
+// ErrShutdown marks a fence wait abandoned because the runtime was shut
+// down while tasks were still outstanding. Errors returned by FenceTimeout
+// and FenceContext match it with errors.Is.
+var ErrShutdown = errors.New("rt: runtime shut down")
+
+// Shutdown cancels the runtime's in-flight retry backoff waits and fence
+// waits: a task sleeping in its backoff ladder wakes immediately and fails
+// with its last error, and a goroutine blocked in FenceTimeout or
+// FenceContext returns ErrShutdown, instead of holding the caller hostage
+// for the rest of the ladder. Tasks already executing run to completion;
+// heartbeat rounds (and thus quarantine/rejoin transitions) stop at the
+// next issuance boundary. Idempotent and safe to race with an in-flight
+// rejoin.
 func (r *Runtime) Shutdown() {
 	r.stopOnce.Do(func() { close(r.stop) })
 }
@@ -682,8 +745,10 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 	r.outstanding = append(r.outstanding, pendingTask{ev: ev, name: name, tag: tag, point: p})
 	r.pruneOutstanding()
 
-	fn := r.tasks[task].fn
-	retry := r.cfg.Retry
+	tr := &taskRun{
+		fn: r.tasks[task].fn, task: task, name: name, tag: tag, point: p,
+		args: args, prs: prs, fut: fut, spanID: spanID, timed: timed,
+	}
 	skipOnFailure := r.cfg.OnUpstreamFailure == SkipDependents
 	r.mx.InflightTasks.Add(1)
 	go func() {
@@ -701,71 +766,13 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 			})
 			return
 		}
-		slot := r.slots[node]
-		slot <- struct{}{}
-		r.mx.BusyProcs.Add(1)
-		defer func() {
-			r.mx.BusyProcs.Add(-1)
-			<-slot
-		}()
-		var tExec int64
-		if timed {
-			tExec = r.nowNS()
+		if r.specOn {
+			// Arm the straggler watchdog only once the task is runnable:
+			// dependence waits are ordering, not straggling.
+			tr.spec = &specState{cancel: make(chan struct{})}
+			r.armSpeculation(tr, node)
 		}
-		var val []byte
-		var err error
-		attempts := 0
-		for {
-			// A fresh Context per attempt: a failed attempt must not leak
-			// buffered reductions or accessor state into its retry.
-			ctx := &Context{Point: p, Node: node, Task: task, Args: args, regions: prs}
-			val, err = r.runBody(fn, ctx)
-			if err == nil {
-				attempts++
-				if len(ctx.reducers) > 0 || len(ctx.reducersI64) > 0 {
-					r.reduceMu.Lock()
-					ctx.flushReductions()
-					r.reduceMu.Unlock()
-				}
-				break
-			}
-			attempts++
-			if attempts > retry.Max {
-				break
-			}
-			r.mx.Retries.Inc()
-			if prof != nil {
-				prof.Mark(node, obs.StageRetry, name, tag, p, prof.Now())
-			}
-			if d := retry.backoffFor(attempts); d > 0 {
-				if !r.sleepBackoff(d) {
-					// Shutdown mid-ladder: give up on the retry and fail
-					// the task with its last error now.
-					break
-				}
-			}
-		}
-		r.mx.TasksExecuted.Inc()
-		if err != nil {
-			r.mx.TasksFailed.Inc()
-			te := &TaskError{Task: name, Tag: tag, Point: p, Node: node, Attempts: attempts, Err: err}
-			if pe, ok := err.(*panicError); ok {
-				te.PanicValue, te.Err = pe.value, nil
-			}
-			err = te
-		}
-		if timed {
-			tEnd := r.nowNS()
-			if prof != nil {
-				// Record before completing so a fence-then-snapshot sees the
-				// span of every task it waited on.
-				prof.SpanID(spanID, node, obs.StageExecute, name, tag, p, tExec, tEnd)
-			}
-			if r.mxOn {
-				r.mx.LatExecute.Observe(tEnd - tExec)
-			}
-		}
-		fut.complete(val, err)
+		r.runAttempt(tr, node, false)
 	}()
 	return fut
 }
@@ -892,7 +899,21 @@ func (r *Runtime) FenceErr() error {
 	if timed {
 		r.fenceDone(t0)
 	}
-	return errors.Join(errs...)
+	return r.wrapLiveness(errors.Join(errs...))
+}
+
+// wrapLiveness annotates a non-nil fence error with the node-liveness
+// snapshot when some node is degraded, so a failure report says at a
+// glance whether the cluster was healthy. Wrapping preserves errors.Is/As.
+func (r *Runtime) wrapLiveness(err error) error {
+	if err == nil {
+		return nil
+	}
+	c := r.HealthCounts()
+	if c.Suspect == 0 && c.Dead == 0 && c.Quarantined == 0 {
+		return err
+	}
+	return fmt.Errorf("%w (%s)", err, r.livenessSummary())
 }
 
 // FenceTimeout is FenceErr with a deadline: if some task has not completed
@@ -907,16 +928,29 @@ func (r *Runtime) FenceTimeout(d time.Duration) error {
 
 // FenceContext is FenceErr bounded by a context. On cancellation the
 // unfinished tasks are put back on the outstanding list and a descriptive
-// error naming them is returned.
+// error naming them — and snapshotting node liveness — is returned. A
+// Shutdown during the wait abandons it the same way, with ErrShutdown as
+// the cause instead of the context error.
 func (r *Runtime) FenceContext(ctx context.Context) error {
 	if r.cfg.Profile != nil || r.mxOn {
 		t0 := r.nowNS()
 		defer r.fenceDone(t0)
 	}
+	// Bound the waits by Shutdown too: a runtime being torn down must not
+	// hold fence callers for the full deadline.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		select {
+		case <-r.stop:
+			cancel()
+		case <-wctx.Done():
+		}
+	}()
 	pend := r.takePending()
 	var errs []error
 	for i, pt := range pend {
-		if waitErr := pt.ev.WaitContext(ctx); waitErr != nil {
+		if waitErr := pt.ev.WaitContext(wctx); waitErr != nil {
 			if pt.ev.Done() {
 				// The task completed (the wait may have raced with the
 				// cancellation); record its poison error, if any.
@@ -929,12 +963,18 @@ func (r *Runtime) FenceContext(ctx context.Context) error {
 			r.issueMu.Lock()
 			r.outstanding = append(r.outstanding, unfinished...)
 			r.issueMu.Unlock()
+			cause := ctx.Err()
+			if cause == nil {
+				// The parent context is live: the wait was abandoned by
+				// Shutdown, not by the caller's deadline.
+				cause = ErrShutdown
+			}
 			first := unfinished[0]
-			return fmt.Errorf("rt: fence: %w; %d task(s) unfinished, first: task %q launch %q point %v",
-				ctx.Err(), len(unfinished), first.name, first.tag, first.point)
+			return fmt.Errorf("rt: fence: %w; %d task(s) unfinished, first: task %q launch %q point %v; %s",
+				cause, len(unfinished), first.name, first.tag, first.point, r.livenessSummary())
 		}
 	}
-	return errors.Join(errs...)
+	return r.wrapLiveness(errors.Join(errs...))
 }
 
 func (r *Runtime) taskName(id core.TaskID) string {

@@ -1,0 +1,125 @@
+package rt
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+)
+
+// testSpeculation trusts the baseline after 16 samples and speculates
+// quickly so the straggler tests stay fast.
+var testSpeculation = SpeculationPolicy{
+	Quantile: 0.9, Multiplier: 2, MinSamples: 16, MinDelay: 5 * time.Millisecond,
+}
+
+// A task that straggles on its originally mapped node gets a backup launch
+// on another node; the backup's result commits and the straggling original
+// is cancelled and counted wasted. Speculated bodies are pure (they return
+// payloads), as the policy requires.
+func TestSpeculationRescuesStraggler(t *testing.T) {
+	r := MustNew(Config{
+		Nodes: 4, ProcsPerNode: 2, DCR: true, IndexLaunches: true,
+		Speculate: testSpeculation,
+	})
+	defer r.Shutdown()
+
+	echo := r.MustRegisterTask("echo", func(ctx *Context) ([]byte, error) {
+		return []byte{byte(ctx.Point.X())}, nil
+	})
+	// Point 3 maps to node 3 under BlockMapper; the body only straggles
+	// there, so the backup attempt (on another node) returns promptly.
+	slow := r.MustRegisterTask("slow", func(ctx *Context) ([]byte, error) {
+		if ctx.Point.X() == 3 && ctx.Node == 3 {
+			select {
+			case <-ctx.Cancelled():
+				return nil, fmt.Errorf("cancelled straggler")
+			case <-time.After(10 * time.Second):
+			}
+		}
+		return []byte{byte(ctx.Point.X())}, nil
+	})
+
+	// Warm up the latency baseline past MinSamples with fast tasks.
+	if _, err := r.ExecuteIndex(core.MustForall("warmup", echo, domain.Range1(0, 31))); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence()
+
+	fm, err := r.ExecuteIndex(core.MustForall("straggle", slow, domain.Range1(0, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := fm.WaitErr(); err != nil {
+		t.Fatalf("speculated launch failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("launch took %v; speculation never rescued the straggler", elapsed)
+	}
+	for x := int64(0); x <= 3; x++ {
+		f, err := fm.At(domain.Pt1(x))
+		if err != nil {
+			t.Fatalf("no future for point %d: %v", x, err)
+		}
+		val, err := f.Get()
+		if err != nil || len(val) != 1 || val[0] != byte(x) {
+			t.Errorf("point %d = %v, %v; want [%d]", x, val, err, x)
+		}
+	}
+
+	// The future completes as soon as the backup commits; the cancelled
+	// original drains asynchronously, so poll briefly for its accounting.
+	deadline := time.Now().Add(5 * time.Second)
+	st := r.Stats()
+	for st.SpecWasted == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+		st = r.Stats()
+	}
+	if st.SpecLaunched == 0 {
+		t.Error("no speculative backup was launched")
+	}
+	if st.SpecWon == 0 {
+		t.Error("no backup won: the straggler's future waited for the original")
+	}
+	if st.SpecWasted == 0 {
+		t.Error("the cancelled original was never counted wasted")
+	}
+	if st.TasksFailed != 0 {
+		t.Errorf("TasksFailed = %d: a discarded loser leaked into failure counts", st.TasksFailed)
+	}
+}
+
+// Below MinSamples there is no baseline, so nothing speculates, however
+// slow a task is relative to its peers.
+func TestSpeculationNeedsBaseline(t *testing.T) {
+	r := MustNew(Config{
+		Nodes: 2, ProcsPerNode: 1, DCR: true, IndexLaunches: true,
+		Speculate: SpeculationPolicy{Quantile: 0.9, MinSamples: 1000},
+	})
+	defer r.Shutdown()
+	echo := r.MustRegisterTask("echo", func(ctx *Context) ([]byte, error) { return nil, nil })
+	if _, err := r.ExecuteIndex(core.MustForall("w", echo, domain.Range1(0, 15))); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence()
+	if st := r.Stats(); st.SpecLaunched != 0 {
+		t.Errorf("SpecLaunched = %d without a trusted baseline", st.SpecLaunched)
+	}
+}
+
+// Config validation: a quantile outside [0, 1) is rejected.
+func TestSpeculationQuantileValidated(t *testing.T) {
+	for _, q := range []float64{-0.1, 1, 1.5} {
+		_, err := New(Config{Nodes: 2, ProcsPerNode: 1, DCR: true,
+			Speculate: SpeculationPolicy{Quantile: q}})
+		if err == nil {
+			t.Errorf("Quantile %v accepted", q)
+		}
+	}
+	if _, err := New(Config{Nodes: 2, ProcsPerNode: 1, DCR: true, Heartbeat: HeartbeatPolicy{Every: -1}}); err == nil {
+		t.Error("negative Heartbeat.Every accepted")
+	}
+}

@@ -1,6 +1,9 @@
 package rt
 
-import "indexlaunch/internal/xport"
+import (
+	"indexlaunch/internal/health"
+	"indexlaunch/internal/xport"
+)
 
 // Status is a point-in-time introspection snapshot of a running runtime:
 // the /statusz payload. It is deliberately JSON-shaped — metrics.Serve
@@ -29,8 +32,16 @@ type Status struct {
 	OutstandingFence int `json:"outstanding_fence"`
 
 	// Tree is the broadcast tree's current shape; nil in DCR mode, which
-	// has no slice transport.
+	// has no slice transport (unless a HeartbeatPolicy attached a
+	// probe-only transport).
 	Tree *xport.TreeShape `json:"tree,omitempty"`
+
+	// Health is the live per-node health table (state, phi, last-OK
+	// round); nil without a HeartbeatPolicy. HealthSummary aggregates it,
+	// and ResyncEpoch counts completed rejoins.
+	Health        []health.NodeHealth `json:"health,omitempty"`
+	HealthSummary string              `json:"health_summary,omitempty"`
+	ResyncEpoch   int64               `json:"resync_epoch,omitempty"`
 }
 
 // Status snapshots the runtime for live introspection. Safe for concurrent
@@ -57,6 +68,11 @@ func (r *Runtime) Status() Status {
 		if !pt.ev.Done() {
 			st.OutstandingFence++
 		}
+	}
+	if r.hm != nil {
+		st.Health = r.hm.det.Snapshot()
+		st.HealthSummary = r.hm.det.Counts().String()
+		st.ResyncEpoch = r.hm.epoch
 	}
 	r.issueMu.Unlock()
 	st.LiveNodes = st.Nodes - len(st.DeadNodes)

@@ -49,7 +49,15 @@ type Context struct {
 	regions     []PhysicalRegion
 	reducers    []*ReducerF64
 	reducersI64 []*ReducerI64
+	cancel      <-chan struct{}
 }
+
+// Cancelled returns a channel that closes when a competing speculative
+// attempt of the same point task committed first — the body should stop
+// and return, its result will be discarded either way. For tasks that are
+// not speculated the channel is nil and blocks forever, so it is always
+// safe to select on.
+func (c *Context) Cancelled() <-chan struct{} { return c.cancel }
 
 // NumRegions returns the number of region arguments.
 func (c *Context) NumRegions() int { return len(c.regions) }

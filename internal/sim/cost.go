@@ -97,6 +97,24 @@ type CostModel struct {
 	// point task (failure detection + requeue), charged per retry on top
 	// of the repeated kernel launch and compute time.
 	RetryPenalty float64
+	// HeartbeatPeriod is the period, in simulated seconds, of the
+	// self-healing failure detector's heartbeat rounds — the cost-domain
+	// mirror of rt's HeartbeatPolicy. Each round probes every non-observer
+	// node (FaultModel.Outages silence probes) and drives the same
+	// internal/health detector the real runtime uses, so suspect,
+	// quarantine and rejoin transitions appear with identical semantics.
+	// Probe traffic is charged off the critical path: rounds × (N−1)
+	// probes, two HopLatency each. 0 disables detection.
+	HeartbeatPeriod float64
+	// SpeculationQuantile enables straggler speculation when > 0 —
+	// the cost-domain mirror of rt's SpeculationPolicy. The cost model
+	// knows each launch's nominal task time exactly, so the adaptive
+	// quantile threshold collapses to nominal × health.DefaultSpecMultiplier:
+	// an injected straggler (FaultModel.StragglerEvery) gets a backup
+	// launch on an assumed-idle healthy node once the threshold elapses,
+	// and the earlier completion wins, exactly one attempt's work being
+	// discarded.
+	SpeculationQuantile float64
 }
 
 // DefaultCosts returns the calibrated cost model used by the experiments.
@@ -134,6 +152,29 @@ func DefaultCosts() CostModel {
 type FaultModel struct {
 	RetryEvery   int64
 	DropEveryHop int64
+	// StragglerEvery makes every StragglerEvery-th point task (counted
+	// runtime-wide in issuance order) run StragglerFactor× slower than
+	// nominal — the straggler injection CostModel.SpeculationQuantile
+	// speculates against. Zero (or a factor <= 1) disables it.
+	StragglerEvery  int64
+	StragglerFactor float64
+	// Outages silence nodes' heartbeat probes for windows of detector
+	// rounds, mirroring chaos partitions starving rt's heartbeats; they
+	// only matter when CostModel.HeartbeatPeriod enables the detector.
+	Outages []Outage
+}
+
+// Outage silences one node's heartbeat probes for a window of detector
+// rounds: probes of Node fail for rounds [FromRound, FromRound+Rounds).
+type Outage struct {
+	Node      int
+	FromRound int64
+	Rounds    int64
+}
+
+// covers reports whether the outage silences node during round.
+func (o Outage) covers(node int, round int64) bool {
+	return o.Node == node && round >= o.FromRound && round < o.FromRound+o.Rounds
 }
 
 // Config selects one simulated execution configuration — one curve of one

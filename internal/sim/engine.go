@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"indexlaunch/internal/domain"
+	"indexlaunch/internal/health"
 	"indexlaunch/internal/machine"
 	"indexlaunch/internal/metrics"
 	"indexlaunch/internal/obs"
@@ -32,6 +33,19 @@ type Result struct {
 	// (Config.Faults.DropEveryHop) that were re-sent after the timeout.
 	HopSends       int64
 	MsgRetransmits int64
+	// Self-healing mirror counters (CostModel.HeartbeatPeriod):
+	// HeartbeatRounds detector rounds driven, Suspects transitions into
+	// suspicion, Rejoins quarantined nodes readmitted.
+	HeartbeatRounds int64
+	Suspects        int64
+	Rejoins         int64
+	// Straggler-speculation counters (CostModel.SpeculationQuantile):
+	// backups launched, backups that finished before the straggling
+	// original, and attempts whose work was discarded (exactly one per
+	// speculation).
+	SpecLaunched int64
+	SpecWon      int64
+	SpecWasted   int64
 	// BusyByLaunch is the total processor time per launch name — the
 	// workload profile idxsim prints.
 	BusyByLaunch map[string]float64
@@ -231,12 +245,19 @@ func Run(cfg Config, prog Program) (Result, error) {
 					bindID = gpuLast[node][gi]
 				}
 			}
-			busy := cost.GPULaunch + l.ComputeSec
+			normal := cost.GPULaunch + l.ComputeSec
+			busy := normal
 			issuedTotal++
+			straggler := false
+			if se := cfg.Faults.StragglerEvery; se > 0 && cfg.Faults.StragglerFactor > 1 && issuedTotal%se == 0 {
+				// Injected straggler: the attempt runs slower than nominal.
+				straggler = true
+				busy = normal * cfg.Faults.StragglerFactor
+			}
 			if re := cfg.Faults.RetryEvery; re > 0 && issuedTotal%re == 0 {
 				// Injected failure: the attempt is re-executed on the same
 				// processor after the retry scheduling penalty.
-				busy += cost.GPULaunch + l.ComputeSec
+				busy += normal
 				start += cost.RetryPenalty
 				res.Retries++
 				if mx != nil {
@@ -247,13 +268,47 @@ func Run(cfg Config, prog Program) (Result, error) {
 				}
 			}
 			end := start + busy
+			charged := busy
+			if straggler && cost.SpeculationQuantile > 0 {
+				// Straggler speculation, mirroring rt: a backup launches on
+				// an assumed-idle healthy node (off the lane model) once the
+				// adaptive threshold — nominal × DefaultSpecMultiplier, since
+				// the cost model knows the latency distribution exactly —
+				// elapses; the earlier completion wins and the loser's work
+				// is discarded.
+				backupStart := start + normal*health.DefaultSpecMultiplier
+				backupEnd := backupStart + normal
+				res.SpecLaunched++
+				res.SpecWasted++
+				if mx != nil {
+					mx.SpecLaunched.Inc()
+					mx.SpecWasted.Inc()
+				}
+				if rec != nil {
+					rec.Mark(node, obs.StageSpeculate, l.Name, l.Name, domain.Pt1(int64(p)), profNS(backupStart))
+				}
+				if backupEnd < end {
+					// Backup wins; the straggling original is cancelled at
+					// commit, freeing its lane. Charge the cancelled
+					// original's partial run plus the backup's full run.
+					end = backupEnd
+					charged = (end - start) + normal
+					res.SpecWon++
+					if mx != nil {
+						mx.SpecWon.Inc()
+					}
+				} else {
+					// Original finished first; the backup's run is waste.
+					charged = busy + normal
+				}
+			}
 			if mx != nil {
-				mx.LatExecute.Observe(profNS(busy))
+				mx.LatExecute.Observe(profNS(end - start))
 			}
 			gpuFree[node][gi] = end
 			fin[p] = end
-			res.GPUBusySec += busy
-			res.BusyByLaunch[l.Name] += busy
+			res.GPUBusySec += charged
+			res.BusyByLaunch[l.Name] += charged
 			if end > res.MakespanSec {
 				res.MakespanSec = end
 			}
@@ -279,6 +334,7 @@ func Run(cfg Config, prog Program) (Result, error) {
 			mx.TasksExecuted.Add(int64(l.Points))
 		}
 	}
+	runHeartbeats(cfg, em, &res)
 	if mx != nil {
 		mx.Sends.Add(res.HopSends)
 		mx.Retransmits.Add(res.MsgRetransmits)
@@ -291,6 +347,70 @@ func Run(cfg Config, prog Program) (Result, error) {
 		rec.SetWall(profNS(res.MakespanSec))
 	}
 	return res, nil
+}
+
+// runHeartbeats drives the failure detector over the simulated run: one
+// round every CostModel.HeartbeatPeriod simulated seconds of makespan,
+// probing every non-observer node, with FaultModel.Outages silencing
+// probes. It is the exact internal/health detector rt runs, so a given
+// outage schedule produces the same transition sequence in both domains.
+// Probe traffic is charged off the critical path — heartbeats ride the
+// broadcast tree concurrently with the pipeline, so they consume runtime
+// cores and network sends without extending the makespan.
+func runHeartbeats(cfg Config, em *emitter, res *Result) {
+	hp := cfg.Cost.HeartbeatPeriod
+	if hp <= 0 {
+		return
+	}
+	n := cfg.Machine.Nodes
+	det := health.New(health.Options{Nodes: n})
+	rounds := int64(res.MakespanSec/hp) + 1
+	var probeFails int64
+	for r := int64(0); r < rounds; r++ {
+		trs := det.Tick(func(node int) bool {
+			for _, o := range cfg.Faults.Outages {
+				if o.covers(node, det.Round()) {
+					probeFails++
+					return false
+				}
+			}
+			return true
+		})
+		for _, tr := range trs {
+			switch tr.To {
+			case health.Suspect:
+				res.Suspects++
+				if em != nil {
+					em.mx.HealthSuspects.Inc()
+				}
+			case health.Dead:
+				if em != nil {
+					em.mx.HealthDeaths.Inc()
+				}
+			case health.Alive:
+				res.Rejoins++
+				if em != nil {
+					em.mx.HealthRejoins.Inc()
+				}
+			}
+			if rec := cfg.Profile; rec != nil {
+				label := tr.To.String()
+				if tr.To == health.Alive {
+					label = "rejoin"
+				}
+				rec.Mark(tr.Node, obs.StageHealth, label, "health", domain.Point{}, profNS(float64(tr.Round)*hp))
+			}
+		}
+	}
+	res.HeartbeatRounds = rounds
+	probes := rounds * int64(n-1)
+	res.HopSends += probes
+	// One probe is a request + response hop pair on the transport.
+	res.RuntimeBusySec += float64(probes) * 2 * cfg.Cost.HopLatency
+	if em != nil {
+		em.mx.HealthProbes.Add(probes)
+		em.mx.HealthProbeFails.Add(probeFails)
+	}
 }
 
 func depPoints(dep DepSpec, p, targetLen int) []int {

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+)
+
+// Speculation must measurably cut the makespan of a straggler-afflicted
+// run: the backup finishes at threshold + nominal, well before a 10×
+// straggler would.
+func TestSpeculationCutsMakespan(t *testing.T) {
+	prog := flatProgram(64, 1e-3, 4)
+	cfg := simpleConfig(8, true, true)
+	cfg.Faults = FaultModel{StragglerEvery: 40, StragglerFactor: 10}
+
+	slow, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.SpecLaunched != 0 {
+		t.Fatalf("speculation disabled but SpecLaunched = %d", slow.SpecLaunched)
+	}
+
+	cfg.Cost.SpeculationQuantile = 0.9
+	spec, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.SpecLaunched == 0 || spec.SpecWon == 0 {
+		t.Fatalf("speculation launched %d, won %d; want both > 0", spec.SpecLaunched, spec.SpecWon)
+	}
+	if spec.SpecWasted != spec.SpecLaunched {
+		t.Errorf("wasted = %d, launched = %d; exactly one attempt per speculation is discarded",
+			spec.SpecWasted, spec.SpecLaunched)
+	}
+	if spec.MakespanSec >= slow.MakespanSec {
+		t.Errorf("speculated makespan %v not below straggling makespan %v",
+			spec.MakespanSec, slow.MakespanSec)
+	}
+	if spec.Tasks != slow.Tasks {
+		t.Errorf("task counts differ: %d vs %d", spec.Tasks, slow.Tasks)
+	}
+
+	// Without stragglers, speculation never triggers and timings are
+	// untouched.
+	clean := simpleConfig(8, true, true)
+	clean.Cost.SpeculationQuantile = 0.9
+	ref, err := Run(clean, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.SpecLaunched != 0 {
+		t.Errorf("straggler-free run speculated %d times", ref.SpecLaunched)
+	}
+}
+
+// The simulated detector mirrors rt's: an outage window produces suspect
+// transitions, and the node rejoins after the window — deterministically.
+func TestHeartbeatDetectorSuspectsAndRejoins(t *testing.T) {
+	prog := flatProgram(64, 1e-3, 8)
+	cfg := simpleConfig(8, true, true)
+	cfg.Cost.HeartbeatPeriod = 2e-4
+	cfg.Faults.Outages = []Outage{{Node: 3, FromRound: 5, Rounds: 6}}
+
+	first, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.HeartbeatRounds < 20 {
+		t.Fatalf("only %d heartbeat rounds; period too coarse for the outage window", first.HeartbeatRounds)
+	}
+	if first.Suspects == 0 {
+		t.Error("outage produced no suspects")
+	}
+	if first.Rejoins == 0 {
+		t.Error("healed outage produced no rejoins")
+	}
+
+	// Determinism: identical config, identical transitions and charges.
+	for i := 0; i < 3; i++ {
+		again, err := Run(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Suspects != first.Suspects || again.Rejoins != first.Rejoins ||
+			again.HeartbeatRounds != first.HeartbeatRounds || again.MakespanSec != first.MakespanSec {
+			t.Fatalf("run %d diverged: %+v vs %+v", i+2, again, first)
+		}
+	}
+
+	// The detector must not perturb the pipeline: probes are charged off
+	// the critical path.
+	off := simpleConfig(8, true, true)
+	ref, err := Run(off, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.MakespanSec != first.MakespanSec {
+		t.Errorf("heartbeats changed the makespan: %v vs %v", first.MakespanSec, ref.MakespanSec)
+	}
+	if first.RuntimeBusySec <= ref.RuntimeBusySec {
+		t.Error("probe traffic charged no runtime-core time")
+	}
+	if first.HopSends <= ref.HopSends {
+		t.Error("probe traffic charged no hop sends")
+	}
+}

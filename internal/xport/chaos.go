@@ -74,6 +74,8 @@ const (
 	saltReorder
 	saltAck
 	saltJitter
+	saltProbe
+	saltProbeAck
 )
 
 // splitmix64 is the standard splitmix64 finalizer — a cheap, well-mixed
@@ -115,6 +117,17 @@ func (c *ChaosPlan) drop(lk link, seq uint64, attempt int) bool {
 
 func (c *ChaosPlan) dropAck(lk link, seq uint64, attempt int) bool {
 	return c != nil && c.Drop > 0 && c.roll(saltAck, lk, seq, attempt) < c.Drop
+}
+
+// dropProbe / dropProbeAck are the heartbeat-traffic analogs of drop and
+// dropAck, salted independently so probe fates never correlate with the
+// data messages that happen to share a (link, seq, attempt) identity.
+func (c *ChaosPlan) dropProbe(lk link, seq uint64, attempt int) bool {
+	return c != nil && c.Drop > 0 && c.roll(saltProbe, lk, seq, attempt) < c.Drop
+}
+
+func (c *ChaosPlan) dropProbeAck(lk link, seq uint64, attempt int) bool {
+	return c != nil && c.Drop > 0 && c.roll(saltProbeAck, lk, seq, attempt) < c.Drop
 }
 
 func (c *ChaosPlan) dup(lk link, seq uint64, attempt int) bool {

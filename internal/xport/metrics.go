@@ -17,6 +17,7 @@ import (
 
 type xportMetrics struct {
 	sends, retransmits, drops, dedups, reparents, directs *metrics.Counter
+	probes, probeFails                                    *metrics.Counter
 	treeDepth                                             *metrics.Gauge
 
 	linkSends, linkAcks, linkRetransmits, linkDrops *metrics.CounterVec
@@ -41,6 +42,8 @@ func newXportMetrics(reg *metrics.Registry) *xportMetrics {
 		dedups:      reg.Counter(metrics.NameXportDedups, "received duplicates suppressed by sequence numbers"),
 		reparents:   reg.Counter(metrics.NameXportReparents, "broadcast-tree orphan adoptions"),
 		directs:     reg.Counter(metrics.NameXportDirectBroadcasts, "broadcasts that abandoned a degraded tree for direct sends"),
+		probes:      reg.Counter(metrics.NameHealthProbes, "heartbeat probe round trips attempted"),
+		probeFails:  reg.Counter(metrics.NameHealthProbeFails, "heartbeat probes that exhausted their attempt budget"),
 		treeDepth:   reg.Gauge(metrics.NameXportTreeDepth, "fan-out depth (max hops) of the last planned broadcast"),
 
 		linkSends:       reg.CounterVec("xport_link_sends_total", "first transmissions per directed link", "link"),

@@ -1,0 +1,109 @@
+package xport
+
+// Heartbeat probes. A probe is a bounded-attempt request/reply round trip
+// from node 0 to one destination over the same broadcast-tree routes data
+// messages take, so everything a ChaosPlan does to data traffic — drops,
+// dropped acks, partitions — starves probes identically. Unlike Broadcast's
+// reliable hops, a probe gives up after a fixed per-hop attempt budget and
+// reports failure; the failure detector (internal/health) turns those
+// reports into suspicion.
+//
+// Probes are evaluated synchronously, with no timers and no goroutines:
+// what the detector needs is *whether* a heartbeat survived its bounded
+// retransmission budget, not when its ack arrived, so each attempt is
+// resolved directly from the chaos plan's pure decision functions. Probe
+// traffic keeps its own per-link sequence numbers and partition-window
+// clocks (separate from the data-message counters), which makes the fate of
+// the k-th probe on a link a pure function of (plan, k) — independent of
+// how slice traffic happened to interleave — and that purity is what lets
+// the determinism suite demand byte-identical suspect/rejoin logs across
+// runs.
+
+// Probe sends one heartbeat from node 0 to dst and reports whether every
+// hop's request and ack survived within maxAttempts transmissions per hop
+// (minimum 1). Routes are computed from the current liveness snapshot, with
+// dst itself treated as reachable even while marked dead — probing a dead
+// node is how a comeback is detected. Callers serialize Probe with
+// Broadcast/MarkDead/MarkAlive (internal/rt's issuance lock provides that).
+func (t *Transport) Probe(dst int, maxAttempts int) bool {
+	if dst <= 0 || dst >= t.nodes {
+		return false
+	}
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	t.mu.Lock()
+	alive := make([]bool, len(t.alive))
+	copy(alive, t.alive)
+	t.mu.Unlock()
+
+	// Route to dst under the data path's routing rules: direct when the
+	// tree is too degraded, nearest-surviving-ancestor chain otherwise.
+	// dst's own liveness is overridden so dead nodes stay probeable.
+	wasAlive := alive[dst]
+	alive[dst] = true
+	route := planRoutes(alive, []int{dst}).routes[dst]
+	alive[dst] = wasAlive
+
+	t.mx.probes.Inc()
+	from := 0
+	for _, hop := range route {
+		if !t.probeHop(link{src: from, dst: hop}, maxAttempts) {
+			t.mx.probeFails.Inc()
+			return false
+		}
+		from = hop
+	}
+	return true
+}
+
+// probeHop resolves one hop of a probe: up to maxAttempts transmissions,
+// each succeeding only if both the request and its ack survive the chaos
+// plan. Every attempt advances the link pair's probe partition clocks, so
+// a partition window over probe traffic always heals.
+func (t *Transport) probeHop(lk link, maxAttempts int) bool {
+	rk := link{src: lk.dst, dst: lk.src}
+	t.mu.Lock()
+	seq := t.probeSeq[lk]
+	t.probeSeq[lk] = seq + 1
+	t.mu.Unlock()
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		reqCut := t.chaos.cut(lk, t.bumpProbeCount(lk))
+		ackCut := t.chaos.cut(rk, t.bumpProbeCount(rk))
+		if reqCut || t.chaos.dropProbe(lk, seq, attempt) {
+			t.mx.drops.Inc()
+			t.mx.link(lk).drops.Inc()
+			continue
+		}
+		if ackCut || t.chaos.dropProbeAck(rk, seq, attempt) {
+			t.mx.drops.Inc()
+			t.mx.link(rk).drops.Inc()
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// bumpProbeCount advances the link's lifetime probe-transmission counter —
+// the clock partition windows run on for probe traffic — and returns its
+// pre-increment value.
+func (t *Transport) bumpProbeCount(lk link) int64 {
+	t.mu.Lock()
+	n := t.probeCount[lk]
+	t.probeCount[lk] = n + 1
+	t.mu.Unlock()
+	return n
+}
+
+// MarkAlive readmits a node to routing: the next broadcast re-parents its
+// subtree back toward the denser original tree shape. The inverse of
+// MarkDead; the caller serializes both against Broadcast.
+func (t *Transport) MarkAlive(node int) {
+	if node < 0 || node >= t.nodes {
+		return
+	}
+	t.mu.Lock()
+	t.alive[node] = true
+	t.mu.Unlock()
+}

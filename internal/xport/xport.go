@@ -147,6 +147,12 @@ type Transport struct {
 	seen      map[link]map[uint64]struct{}
 	ackWait   map[link]map[uint64]chan struct{}
 
+	// Probe traffic keeps its own per-link sequence numbers and
+	// partition-window clocks (probe.go), so heartbeat fates never depend
+	// on how data traffic interleaved.
+	probeSeq   map[link]uint64
+	probeCount map[link]int64
+
 	mx *xportMetrics
 }
 
@@ -164,12 +170,14 @@ func New(nodes int, opts Options) (*Transport, error) {
 	t := &Transport{
 		nodes: nodes, chaos: opts.Chaos, rp: opts.Retransmit,
 		prof: opts.Prof, hand: opts.Deliver,
-		alive:     make([]bool, nodes),
-		nextSeq:   map[link]uint64{},
-		sendCount: map[link]int64{},
-		seen:      map[link]map[uint64]struct{}{},
-		ackWait:   map[link]map[uint64]chan struct{}{},
-		mx:        newXportMetrics(opts.Metrics),
+		alive:      make([]bool, nodes),
+		nextSeq:    map[link]uint64{},
+		sendCount:  map[link]int64{},
+		seen:       map[link]map[uint64]struct{}{},
+		ackWait:    map[link]map[uint64]chan struct{}{},
+		probeSeq:   map[link]uint64{},
+		probeCount: map[link]int64{},
+		mx:         newXportMetrics(opts.Metrics),
 	}
 	for i := range t.alive {
 		t.alive[i] = true
