@@ -1,0 +1,251 @@
+// Command idxserve runs the multi-tenant job scheduler as a service: a
+// bounded executor pool of index-launch runtimes behind admission control,
+// with a job-submission HTTP API and live metrics.
+//
+//	idxserve -addr 127.0.0.1:8080 -executors 4 -queue fair -weights a=1,b=2,c=4
+//	curl -s -X POST localhost:8080/jobs -d '{"tenant":"a","tasks":64,"rounds":4}'
+//	curl -s localhost:8080/statusz        # per-tenant queue table
+//	curl -s localhost:8080/metrics | grep sched_
+//
+// Two offline modes share the flag set:
+//
+//	idxserve -trace -seed 42 -jobs 400    # print the deterministic decision log
+//	idxserve -bench -json bench-out       # write BENCH_sched.json
+//
+// The trace mode replays a seeded arrival trace through the policy core on
+// a virtual clock; its output is byte-identical per seed, which is what the
+// CI scheduler seed matrix locks in.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"indexlaunch/internal/metrics"
+	"indexlaunch/internal/rt"
+	"indexlaunch/internal/sched"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "serve the job API, /metrics and /statusz on this address")
+	executors := flag.Int("executors", 2, "executor pool size (jobs running concurrently)")
+	nodes := flag.Int("nodes", 4, "simulated nodes per executor runtime")
+	procs := flag.Int("procs", 2, "processors per simulated node")
+	dcr := flag.Bool("dcr", false, "dynamic control replication in executor runtimes (off keeps the centralized path, whose message transport is reused across jobs)")
+	queue := flag.String("queue", "fifo", "queue discipline: fifo | priority | fair")
+	weights := flag.String("weights", "", "fair-share weights as tenant=weight[,tenant=weight...]")
+	rate := flag.Float64("rate", 0, "default per-tenant admission rate in jobs/tick (0 = unlimited)")
+	burst := flag.Float64("burst", 0, "default admission burst (0 = max(rate, 1))")
+	maxQueued := flag.Int("max-queued", 1024, "global queue bound")
+	preempt := flag.Bool("preempt", false, "cooperative preemption of lower-priority running jobs")
+	tick := flag.Duration("tick", 5*time.Millisecond, "scheduler tick period (bucket refill + health capacity feedback)")
+
+	traceMode := flag.Bool("trace", false, "replay a seeded trace through the policy core and print the decision log")
+	bench := flag.Bool("bench", false, "run the deterministic scheduler benchmarks")
+	jsonDir := flag.String("json", "", "with -bench: write BENCH_sched.json into this directory")
+	seed := flag.Int64("seed", 42, "with -trace: trace seed")
+	jobs := flag.Int("jobs", 400, "with -trace: trace length")
+	flag.Parse()
+
+	w, err := parseWeights(*weights)
+	if err != nil {
+		fatal(err)
+	}
+	adm := sched.Admission{
+		MaxQueued: *maxQueued,
+		Default:   sched.Quota{Rate: *rate, Burst: *burst},
+		Tenants:   map[string]sched.Quota{},
+	}
+	for tenant, wt := range w {
+		adm.Tenants[tenant] = sched.Quota{Rate: *rate, Burst: *burst, Weight: wt}
+	}
+	mkQueue := func() (sched.Queue, error) {
+		switch *queue {
+		case "fifo":
+			return sched.NewFIFO(), nil
+		case "priority":
+			return sched.NewStrictPriority(), nil
+		case "fair":
+			return sched.NewWeightedFair(1, adm.Weights(), 1), nil
+		default:
+			return nil, fmt.Errorf("unknown -queue %q (want fifo, priority or fair)", *queue)
+		}
+	}
+
+	switch {
+	case *traceMode:
+		q, err := mkQueue()
+		if err != nil {
+			fatal(err)
+		}
+		runTrace(*seed, *jobs, q, adm)
+	case *bench:
+		if err := runBench(*jsonDir); err != nil {
+			fatal(err)
+		}
+	default:
+		q, err := mkQueue()
+		if err != nil {
+			fatal(err)
+		}
+		if err := serve(*addr, sched.Config{
+			Executors:  *executors,
+			Runtime:    rt.Config{Nodes: *nodes, ProcsPerNode: *procs, DCR: *dcr, IndexLaunches: true},
+			Setup:      sched.SyntheticSetup,
+			Queue:      q,
+			Admission:  adm,
+			Preemption: *preempt,
+			TickEvery:  *tick,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "idxserve:", err)
+	os.Exit(1)
+}
+
+func parseWeights(s string) (map[string]int, error) {
+	w := map[string]int{}
+	if s == "" {
+		return w, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -weights entry %q (want tenant=weight)", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad weight %q for tenant %q", kv[1], kv[0])
+		}
+		w[kv[0]] = n
+	}
+	return w, nil
+}
+
+// serve runs the scheduler service until SIGINT/SIGTERM, then drains
+// gracefully and shuts down.
+func serve(addr string, cfg sched.Config) error {
+	s, err := sched.New(cfg)
+	if err != nil {
+		return err
+	}
+	srv, err := sched.Serve(addr, s, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("idxserve: %d executors (%d nodes x %d procs each), %s queue\n",
+		cfg.Executors, cfg.Runtime.Nodes, cfg.Runtime.ProcsPerNode, s.Status().Queue)
+	fmt.Printf("idxserve: job API and metrics on http://%s (POST /jobs, /statusz, /metrics)\n", srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("idxserve: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "idxserve: drain:", err)
+	}
+	s.Shutdown()
+	_ = srv.Close()
+	st := s.Status()
+	var done int64
+	for _, ts := range st.Tenants {
+		done += ts.Completed
+	}
+	fmt.Printf("idxserve: stopped after %d decisions, %d jobs completed\n", st.Decisions, done)
+	return nil
+}
+
+// runTrace prints the deterministic decision log for one seeded trace —
+// byte-identical per (seed, flags), the property the CI seed matrix checks.
+func runTrace(seed int64, jobs int, q sched.Queue, adm sched.Admission) {
+	tr := sched.GenTrace(seed, sched.TraceOptions{
+		Jobs: jobs, MaxPriority: 3, MaxInterArrival: 2, MaxCost: 4,
+		MinService: 2, MaxService: 10,
+	})
+	res := sched.RunTrace(tr, sched.TraceConfig{Executors: 3, Queue: q, Admission: adm})
+	fmt.Print(sched.RenderLog(res.Log))
+	tenants := make([]string, 0, len(res.Completed))
+	for t := range res.Completed {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	fmt.Printf("# seed %d: makespan %d ticks, %.2f jobs/ktick, p99 wait %d ticks\n",
+		seed, res.Makespan, res.JobsPerKTick, res.P99Wait())
+	for _, t := range tenants {
+		fmt.Printf("# tenant %s: completed %d rejected %d expired %d served-cost %d\n",
+			t, res.Completed[t], res.Rejected[t], res.Expired[t], res.ServedCost[t])
+	}
+}
+
+// runBench derives the scheduler's deterministic benchmark snapshot from
+// virtual-time runs: throughput (higher is better) and p99 queue wait
+// (lower is better) per discipline. Purely a function of the seeds, so CI
+// can diff it against the committed baseline with zero noise.
+func runBench(jsonDir string) error {
+	weights := map[string]int{"a": 1, "b": 2, "c": 4}
+	adm := sched.Admission{
+		MaxQueued: 4096,
+		Tenants: map[string]sched.Quota{
+			"a": {Weight: 1}, "b": {Weight: 2}, "c": {Weight: 4},
+		},
+	}
+	disciplines := []struct {
+		name string
+		mk   func() sched.Queue
+	}{
+		{"fifo", sched.NewFIFO},
+		{"priority", sched.NewStrictPriority},
+		{"fair", func() sched.Queue { return sched.NewWeightedFair(1, weights, 1) }},
+	}
+	snap := metrics.BenchSnapshot{
+		Name:        "sched",
+		CreatedUnix: time.Now().Unix(),
+		Meta: map[string]string{
+			"title": "Scheduler virtual-time throughput and queue waits (seeds 1,7,42)",
+		},
+	}
+	for _, d := range disciplines {
+		for _, seed := range []int64{1, 7, 42} {
+			tr := sched.GenTrace(seed, sched.TraceOptions{
+				Jobs: 2000, MaxPriority: 3, MaxInterArrival: 1, MaxCost: 3,
+				MinService: 1, MaxService: 6,
+			})
+			res := sched.RunTrace(tr, sched.TraceConfig{
+				Executors: 4, Queue: d.mk(), Admission: adm,
+			})
+			prefix := fmt.Sprintf("sched/%s/seed%d", d.name, seed)
+			snap.Values = append(snap.Values,
+				metrics.BenchValue{Name: prefix + "/jobs_per_ktick", Value: res.JobsPerKTick, Better: "higher"},
+				metrics.BenchValue{Name: prefix + "/p99_wait_ticks", Value: float64(res.P99Wait()), Better: "lower"},
+				metrics.BenchValue{Name: prefix + "/makespan_ticks", Value: float64(res.Makespan), Better: "lower"},
+			)
+			fmt.Printf("%-24s %8.2f jobs/ktick  p99 wait %5d  makespan %6d\n",
+				prefix, res.JobsPerKTick, res.P99Wait(), res.Makespan)
+		}
+	}
+	if jsonDir != "" {
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			return err
+		}
+		path := jsonDir + "/BENCH_sched.json"
+		if err := snap.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}

@@ -24,6 +24,7 @@ var exampleCases = []struct {
 	{"./examples/selfheal", "self-heal completion: sum=960 (want 960)"},
 	{"./examples/profiling", "critical path:"},
 	{"./examples/metrics", "stage-latency histogram"},
+	{"./examples/serve", "fair-share outcome"},
 }
 
 // TestExamplesRun builds and runs every example binary end to end, checking
@@ -144,6 +145,9 @@ func TestCLIsRun(t *testing.T) {
 		{"idxsim", []string{"run", "./cmd/idxsim", "-app", "stencil", "-nodes", "16", "-iters", "3"}, "throughput"},
 		{"idxsim-metrics", []string{"run", "./cmd/idxsim", "-app", "stencil", "-nodes", "8", "-iters", "3",
 			"-metrics", "127.0.0.1:0"}, "idx_tasks_executed_total"},
+		{"idxserve-trace", []string{"run", "./cmd/idxserve", "-trace", "-seed", "42", "-jobs", "60",
+			"-queue", "fair", "-weights", "a=1,b=2,c=4"}, "# seed 42:"},
+		{"idxserve-bench", []string{"run", "./cmd/idxserve", "-bench"}, "sched/fair/seed42"},
 	}
 	for _, c := range cases {
 		c := c

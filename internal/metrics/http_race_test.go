@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// Concurrent-scrape safety, exercised under -race in CI: many /metrics,
+// /metrics.json and /statusz requests racing live recording must all
+// succeed, render well-formed payloads, and never trip the race detector.
+// This is the HTTP-layer complement of TestConcurrentRecordingAndSnapshots.
+func TestConcurrentScrapesWhileRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("scrape_ops_total", "")
+	h := r.Histogram("scrape_lat_ns", "")
+	v := r.CounterVec("scrape_vec_total", "", "tenant")
+	srv, err := Serve("127.0.0.1:0", r, func() any {
+		return map[string]int64{"ops": c.Value()}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const (
+		writers    = 4
+		perWriter  = 5000
+		scrapers   = 4
+		perScraper = 25
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				h.Observe(int64(i % 4096))
+				v.With([]string{"a", "b"}[i%2]).Inc()
+			}
+		}(w)
+	}
+	paths := []string{"/metrics", "/metrics.json", "/statusz"}
+	errc := make(chan error, scrapers*perScraper)
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perScraper; i++ {
+				resp, err := http.Get(srv.URL() + paths[(s+i)%len(paths)])
+				if err != nil {
+					errc <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errc <- &statusErr{resp.StatusCode}
+					return
+				}
+				if len(body) == 0 {
+					errc <- io.ErrUnexpectedEOF
+					return
+				}
+			}
+		}(s)
+	}
+	close(start)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+}
+
+type statusErr struct{ code int }
+
+func (e *statusErr) Error() string { return http.StatusText(e.code) }

@@ -158,13 +158,18 @@ var stageMarks = [numStages]byte{
 	StageRetransmit: '~',
 	StageHealth:     'H',
 	StageSpeculate:  'S',
+	StageEnqueue:    'q',
+	StageAdmit:      'a',
+	StagePreempt:    'P',
+	StageDrain:      'D',
 }
 
 var paintOrder = []Stage{
+	StageDrain, StageEnqueue, StageAdmit,
 	StageFence, StageCapture, StageIssue, StageLogical, StageDistribute,
 	StageSend, StageRecv, StageRetransmit,
 	StageReplay, StagePhysical, StageExecute, StageRetry, StageFault,
-	StageHealth, StageSpeculate,
+	StageHealth, StageSpeculate, StagePreempt,
 }
 
 // RenderTimeline draws one row per node: the profile's wall clock scaled to

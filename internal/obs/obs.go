@@ -71,14 +71,27 @@ const (
 	// StageSpeculate marks a straggler-speculation incident: a backup
 	// launch, a backup that won, or a losing attempt being discarded.
 	StageSpeculate
+	// StageEnqueue marks a job accepted into a scheduler queue
+	// (internal/sched).
+	StageEnqueue
+	// StageAdmit is a job's queue residency: the span from enqueue to the
+	// moment the scheduler dispatched it onto an executor.
+	StageAdmit
+	// StagePreempt marks a running job yielding its executor to a
+	// higher-priority arrival and returning to the queue.
+	StagePreempt
+	// StageDrain is a scheduler drain: the span from the drain request to
+	// the last job completing.
+	StageDrain
 
-	numStages = int(StageSpeculate) + 1
+	numStages = int(StageDrain) + 1
 )
 
 var stageNames = [numStages]string{
 	"issue", "logical", "distribute", "physical", "execute",
 	"retry", "fault", "fence", "capture", "replay",
 	"send", "recv", "retransmit", "health", "speculate",
+	"enqueue", "admit", "preempt", "drain",
 }
 
 // String renders the stage name used in exports and reports.

@@ -354,6 +354,16 @@ func (r *Runtime) MustRegisterTask(name string, fn TaskFn) core.TaskID {
 // Config returns the runtime's configuration.
 func (r *Runtime) Config() Config { return r.cfg }
 
+// TaskNamed returns the ID of a registered task by name. It lets code that
+// did not register the task issue launches against it — the scheduler's
+// jobs run on pooled executor runtimes whose task set was registered once
+// by a setup hook. Safe only after registration has finished (the runtime's
+// single-issuer contract already requires that).
+func (r *Runtime) TaskNamed(name string) (core.TaskID, bool) {
+	id, ok := r.byName[name]
+	return id, ok
+}
+
 // Stats returns a snapshot of the pipeline counters. It is a read-through
 // view over the runtime's metrics registry — the same counters /metrics
 // exposes — so every value is an atomic read and snapshots taken while
@@ -402,6 +412,47 @@ func (r *Runtime) Stats() Stats {
 // Config.Metrics registry, or the private one backing Stats when none was
 // attached. Serve it with metrics.Serve to expose /metrics and /statusz.
 func (r *Runtime) Metrics() *metrics.Registry { return r.reg }
+
+// CapacityFactor returns the live fraction of the runtime's nodes in
+// [0, 1]: with a HeartbeatPolicy it counts nodes the failure detector holds
+// Alive (suspect, dead and quarantined nodes contribute nothing), without
+// one it counts nodes not explicitly killed. The scheduling layer
+// (internal/sched) feeds this back into admission control, so quarantine
+// lowers the admit rate before queues overflow.
+func (r *Runtime) CapacityFactor() float64 {
+	r.issueMu.Lock()
+	defer r.issueMu.Unlock()
+	c := r.healthCountsLocked()
+	return float64(c.Alive) / float64(r.cfg.Nodes)
+}
+
+// ErrBusy marks a Recycle attempt while tasks were still outstanding.
+var ErrBusy = errors.New("rt: tasks still outstanding")
+
+// Recycle prepares a long-lived runtime for its next program: it prunes the
+// completed-task bookkeeping a fence would otherwise walk, clears the
+// profiler's span-identity map, and recycles the message transport's
+// per-session state (sequence numbers, dedup sets) so a runtime reused
+// across many scheduler jobs does not accumulate per-job state forever.
+// The runtime must be idle — fence first; Recycle fails with ErrBusy when
+// any issued task has not completed.
+func (r *Runtime) Recycle() error {
+	r.issueMu.Lock()
+	defer r.issueMu.Unlock()
+	for _, pt := range r.outstanding {
+		if !pt.ev.Done() {
+			return fmt.Errorf("%w: task %q launch %q point %v", ErrBusy, pt.name, pt.tag, pt.point)
+		}
+	}
+	r.outstanding = r.outstanding[:0]
+	if r.profIDs != nil {
+		clear(r.profIDs)
+	}
+	if r.xp != nil {
+		r.xp.Recycle()
+	}
+	return nil
+}
 
 // nowNS reads the runtime's metrics timebase: the profiler's clock when one
 // is attached (so spans and histograms agree), the wall clock otherwise.

@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"indexlaunch/internal/rt"
+)
+
+// Scheduler overhead benchmarks: the policy core's per-decision cost, the
+// virtual-time driver's whole-trace cost, and the live front end's
+// submit-to-completion round trip. CI's smoke pass runs these with
+// -benchtime=1x, so allocation regressions surface as allocs/op.
+
+func BenchmarkPolicySubmitDispatch(b *testing.B) {
+	p := newPolicy(NewWeightedFair(1, map[string]int{"a": 1, "b": 2}, 1),
+		newAdmission(Admission{MaxQueued: 1 << 30}), 4)
+	tenants := []string{"a", "b", "c"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := &Job{ID: JobID(i + 1), Spec: JobSpec{Tenant: tenants[i%3]}}
+		if _, rej := p.submit(j); rej != nil {
+			b.Fatal(rej)
+		}
+		jb, _ := p.dispatch()
+		if jb == nil {
+			b.Fatal("dispatch returned nil with queued work")
+		}
+		p.complete(jb, nil)
+		if i%16 == 0 {
+			p.advance()
+		}
+	}
+}
+
+func BenchmarkRunTrace(b *testing.B) {
+	tr := GenTrace(42, TraceOptions{Jobs: 2000, MaxPriority: 3, MaxInterArrival: 1,
+		MaxCost: 3, MinService: 1, MaxService: 6})
+	weights := map[string]int{"a": 1, "b": 2, "c": 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := RunTrace(tr, TraceConfig{Executors: 4, Queue: NewWeightedFair(1, weights, 1)})
+		if res.Makespan == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+func BenchmarkLiveSubmitWait(b *testing.B) {
+	s := MustNew(Config{Executors: 2, TickEvery: time.Hour})
+	defer s.Shutdown()
+	run := func(*JobContext, *rt.Runtime) error { return nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := s.Submit(JobSpec{Tenant: "bench", Run: run})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Wait(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

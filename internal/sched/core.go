@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies one scheduler decision.
+type Kind uint8
+
+const (
+	// KindEnqueue: a submission passed admission and joined the queue.
+	KindEnqueue Kind = iota
+	// KindReject: admission refused a submission (backpressure).
+	KindReject
+	// KindAdmit: a queued job was dispatched onto an executor.
+	KindAdmit
+	// KindComplete: a running job finished (ok or err).
+	KindComplete
+	// KindPreempt: a running job yielded its executor and was re-queued.
+	KindPreempt
+	// KindExpire: a queued job was dropped at dispatch past its deadline.
+	KindExpire
+	// KindDrain: graceful drain began; later submissions are rejected.
+	KindDrain
+)
+
+var kindNames = [...]string{"enqueue", "reject", "admit", "complete", "preempt", "expire", "drain"}
+
+// String renders the decision kind used in the canonical log form.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Decision is one scheduler decision, stamped with the logical tick it was
+// taken in. The rendered form is intentionally canonical — the determinism
+// suite compares rendered decision logs byte for byte, exactly like
+// health.RenderLog.
+type Decision struct {
+	Seq    int64  `json:"seq"`
+	Tick   int64  `json:"tick"`
+	Kind   Kind   `json:"kind"`
+	Job    JobID  `json:"job,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the decision canonically:
+// "d<seq> t<tick> <kind> j<job> <tenant> <detail>".
+func (d Decision) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "d%d t%d %s", d.Seq, d.Tick, d.Kind)
+	if d.Job > 0 {
+		fmt.Fprintf(&b, " j%d %s", d.Job, d.Tenant)
+	}
+	if d.Detail != "" {
+		b.WriteByte(' ')
+		b.WriteString(d.Detail)
+	}
+	return b.String()
+}
+
+// RenderLog renders a decision sequence one line per decision — the
+// byte-comparable form of a scheduler history.
+func RenderLog(log []Decision) string {
+	var b strings.Builder
+	for _, d := range log {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// core is the deterministic policy state machine: queue discipline plus
+// admission plus the decision log, with logical time advanced only by its
+// owner (the live scheduler's tick loop, or the trace driver's virtual
+// clock). It is not safe for concurrent use.
+type policy struct {
+	q     Queue
+	adm   *admission
+	slots int
+	free  int
+
+	draining bool
+	tick     int64
+	seq      int64
+	log      []Decision
+
+	queued  map[string]int
+	running map[JobID]*Job
+}
+
+func newPolicy(q Queue, adm *admission, slots int) *policy {
+	if q == nil {
+		q = NewFIFO()
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	return &policy{
+		q: q, adm: adm, slots: slots, free: slots,
+		queued:  map[string]int{},
+		running: map[JobID]*Job{},
+	}
+}
+
+func (c *policy) record(k Kind, j *Job, detail string) Decision {
+	c.seq++
+	d := Decision{Seq: c.seq, Tick: c.tick, Kind: k, Detail: detail}
+	if j != nil {
+		d.Job, d.Tenant = j.ID, j.Spec.Tenant
+	}
+	c.log = append(c.log, d)
+	return d
+}
+
+// advance moves logical time one tick forward, refilling admission buckets.
+func (c *policy) advance() {
+	c.tick++
+	c.adm.refill()
+}
+
+// submit runs admission for j: on success the job joins the queue and an
+// enqueue decision is returned; on backpressure a reject decision is logged
+// and the RejectError (with its retry-after hint) is returned.
+func (c *policy) submit(j *Job) (Decision, *RejectError) {
+	tenant := j.Spec.Tenant
+	reject := func(reason string, retry int64) (Decision, *RejectError) {
+		detail := fmt.Sprintf("reason=%s", reason)
+		if retry > 0 {
+			detail += fmt.Sprintf(" retry=%d", retry)
+		}
+		return c.record(KindReject, j, detail),
+			&RejectError{Tenant: tenant, Reason: reason, RetryAfterTicks: retry}
+	}
+	if c.draining {
+		return reject(ReasonDraining, 0)
+	}
+	if c.q.Len() >= c.adm.maxQueued() {
+		// The queue drains at roughly slots jobs per service interval;
+		// hint one queue's-worth of ticks, floored at 1.
+		return reject(ReasonQueueFull, int64(c.q.Len()/c.slots)+1)
+	}
+	if tq := c.adm.quota(tenant).MaxQueued; tq > 0 && c.queued[tenant] >= tq {
+		return reject(ReasonTenantQueueFull, int64(c.queued[tenant]/c.slots)+1)
+	}
+	if ok, reason, retry := c.adm.take(tenant); !ok {
+		return reject(reason, retry)
+	}
+	j.enqueueTick = c.tick
+	c.queued[tenant]++
+	c.q.Push(j)
+	return c.record(KindEnqueue, j, fmt.Sprintf("prio=%d cost=%d", j.Spec.Priority, j.Spec.cost())), nil
+}
+
+// dispatch pops the next runnable job onto a free slot. Jobs whose deadline
+// lapsed in queue are dropped (expired, not run) and returned so the owner
+// can fail them. Returns a nil job when no slot is free or the queue is
+// empty.
+func (c *policy) dispatch() (j *Job, expired []*Job) {
+	for c.free > 0 {
+		jb := c.q.Pop()
+		if jb == nil {
+			return nil, expired
+		}
+		c.queued[jb.Spec.Tenant]--
+		waited := c.tick - jb.enqueueTick
+		if dl := jb.Spec.Deadline; dl > 0 && waited > dl {
+			c.record(KindExpire, jb, fmt.Sprintf("deadline=%d waited=%d", dl, waited))
+			expired = append(expired, jb)
+			continue
+		}
+		jb.admitTick = c.tick
+		jb.attempts++
+		c.free--
+		c.running[jb.ID] = jb
+		c.record(KindAdmit, jb, fmt.Sprintf("wait=%d", waited))
+		return jb, expired
+	}
+	return nil, expired
+}
+
+// complete returns j's slot and logs the outcome.
+func (c *policy) complete(j *Job, jobErr error) Decision {
+	delete(c.running, j.ID)
+	c.free++
+	detail := "ok"
+	if jobErr != nil {
+		detail = "err"
+	}
+	return c.record(KindComplete, j, detail)
+}
+
+// preempt returns j's slot and re-queues it at the front of its peers.
+func (c *policy) preempt(j *Job) Decision {
+	delete(c.running, j.ID)
+	c.free++
+	j.enqueueTick = c.tick
+	c.queued[j.Spec.Tenant]++
+	c.q.Requeue(j)
+	return c.record(KindPreempt, j, fmt.Sprintf("attempt=%d", j.attempts))
+}
+
+// drainNow flips the core into draining: admission rejects everything while
+// queued and running work finishes.
+func (c *policy) drainNow() Decision {
+	c.draining = true
+	return c.record(KindDrain, nil, fmt.Sprintf("queued=%d running=%d", c.q.Len(), len(c.running)))
+}
+
+// idle reports no queued and no running work.
+func (c *policy) idle() bool { return c.q.Len() == 0 && len(c.running) == 0 }

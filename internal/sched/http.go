@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/metrics"
+	"indexlaunch/internal/rt"
+)
+
+// Job-submission HTTP API, mounted beside the metrics endpoints:
+//
+//	POST /jobs      submit a job (JSON body, SubmitRequest)
+//	GET  /jobs/{id} one job's state (JobInfo)
+//	GET  /metrics   Prometheus text, including the sched_* families
+//	GET  /statusz   scheduler status with the per-tenant queue table
+//
+// Backpressure maps onto HTTP the standard way: an admission rejection is a
+// 429 with a Retry-After header derived from the scheduler's retry hint.
+
+// SubmitRequest is the POST /jobs body.
+type SubmitRequest struct {
+	// Tenant, Priority, Cost, DeadlineTicks mirror JobSpec.
+	Tenant        string `json:"tenant"`
+	Priority      int    `json:"priority"`
+	Cost          int64  `json:"cost"`
+	DeadlineTicks int64  `json:"deadline_ticks"`
+	// Kind selects the job body from the handler's kind registry; empty
+	// defaults to "synthetic".
+	Kind string `json:"kind"`
+	// Tasks and Rounds parameterize the synthetic kind: Rounds index
+	// launches of Tasks parallel tasks each.
+	Tasks  int `json:"tasks"`
+	Rounds int `json:"rounds"`
+}
+
+// SubmitResponse is the POST /jobs success payload.
+type SubmitResponse struct {
+	ID JobID `json:"id"`
+}
+
+// KindFunc builds a job body from a submission — how the HTTP API maps
+// wire requests onto Go run functions.
+type KindFunc func(req SubmitRequest) (RunFunc, error)
+
+// SyntheticTaskName is the task variant SyntheticSetup registers on each
+// executor runtime.
+const SyntheticTaskName = "sched_spin"
+
+// SyntheticSetup registers the synthetic spin task — the Config.Setup for a
+// scheduler serving the synthetic kind. The task is pure compute over its
+// launch index, so it needs no region requirements.
+func SyntheticSetup(r *rt.Runtime) error {
+	_, err := r.RegisterTask(SyntheticTaskName, func(ctx *rt.Context) ([]byte, error) {
+		// A small deterministic spin seeded by the launch index.
+		x := uint64(ctx.Point.X()) + 0x9e3779b97f4a7c15
+		for i := 0; i < 64; i++ {
+			x ^= x >> 33
+			x *= 0xff51afd7ed558ccd
+		}
+		return rt.EncodeF64(float64(x % 1000)), nil
+	})
+	return err
+}
+
+// SyntheticRun returns a job body issuing rounds index launches of tasks
+// parallel tasks each on its executor's runtime, checking for cooperative
+// preemption between rounds.
+func SyntheticRun(tasks, rounds int) RunFunc {
+	if tasks < 1 {
+		tasks = 8
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	return func(jc *JobContext, r *rt.Runtime) error {
+		id, ok := r.TaskNamed(SyntheticTaskName)
+		if !ok {
+			return fmt.Errorf("sched: synthetic task %q not registered (use SyntheticSetup)", SyntheticTaskName)
+		}
+		for round := 0; round < rounds; round++ {
+			select {
+			case <-jc.Preempted():
+				return ErrPreempted
+			default:
+			}
+			launch, err := core.Forall(SyntheticTaskName, id, domain.Range1(0, int64(tasks-1)))
+			if err != nil {
+				return err
+			}
+			if _, err := r.ExecuteIndex(launch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// DefaultKinds is the kind registry Handler falls back to: just the
+// synthetic workload.
+func DefaultKinds() map[string]KindFunc {
+	return map[string]KindFunc{
+		"synthetic": func(req SubmitRequest) (RunFunc, error) {
+			return SyntheticRun(req.Tasks, req.Rounds), nil
+		},
+	}
+}
+
+// Handler serves the job API and, underneath it, the metrics endpoints
+// (/metrics, /metrics.json, /statusz with the scheduler's tenant table).
+// kinds nil defaults to DefaultKinds.
+func Handler(s *Scheduler, kinds map[string]KindFunc) http.Handler {
+	if kinds == nil {
+		kinds = DefaultKinds()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, req *http.Request) {
+		var sr SubmitRequest
+		if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+			return
+		}
+		kind := sr.Kind
+		if kind == "" {
+			kind = "synthetic"
+		}
+		kf := kinds[kind]
+		if kf == nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown job kind %q", kind))
+			return
+		}
+		run, err := kf(sr)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := s.Submit(JobSpec{
+			Tenant:   sr.Tenant,
+			Priority: sr.Priority,
+			Cost:     sr.Cost,
+			Deadline: sr.DeadlineTicks,
+			Run:      run,
+		})
+		if err != nil {
+			var rej *RejectError
+			switch {
+			case errors.As(err, &rej):
+				if rej.RetryAfter > 0 {
+					secs := int64(rej.RetryAfter.Seconds())
+					if secs < 1 {
+						secs = 1
+					}
+					w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+				}
+				httpError(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, ErrSchedulerClosed):
+				httpError(w, http.StatusServiceUnavailable, err)
+			default:
+				httpError(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(SubmitResponse{ID: id})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		id, err := strconv.ParseInt(req.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad job id: %w", err))
+			return
+		}
+		info, ok := s.Job(JobID(id))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %d", id))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(info)
+	})
+	mux.Handle("/", metrics.Handler(s.Registry(), func() any { return s.Status() }))
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// Server is an embedded scheduler API listener started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the job API plus metrics endpoints on addr (":0" selects an
+// ephemeral port) until Close.
+func Serve(addr string, s *Scheduler, kinds map[string]KindFunc) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sched: listen %s: %w", addr, err)
+	}
+	srv := &Server{ln: ln, srv: &http.Server{Handler: Handler(s, kinds)}}
+	go func() { _ = srv.srv.Serve(ln) }()
+	return srv, nil
+}
+
+// Addr returns the listener's resolved address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,640 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/metrics"
+	"indexlaunch/internal/obs"
+	"indexlaunch/internal/rt"
+)
+
+// Config configures a live Scheduler.
+type Config struct {
+	// Executors is the executor-pool size: how many jobs run concurrently,
+	// each on its own long-lived rt.Runtime. 0 defaults to 2.
+	Executors int
+	// Runtime is the executor runtime template — the shared simulated
+	// machine every job runs over. The zero value defaults to 4 nodes x 2
+	// procs on the centralized path (which gives every executor a reusable
+	// message transport).
+	Runtime rt.Config
+	// Setup, when non-nil, runs once per executor runtime before it serves
+	// jobs — the place to register the task variants job bodies launch.
+	Setup func(*rt.Runtime) error
+	// Queue is the discipline; nil defaults to FIFO. The scheduler
+	// serializes access, so implementations need no locking.
+	Queue Queue
+	// Admission configures backpressure (queue bounds, per-tenant quotas,
+	// token-bucket rates).
+	Admission Admission
+	// Preemption enables cooperative preemption: when a submission's
+	// priority exceeds a running job's and no executor is free, the lowest
+	// -priority running job is asked to yield (JobContext.Preempted); if
+	// its body returns ErrPreempted it is re-queued and re-run later.
+	Preemption bool
+	// TickEvery is the logical tick period: admission buckets refill and
+	// node-health capacity feeds back once per tick. 0 defaults to 5ms.
+	TickEvery time.Duration
+	// Metrics attaches a live metrics registry; nil keeps the scheduler's
+	// counters in a private registry (Status still works) and skips the
+	// timing-dependent histogram observations, mirroring rt.Config.Metrics.
+	Metrics *metrics.Registry
+	// Profile attaches an observability recorder: enqueue marks, admit
+	// (queue-residency) spans, preempt marks and drain spans are recorded
+	// into the same stream the runtime's pipeline stages go to. Nil
+	// disables profiling.
+	Profile *obs.Recorder
+}
+
+// tenantState caches one tenant's resolved metric instruments and the
+// mutex-guarded counters Status reads back.
+type tenantState struct {
+	enq, adm, rej, comp, fail int64
+	running                   int
+
+	mEnq, mAdm, mComp, mFail *metrics.Counter
+	mDepth                   *metrics.Gauge
+	mRej                     map[string]*metrics.Counter
+}
+
+// executor is one pooled worker: a goroutine owning a long-lived runtime.
+type executor struct {
+	id int
+	rt *rt.Runtime
+}
+
+// Scheduler is the concurrent front end over the policy core: Submit runs
+// admission and wakes the executor pool; executors dispatch from the queue,
+// run job bodies on their runtimes, fence, recycle and report back. All
+// core access is serialized under mu.
+type Scheduler struct {
+	cfg       Config
+	tickEvery time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	core    *policy
+	jobs    map[JobID]*Job
+	doneIDs []JobID // completed-job retention ring
+	nextID  JobID
+
+	stopped  bool
+	drainNS  int64 // drain-span start, 0 until draining
+	capacity float64
+
+	execs []*executor
+
+	reg   *metrics.Registry
+	mx    *metrics.Scheduler
+	mxOn  bool
+	prof  *obs.Recorder
+	epoch time.Time
+
+	tenants map[string]*tenantState
+
+	tickStop chan struct{}
+	wg       sync.WaitGroup
+}
+
+// doneRetention bounds how many completed jobs stay queryable via Job().
+const doneRetention = 4096
+
+// New builds and starts a scheduler: the executor pool spins up
+// immediately and jobs run as they are admitted.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Executors <= 0 {
+		cfg.Executors = 2
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 5 * time.Millisecond
+	}
+	rtc := cfg.Runtime
+	if rtc.Nodes == 0 {
+		rtc = rt.Config{Nodes: 4, ProcsPerNode: 2, IndexLaunches: true}
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	// Executors share the scheduler's registry and the caller's recorder:
+	// pipeline families are registered idempotently, so the pool aggregates
+	// into one set of idx_*/xport_* instruments beside the sched_* families,
+	// and /metrics serves both even when the registry is the private one.
+	rtc.Metrics = reg
+	rtc.Profile = cfg.Profile
+	s := &Scheduler{
+		cfg:       cfg,
+		tickEvery: cfg.TickEvery,
+		core:      newPolicy(cfg.Queue, newAdmission(cfg.Admission), cfg.Executors),
+		jobs:      map[JobID]*Job{},
+		capacity:  1,
+		reg:       reg,
+		mx:        metrics.NewScheduler(reg),
+		mxOn:      cfg.Metrics != nil,
+		prof:      cfg.Profile,
+		epoch:     time.Now(),
+		tenants:   map[string]*tenantState{},
+		tickStop:  make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Executors; i++ {
+		r, err := rt.New(rtc)
+		if err != nil {
+			return nil, fmt.Errorf("sched: executor %d: %w", i, err)
+		}
+		if cfg.Setup != nil {
+			if err := cfg.Setup(r); err != nil {
+				return nil, fmt.Errorf("sched: executor %d setup: %w", i, err)
+			}
+		}
+		s.execs = append(s.execs, &executor{id: i, rt: r})
+	}
+	for _, ex := range s.execs {
+		s.wg.Add(1)
+		go s.executorLoop(ex)
+	}
+	s.wg.Add(1)
+	go s.tickLoop()
+	return s, nil
+}
+
+// MustNew is New that panics on config errors.
+func MustNew(cfg Config) *Scheduler {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Registry returns the registry the scheduler records into (the caller's,
+// or the private one backing Status). Serve it with metrics.Serve — or use
+// sched.Serve, which also mounts the job-submission API.
+func (s *Scheduler) Registry() *metrics.Registry { return s.reg }
+
+// nowNS reads the scheduler's timebase: the profiler's clock when attached
+// (so admit spans and the runtime's pipeline spans share one axis), wall
+// time since creation otherwise.
+func (s *Scheduler) nowNS() int64 {
+	if s.prof != nil {
+		return s.prof.Now()
+	}
+	return time.Since(s.epoch).Nanoseconds()
+}
+
+func (s *Scheduler) timed() bool { return s.prof != nil || s.mxOn }
+
+// tenant returns (creating on first use) the tenant's cached state and
+// resolved instruments. Caller holds mu.
+func (s *Scheduler) tenant(name string) *tenantState {
+	ts := s.tenants[name]
+	if ts == nil {
+		ts = &tenantState{
+			mEnq:   s.mx.Enqueued.With(name),
+			mAdm:   s.mx.Admitted.With(name),
+			mComp:  s.mx.Completed.With(name),
+			mFail:  s.mx.Failed.With(name),
+			mDepth: s.mx.TenantQueueDepth.With(name),
+			mRej:   map[string]*metrics.Counter{},
+		}
+		s.tenants[name] = ts
+	}
+	return ts
+}
+
+func (ts *tenantState) rejCounter(s *Scheduler, tenant, reason string) *metrics.Counter {
+	c := ts.mRej[reason]
+	if c == nil {
+		c = s.mx.Rejected.With(tenant, reason)
+		ts.mRej[reason] = c
+	}
+	return c
+}
+
+// syncDepthGauges refreshes the queue-depth gauges. Caller holds mu.
+func (s *Scheduler) syncDepthGauges(tenant string) {
+	s.mx.QueueDepth.Set(int64(s.core.q.Len()))
+	s.mx.RunningJobs.Set(int64(len(s.core.running)))
+	if tenant != "" {
+		s.tenant(tenant).mDepth.Set(int64(s.core.queued[tenant]))
+	}
+}
+
+// Submit runs admission for spec. On success the job is queued (and an
+// executor woken) and its ID returned; on backpressure the error matches
+// ErrAdmissionRejected and carries a retry-after hint scaled by the tick
+// period.
+func (s *Scheduler) Submit(spec JobSpec) (JobID, error) {
+	if spec.Tenant == "" {
+		spec.Tenant = "default"
+	}
+	if spec.Run == nil {
+		return 0, fmt.Errorf("sched: job spec for tenant %q has no Run body", spec.Tenant)
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return 0, ErrSchedulerClosed
+	}
+	s.nextID++
+	j := &Job{ID: s.nextID, Spec: spec, done: make(chan struct{})}
+	ts := s.tenant(spec.Tenant)
+	_, rej := s.core.submit(j)
+	if rej != nil {
+		rej.RetryAfter = time.Duration(rej.RetryAfterTicks) * s.tickEvery
+		ts.rej++
+		ts.rejCounter(s, spec.Tenant, rej.Reason).Inc()
+		s.mu.Unlock()
+		return 0, rej
+	}
+	j.state = JobQueued
+	s.jobs[j.ID] = j
+	ts.enq++
+	ts.mEnq.Inc()
+	if s.timed() {
+		j.enqueueNS = s.nowNS()
+		if s.prof != nil {
+			s.prof.Mark(0, obs.StageEnqueue, "", "tenant:"+spec.Tenant, domain.Point{}, j.enqueueNS)
+		}
+	}
+	s.syncDepthGauges(spec.Tenant)
+	if s.cfg.Preemption && s.core.free == 0 {
+		s.maybePreempt(spec.Priority)
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return j.ID, nil
+}
+
+// maybePreempt asks the lowest-priority running job (strictly below prio,
+// deterministic tie-break on job ID) to yield. Caller holds mu.
+func (s *Scheduler) maybePreempt(prio int) {
+	var victim *Job
+	for _, j := range s.core.running {
+		if j.preemptRequested || j.Spec.Priority >= prio {
+			continue
+		}
+		if victim == nil || j.Spec.Priority < victim.Spec.Priority ||
+			(j.Spec.Priority == victim.Spec.Priority && j.ID < victim.ID) {
+			victim = j
+		}
+	}
+	if victim != nil && victim.pctx != nil {
+		victim.preemptRequested = true
+		close(victim.pctx.preempt)
+	}
+}
+
+// executorLoop is one pool worker: dispatch under mu, run outside it.
+func (s *Scheduler) executorLoop(ex *executor) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var j *Job
+		for {
+			if s.stopped {
+				s.mu.Unlock()
+				return
+			}
+			var expired []*Job
+			j, expired = s.core.dispatch()
+			s.finishExpiredLocked(expired)
+			if j != nil {
+				break
+			}
+			s.cond.Wait()
+		}
+		j.state = JobRunning
+		j.pctx = &JobContext{Job: j.ID, Tenant: j.Spec.Tenant, Attempt: j.attempts, preempt: make(chan struct{})}
+		ts := s.tenant(j.Spec.Tenant)
+		ts.adm++
+		ts.running++
+		ts.mAdm.Inc()
+		var admitNS int64
+		if s.timed() {
+			admitNS = s.nowNS()
+			s.mx.QueueWait.Observe(admitNS - j.enqueueNS)
+			if s.prof != nil {
+				s.prof.Span(0, obs.StageAdmit, "", "tenant:"+j.Spec.Tenant, domain.Point{}, j.enqueueNS, admitNS)
+			}
+		}
+		s.syncDepthGauges(j.Spec.Tenant)
+		jc := j.pctx
+		s.mu.Unlock()
+
+		err := s.runJob(ex, j, jc)
+
+		s.mu.Lock()
+		ts.running--
+		if err == ErrPreempted && !s.stopped && !s.core.draining {
+			s.core.preempt(j)
+			j.state = JobQueued
+			j.preemptRequested = false
+			j.pctx = nil
+			s.mx.Preemptions.Inc()
+			if s.prof != nil {
+				s.prof.Mark(0, obs.StagePreempt, "", "tenant:"+j.Spec.Tenant, domain.Point{}, s.nowNS())
+			}
+			s.syncDepthGauges(j.Spec.Tenant)
+		} else {
+			s.finishLocked(j, err)
+		}
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}
+}
+
+// runJob executes one attempt: the body, then a fence (any task failure
+// becomes the job's error), then a runtime recycle so per-job transport and
+// bookkeeping state does not accumulate across the pool's lifetime.
+func (s *Scheduler) runJob(ex *executor, j *Job, jc *JobContext) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("sched: job %d panicked: %v", j.ID, rec)
+		}
+	}()
+	err = j.Spec.Run(jc, ex.rt)
+	ferr := ex.rt.FenceErr()
+	if err == nil {
+		err = ferr
+	}
+	if rerr := ex.rt.Recycle(); rerr != nil && err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// finishLocked completes j. Caller holds mu.
+func (s *Scheduler) finishLocked(j *Job, err error) {
+	s.core.complete(j, err)
+	ts := s.tenant(j.Spec.Tenant)
+	if err != nil {
+		j.state = JobFailed
+		ts.fail++
+		ts.mFail.Inc()
+	} else {
+		j.state = JobDone
+		ts.comp++
+		ts.mComp.Inc()
+	}
+	j.err = err
+	close(j.done)
+	if s.timed() {
+		s.mx.JobLatency.Observe(s.nowNS() - j.enqueueNS)
+	}
+	s.syncDepthGauges(j.Spec.Tenant)
+	s.retireLocked(j.ID)
+	if s.drainNS != 0 && s.core.idle() && s.prof != nil {
+		s.prof.Span(0, obs.StageDrain, "", "drain", domain.Point{}, s.drainNS, s.nowNS())
+		s.drainNS = 0
+	}
+}
+
+// finishExpiredLocked fails jobs dropped past their deadline. Caller holds
+// mu.
+func (s *Scheduler) finishExpiredLocked(expired []*Job) {
+	for _, j := range expired {
+		// Give the slot bookkeeping a complete: expiry happened at
+		// dispatch, before the job took a slot, so only the job's own
+		// lifecycle needs closing.
+		ts := s.tenant(j.Spec.Tenant)
+		j.state = JobFailed
+		j.err = ErrDeadlineExpired
+		ts.fail++
+		ts.mFail.Inc()
+		s.mx.Expired.Inc()
+		close(j.done)
+		s.syncDepthGauges(j.Spec.Tenant)
+		s.retireLocked(j.ID)
+	}
+}
+
+// retireLocked records a finished job in the retention ring, evicting the
+// oldest beyond the cap. Caller holds mu.
+func (s *Scheduler) retireLocked(id JobID) {
+	s.doneIDs = append(s.doneIDs, id)
+	for len(s.doneIDs) > doneRetention {
+		delete(s.jobs, s.doneIDs[0])
+		s.doneIDs = s.doneIDs[1:]
+	}
+}
+
+// tickLoop advances logical time: capacity feedback from the executor
+// runtimes' health state, then a bucket refill.
+func (s *Scheduler) tickLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.tickEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.tickStop:
+			return
+		case <-t.C:
+		}
+		// Read health outside mu: CapacityFactor takes each runtime's
+		// issuance lock, which a running job may hold.
+		cap := 1.0
+		for _, ex := range s.execs {
+			if f := ex.rt.CapacityFactor(); f < cap {
+				cap = f
+			}
+		}
+		s.mu.Lock()
+		s.capacity = cap
+		s.core.adm.setCapacity(cap)
+		s.mx.CapacityPermille.Set(int64(cap * 1000))
+		s.core.advance()
+		s.mu.Unlock()
+	}
+}
+
+// SetCapacityFactor overrides the health-fed capacity factor until the next
+// tick re-reads it — a test hook and an operator brake.
+func (s *Scheduler) SetCapacityFactor(f float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.capacity = f
+	s.core.adm.setCapacity(f)
+	s.mx.CapacityPermille.Set(int64(s.core.adm.capacity * 1000))
+}
+
+// Wait blocks until job id finishes and returns its error. Unknown IDs
+// (never submitted, or retired from the completion ring) return an error.
+func (s *Scheduler) Wait(id JobID) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("sched: unknown job %d", id)
+	}
+	<-j.done
+	return j.err
+}
+
+// JobInfo is one job's queryable snapshot (the GET /jobs payload).
+type JobInfo struct {
+	ID       JobID  `json:"id"`
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority"`
+	State    string `json:"state"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Job returns a job's current snapshot.
+func (s *Scheduler) Job(id JobID) (JobInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	info := JobInfo{ID: j.ID, Tenant: j.Spec.Tenant, Priority: j.Spec.Priority,
+		State: j.state.String(), Attempts: j.attempts}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	return info, true
+}
+
+// Log returns a copy of the decision log so far.
+func (s *Scheduler) Log() []Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Decision, len(s.core.log))
+	copy(out, s.core.log)
+	return out
+}
+
+// Drain stops admission (submissions fail with reason "draining") and
+// blocks until every queued and running job has finished, or ctx expires.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return ErrSchedulerClosed
+	}
+	if !s.core.draining {
+		s.core.drainNow()
+		s.mx.Drains.Inc()
+		if s.prof != nil {
+			s.drainNS = s.nowNS()
+		}
+	}
+	stop := context.AfterFunc(ctx, func() { s.cond.Broadcast() })
+	defer stop()
+	for !s.core.idle() && ctx.Err() == nil && !s.stopped {
+		s.cond.Wait()
+	}
+	idle := s.core.idle()
+	if idle && s.drainNS != 0 && s.prof != nil {
+		s.prof.Span(0, obs.StageDrain, "", "drain", domain.Point{}, s.drainNS, s.nowNS())
+		s.drainNS = 0
+	}
+	s.mu.Unlock()
+	if !idle {
+		return fmt.Errorf("sched: drain: %w", ctx.Err())
+	}
+	return nil
+}
+
+// Shutdown stops the scheduler: queued jobs that never ran fail with
+// ErrSchedulerClosed, running jobs finish, executors exit, and their
+// runtimes shut down. Idempotent.
+func (s *Scheduler) Shutdown() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.stopped = true
+	close(s.tickStop)
+	// Fail everything still queued; executors drain their running jobs.
+	for {
+		j := s.core.q.Pop()
+		if j == nil {
+			break
+		}
+		s.core.queued[j.Spec.Tenant]--
+		s.core.record(KindReject, j, "reason="+ReasonShutdown)
+		ts := s.tenant(j.Spec.Tenant)
+		ts.rej++
+		ts.rejCounter(s, j.Spec.Tenant, ReasonShutdown).Inc()
+		j.state = JobFailed
+		j.err = ErrSchedulerClosed
+		close(j.done)
+	}
+	s.syncDepthGauges("")
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+	for _, ex := range s.execs {
+		ex.rt.Shutdown()
+	}
+}
+
+// TenantStatus is one tenant's row of the /statusz queue table.
+type TenantStatus struct {
+	Tenant    string `json:"tenant"`
+	Weight    int    `json:"weight"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	Enqueued  int64  `json:"enqueued"`
+	Admitted  int64  `json:"admitted"`
+	Rejected  int64  `json:"rejected"`
+	Completed int64  `json:"completed"`
+	Failed    int64  `json:"failed"`
+	// Tokens is the admission bucket level; -1 for unlimited tenants.
+	Tokens float64 `json:"tokens"`
+}
+
+// Status is the scheduler's point-in-time introspection snapshot: the
+// /statusz payload, including the per-tenant queue table.
+type Status struct {
+	Queue            string         `json:"queue"`
+	Executors        int            `json:"executors"`
+	Draining         bool           `json:"draining,omitempty"`
+	QueueDepth       int            `json:"queue_depth"`
+	Running          int            `json:"running"`
+	CapacityPermille int64          `json:"capacity_permille"`
+	Decisions        int64          `json:"decisions"`
+	Tenants          []TenantStatus `json:"tenants"`
+}
+
+// Status snapshots the scheduler. Safe for concurrent use; intended as a
+// metrics.StatusFunc.
+func (s *Scheduler) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		Queue:            s.core.q.Name(),
+		Executors:        s.cfg.Executors,
+		Draining:         s.core.draining,
+		QueueDepth:       s.core.q.Len(),
+		Running:          len(s.core.running),
+		CapacityPermille: int64(s.capacity * 1000),
+		Decisions:        s.core.seq,
+	}
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := s.tenants[name]
+		st.Tenants = append(st.Tenants, TenantStatus{
+			Tenant: name, Weight: s.cfg.Admission.Weight(name),
+			Queued: s.core.queued[name], Running: ts.running,
+			Enqueued: ts.enq, Admitted: ts.adm, Rejected: ts.rej,
+			Completed: ts.comp, Failed: ts.fail,
+			Tokens: s.core.adm.tokens(name),
+		})
+	}
+	return st
+}

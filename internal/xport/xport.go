@@ -197,6 +197,29 @@ func (t *Transport) MarkDead(node int) {
 	t.mu.Unlock()
 }
 
+// Recycle clears the transport's per-session delivery state — per-link
+// data sequence numbers, send counts, dedup sets and ack waiters — so a
+// transport reused across many jobs (internal/sched keeps one per executor
+// runtime) does not accumulate a sequence-number history per job forever.
+// Metrics counters, node liveness and probe-traffic clocks persist across
+// the recycle: liveness is a property of the shared machine, not of one
+// job, and heartbeat determinism depends on the probe clocks running
+// uninterrupted. Resetting the data send counts also restarts the chaos
+// plan's per-link decision stream, so every job leased onto the transport
+// sees the same deterministic chaos prefix.
+//
+// The caller must be quiescent: no Broadcast or Probe may be in flight
+// (internal/rt guarantees that by recycling only after a fence, between
+// jobs).
+func (t *Transport) Recycle() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextSeq = map[link]uint64{}
+	t.sendCount = map[link]int64{}
+	t.seen = map[link]map[uint64]struct{}{}
+	t.ackWait = map[link]map[uint64]chan struct{}{}
+}
+
 // Stats snapshots the transport counters. The values are read from the
 // metrics registry the transport records into — there is no second
 // bookkeeping path.

@@ -314,3 +314,31 @@ func TestChaosSoakDeliversExactlyOnce(t *testing.T) {
 		t.Errorf("deliveries reached nodes %v, want all of 1..%d", got, nodes-1)
 	}
 }
+
+// TestRecycleResetsPerJobState: after Recycle, a transport reused for a new
+// job accepts re-broadcasts cleanly (fresh sequence/dedup state) while
+// cumulative stats keep counting — the shared-transport contract the
+// scheduler's executor pool relies on.
+func TestRecycleResetsPerJobState(t *testing.T) {
+	const nodes = 8
+	c := newCollector()
+	tr := mustNew(t, nodes, Options{Deliver: c.deliver})
+	tr.Broadcast("job1", allItems(nodes))
+	checkDelivered(t, c, nodes)
+
+	tr.Recycle()
+
+	// Same tag, same items: with per-job sequence state reset, deliveries
+	// are not mistaken for duplicates of the first job's messages.
+	c2 := newCollector()
+	c.mu.Lock()
+	c.got = c2.got
+	c.mu.Unlock()
+	tr.Broadcast("job2", allItems(nodes))
+	checkDelivered(t, c, nodes)
+
+	st := tr.Stats()
+	if st.Sends != 26 || st.Dedups != 0 {
+		t.Errorf("stats after recycle = %+v, want 26 cumulative sends, 0 dedups", st)
+	}
+}
