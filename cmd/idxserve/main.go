@@ -15,6 +15,15 @@
 // The trace mode replays a seeded arrival trace through the policy core on
 // a virtual clock; its output is byte-identical per seed, which is what the
 // CI scheduler seed matrix locks in.
+//
+// With -data DIR the scheduler is durable: every admission decision is
+// journaled to a write-ahead log before it is acknowledged, and a restart
+// recovers queue, quota and terminal-job state from the directory. -fsync
+// picks the sync policy (always | interval | never). Durable trace mode
+// (-trace -data DIR) resumes a killed run and still prints the byte-exact
+// crash-free decision log — the property the CI crash-recovery matrix
+// SIGKILLs the process mid-run to verify; -op-delay paces it so the kill
+// lands mid-trace.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"indexlaunch/internal/metrics"
 	"indexlaunch/internal/rt"
 	"indexlaunch/internal/sched"
+	"indexlaunch/internal/wal"
 )
 
 func main() {
@@ -48,12 +58,30 @@ func main() {
 	preempt := flag.Bool("preempt", false, "cooperative preemption of lower-priority running jobs")
 	tick := flag.Duration("tick", 5*time.Millisecond, "scheduler tick period (bucket refill + health capacity feedback)")
 
+	dataDir := flag.String("data", "", "durable mode: journal scheduler state into this directory (empty = in-memory)")
+	fsync := flag.String("fsync", "interval", "with -data: journal sync policy: always | interval | never")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "with -fsync interval: coalescing window")
+	snapEvery := flag.Int("snapshot-every", 0, "with -data: snapshot cadence in journaled ops (0 = default 4096)")
+	opDelay := flag.Duration("op-delay", 0, "with -trace -data: pause after each journaled op (crash-harness pacing)")
+
 	traceMode := flag.Bool("trace", false, "replay a seeded trace through the policy core and print the decision log")
 	bench := flag.Bool("bench", false, "run the deterministic scheduler benchmarks")
 	jsonDir := flag.String("json", "", "with -bench: write BENCH_sched.json into this directory")
 	seed := flag.Int64("seed", 42, "with -trace: trace seed")
 	jobs := flag.Int("jobs", 400, "with -trace: trace length")
 	flag.Parse()
+
+	pol, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fatal(err)
+	}
+	durable := sched.DurableOptions{
+		Dir:           *dataDir,
+		Fsync:         pol,
+		FsyncInterval: *fsyncEvery,
+		SnapshotEvery: *snapEvery,
+		OpDelay:       *opDelay,
+	}
 
 	w, err := parseWeights(*weights)
 	if err != nil {
@@ -86,7 +114,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runTrace(*seed, *jobs, q, adm)
+		if err := runTrace(*seed, *jobs, q, adm, durable); err != nil {
+			fatal(err)
+		}
 	case *bench:
 		if err := runBench(*jsonDir); err != nil {
 			fatal(err)
@@ -104,6 +134,7 @@ func main() {
 			Admission:  adm,
 			Preemption: *preempt,
 			TickEvery:  *tick,
+			Durable:    durable,
 		}); err != nil {
 			fatal(err)
 		}
@@ -145,6 +176,12 @@ func serve(addr string, cfg sched.Config) error {
 	if err != nil {
 		return err
 	}
+	if cfg.Durable.Dir != "" {
+		rep := s.Recovery()
+		fmt.Fprintf(os.Stderr, "idxserve: journal %s (fsync=%s): recovered=%v replayed=%d requeued=%d resumed=%d decisions=%d\n",
+			cfg.Durable.Dir, cfg.Durable.Fsync, rep.Recovered, rep.ReplayedOps,
+			rep.RequeuedJobs, rep.ResumedJobs, rep.Decisions)
+	}
 	fmt.Printf("idxserve: %d executors (%d nodes x %d procs each), %s queue\n",
 		cfg.Executors, cfg.Runtime.Nodes, cfg.Runtime.ProcsPerNode, s.Status().Queue)
 	fmt.Printf("idxserve: job API and metrics on http://%s (POST /jobs, /statusz, /metrics)\n", srv.Addr())
@@ -171,12 +208,29 @@ func serve(addr string, cfg sched.Config) error {
 
 // runTrace prints the deterministic decision log for one seeded trace —
 // byte-identical per (seed, flags), the property the CI seed matrix checks.
-func runTrace(seed int64, jobs int, q sched.Queue, adm sched.Admission) {
+// With a journal directory the run is durable and resumable: a killed run
+// re-invoked with the same flags continues from the journal and the final
+// stdout is still byte-identical to an uninterrupted run's (recovery chatter
+// goes to stderr).
+func runTrace(seed int64, jobs int, q sched.Queue, adm sched.Admission, durable sched.DurableOptions) error {
 	tr := sched.GenTrace(seed, sched.TraceOptions{
 		Jobs: jobs, MaxPriority: 3, MaxInterArrival: 2, MaxCost: 4,
 		MinService: 2, MaxService: 10,
 	})
-	res := sched.RunTrace(tr, sched.TraceConfig{Executors: 3, Queue: q, Admission: adm})
+	cfg := sched.TraceConfig{Executors: 3, Queue: q, Admission: adm}
+	var res sched.TraceResult
+	if durable.Dir != "" {
+		dres, err := sched.RunTraceDurable(tr, cfg, durable)
+		if err != nil {
+			return err
+		}
+		rep := dres.Report
+		fmt.Fprintf(os.Stderr, "idxserve: journal %s: recovered=%v replayed=%d ops=%d\n",
+			durable.Dir, rep.Recovered, rep.ReplayedOps, dres.Ops)
+		res = dres.TraceResult
+	} else {
+		res = sched.RunTrace(tr, cfg)
+	}
 	fmt.Print(sched.RenderLog(res.Log))
 	tenants := make([]string, 0, len(res.Completed))
 	for t := range res.Completed {
@@ -189,6 +243,7 @@ func runTrace(seed int64, jobs int, q sched.Queue, adm sched.Admission) {
 		fmt.Printf("# tenant %s: completed %d rejected %d expired %d served-cost %d\n",
 			t, res.Completed[t], res.Rejected[t], res.Expired[t], res.ServedCost[t])
 	}
+	return nil
 }
 
 // runBench derives the scheduler's deterministic benchmark snapshot from

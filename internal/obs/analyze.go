@@ -162,6 +162,9 @@ var stageMarks = [numStages]byte{
 	StageAdmit:      'a',
 	StagePreempt:    'P',
 	StageDrain:      'D',
+	StageJournal:    'j',
+	StageSnapshot:   'z',
+	StageRecover:    'R',
 }
 
 var paintOrder = []Stage{

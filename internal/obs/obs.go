@@ -83,8 +83,17 @@ const (
 	// StageDrain is a scheduler drain: the span from the drain request to
 	// the last job completing.
 	StageDrain
+	// StageJournal marks one scheduler decision appended to the write-ahead
+	// job journal (internal/wal via internal/sched).
+	StageJournal
+	// StageSnapshot is a journal snapshot: the span covering state capture,
+	// the atomic snapshot write and log compaction.
+	StageSnapshot
+	// StageRecover is startup recovery: the span from opening the journal
+	// to the rebuilt scheduler state (snapshot load plus log replay).
+	StageRecover
 
-	numStages = int(StageDrain) + 1
+	numStages = int(StageRecover) + 1
 )
 
 var stageNames = [numStages]string{
@@ -92,6 +101,7 @@ var stageNames = [numStages]string{
 	"retry", "fault", "fence", "capture", "replay",
 	"send", "recv", "retransmit", "health", "speculate",
 	"enqueue", "admit", "preempt", "drain",
+	"journal", "snapshot", "recover",
 }
 
 // String renders the stage name used in exports and reports.

@@ -182,6 +182,27 @@ func (a *admission) refill() {
 	}
 }
 
+// bucketLevels snapshots every materialized bucket's level, for the
+// durability snapshot.
+func (a *admission) bucketLevels() map[string]float64 {
+	if len(a.buckets) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(a.buckets))
+	for tenant, b := range a.buckets {
+		out[tenant] = b.tokens
+	}
+	return out
+}
+
+// restoreBuckets rebuilds bucket levels from a snapshot.
+func (a *admission) restoreBuckets(levels map[string]float64) {
+	a.buckets = make(map[string]*bucket, len(levels))
+	for tenant, tokens := range levels {
+		a.buckets[tenant] = &bucket{tokens: tokens}
+	}
+}
+
 // tokens reports the tenant's current bucket level for /statusz; tenants
 // with no rate limit report -1.
 func (a *admission) tokens(tenant string) float64 {

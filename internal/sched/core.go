@@ -211,5 +211,22 @@ func (c *policy) drainNow() Decision {
 	return c.record(KindDrain, nil, fmt.Sprintf("queued=%d running=%d", c.q.Len(), len(c.running)))
 }
 
+// abandon empties the queue at shutdown: every queued job is rejected with
+// reason "shutdown" and returned so the owner can fail it. Kept as a core
+// method (rather than ad-hoc queue surgery in Shutdown) so the journal can
+// replay it as a single deterministic op.
+func (c *policy) abandon() []*Job {
+	var out []*Job
+	for {
+		j := c.q.Pop()
+		if j == nil {
+			return out
+		}
+		c.queued[j.Spec.Tenant]--
+		c.record(KindReject, j, "reason="+ReasonShutdown)
+		out = append(out, j)
+	}
+}
+
 // idle reports no queued and no running work.
 func (c *policy) idle() bool { return c.q.Len() == 0 && len(c.running) == 0 }

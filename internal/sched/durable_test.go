@@ -1,0 +1,257 @@
+package sched
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"indexlaunch/internal/wal"
+)
+
+// durableConfigs returns the (name, trace options, config-maker) matrix the
+// durability suite runs: config instances must be fresh per run because
+// queues and admission state are mutable.
+type durableConfig struct {
+	name string
+	opt  TraceOptions
+	mk   func() TraceConfig
+}
+
+func durableConfigs() []durableConfig {
+	adm := Admission{
+		MaxQueued: 64,
+		Default:   Quota{MaxQueued: 24, Rate: 3, Burst: 6},
+		Tenants: map[string]Quota{
+			"a": {MaxQueued: 32, Rate: 6, Burst: 12, Weight: 3},
+			"b": {MaxQueued: 16, Rate: 2, Burst: 4, Weight: 1},
+		},
+	}
+	capDip := func(tick int64) float64 {
+		if tick >= 40 && tick < 80 {
+			return 0.25
+		}
+		return 1.0
+	}
+	return []durableConfig{
+		{
+			name: "fifo-default",
+			opt:  TraceOptions{Jobs: 200, MaxInterArrival: 2},
+			mk:   func() TraceConfig { return TraceConfig{Executors: 3} },
+		},
+		{
+			name: "priority-deadline",
+			opt:  TraceOptions{Jobs: 200, MaxPriority: 3, MaxInterArrival: 1},
+			mk: func() TraceConfig {
+				return TraceConfig{Executors: 2, Queue: NewStrictPriority(), Admission: Admission{MaxQueued: 32}}
+			},
+		},
+		{
+			name: "fair-admission-capdip",
+			opt:  TraceOptions{Jobs: 250, MaxCost: 4, MaxInterArrival: 2},
+			mk: func() TraceConfig {
+				return TraceConfig{
+					Executors: 3,
+					Queue:     NewWeightedFair(4, adm.Weights(), 1),
+					Admission: adm,
+					CapacityAt: func(tick int64) float64 {
+						return capDip(tick)
+					},
+				}
+			},
+		},
+	}
+}
+
+// TestDurableTraceMatchesPlain locks the zero-cost contract: a durable run
+// in a fresh dir produces exactly the result a plain RunTrace produces —
+// log, summary counters, makespan, everything.
+func TestDurableTraceMatchesPlain(t *testing.T) {
+	for _, seed := range schedSeeds(t) {
+		for _, dc := range durableConfigs() {
+			tr := GenTrace(seed, dc.opt)
+			plain := RunTrace(tr, dc.mk())
+			dur, err := RunTraceDurable(tr, dc.mk(), DurableOptions{Dir: t.TempDir()})
+			if err != nil {
+				t.Fatalf("seed %d %s: durable run: %v", seed, dc.name, err)
+			}
+			if !dur.Done {
+				t.Fatalf("seed %d %s: durable run did not complete", seed, dc.name)
+			}
+			if got, want := RenderLog(dur.Log), RenderLog(plain.Log); got != want {
+				t.Fatalf("seed %d %s: durable log diverged from plain run:\nplain:\n%s\ndurable:\n%s",
+					seed, dc.name, head(want, 12), head(got, 12))
+			}
+			if dur.Makespan != plain.Makespan {
+				t.Errorf("seed %d %s: makespan %d != %d", seed, dc.name, dur.Makespan, plain.Makespan)
+			}
+			for tenant, n := range plain.Completed {
+				if dur.Completed[tenant] != n {
+					t.Errorf("seed %d %s: tenant %s completed %d != %d",
+						seed, dc.name, tenant, dur.Completed[tenant], n)
+				}
+			}
+			for tenant, c := range plain.ServedCost {
+				if dur.ServedCost[tenant] != c {
+					t.Errorf("seed %d %s: tenant %s served cost %d != %d",
+						seed, dc.name, tenant, dur.ServedCost[tenant], c)
+				}
+			}
+			if len(dur.Waits) != len(plain.Waits) {
+				t.Errorf("seed %d %s: %d waits != %d", seed, dc.name, len(dur.Waits), len(plain.Waits))
+			}
+		}
+	}
+}
+
+// TestDurableTraceCrashResume is the in-process crash matrix: stop the
+// durable run cold at op K (no drain, no final sync beyond the fsync
+// policy), restart in the same dir, and require the finished log to be
+// byte-identical to the crash-free run's — for several K per seed, with a
+// snapshot cadence small enough that stops land before, between, and after
+// snapshots.
+func TestDurableTraceCrashResume(t *testing.T) {
+	for _, seed := range schedSeeds(t) {
+		for _, dc := range durableConfigs() {
+			tr := GenTrace(seed, dc.opt)
+			want := RenderLog(RunTrace(tr, dc.mk()).Log)
+			for _, stops := range [][]int{{1}, {37}, {64, 65}, {50, 200, 350}} {
+				dir := t.TempDir()
+				opts := DurableOptions{Dir: dir, SnapshotEvery: 64}
+				for _, maxOps := range stops {
+					opts.MaxOps = maxOps
+					res, err := RunTraceDurable(tr, dc.mk(), opts)
+					if err != nil {
+						t.Fatalf("seed %d %s stop@%d: %v", seed, dc.name, maxOps, err)
+					}
+					if res.Done {
+						// The trace finished before the stop point; nothing
+						// left to resume.
+						break
+					}
+				}
+				opts.MaxOps = 0
+				res, err := RunTraceDurable(tr, dc.mk(), opts)
+				if err != nil {
+					t.Fatalf("seed %d %s final resume: %v", seed, dc.name, err)
+				}
+				if !res.Done {
+					t.Fatalf("seed %d %s: final resume did not complete", seed, dc.name)
+				}
+				if got := RenderLog(res.Log); got != want {
+					t.Fatalf("seed %d %s stops %v: resumed log diverged:\nwant:\n%s\ngot:\n%s",
+						seed, dc.name, stops, head(want, 12), head(got, 12))
+				}
+			}
+		}
+	}
+}
+
+// TestRecoverEmptyMissingTorn covers journal-open edge cases: a missing
+// dir, an empty dir, and a torn tail each recover to a clean, usable
+// scheduler state.
+func TestRecoverEmptyMissingTorn(t *testing.T) {
+	tr := GenTrace(7, TraceOptions{Jobs: 60, MaxInterArrival: 2})
+	want := RenderLog(RunTrace(tr, TraceConfig{Executors: 2}).Log)
+
+	cases := []struct {
+		name string
+		prep func(t *testing.T) string
+	}{
+		{"missing-dir", func(t *testing.T) string {
+			return filepath.Join(t.TempDir(), "not-yet-created")
+		}},
+		{"empty-dir", func(t *testing.T) string {
+			return t.TempDir()
+		}},
+		{"torn-tail", func(t *testing.T) string {
+			dir := t.TempDir()
+			// Run partway, then tear bytes off the newest segment.
+			if _, err := RunTraceDurable(tr, TraceConfig{Executors: 2},
+				DurableOptions{Dir: dir, MaxOps: 40}); err != nil {
+				t.Fatal(err)
+			}
+			segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("no segments written: %v", err)
+			}
+			last := segs[len(segs)-1]
+			info, err := os.Stat(last)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(last, info.Size()-3); err != nil {
+				t.Fatal(err)
+			}
+			return dir
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := tc.prep(t)
+			res, err := RunTraceDurable(tr, TraceConfig{Executors: 2}, DurableOptions{Dir: dir})
+			if err != nil {
+				t.Fatalf("recover from %s: %v", tc.name, err)
+			}
+			if !res.Done {
+				t.Fatalf("%s: run did not complete", tc.name)
+			}
+			if got := RenderLog(res.Log); got != want {
+				t.Fatalf("%s: log diverged:\nwant:\n%s\ngot:\n%s", tc.name, head(want, 8), head(got, 8))
+			}
+		})
+	}
+}
+
+// TestRecoverReportsTruncation checks a torn tail surfaces in the recovery
+// report (and that the re-run still converges).
+func TestRecoverReportsTruncation(t *testing.T) {
+	tr := GenTrace(1, TraceOptions{Jobs: 40, MaxInterArrival: 1})
+	dir := t.TempDir()
+	if _, err := RunTraceDurable(tr, TraceConfig{Executors: 2},
+		DurableOptions{Dir: dir, MaxOps: 30}); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, info.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTraceDurable(tr, TraceConfig{Executors: 2}, DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Recovered {
+		t.Error("report should mark state recovered")
+	}
+	if res.Report.TruncatedBytes == 0 {
+		t.Error("report should count truncated bytes")
+	}
+	if !res.Done {
+		t.Error("run should complete after truncation")
+	}
+}
+
+// TestDurableFsyncPolicies runs the same durable trace under each fsync
+// policy; the result is policy-independent (policies trade durability
+// against latency, not correctness of a completed run).
+func TestDurableFsyncPolicies(t *testing.T) {
+	tr := GenTrace(42, TraceOptions{Jobs: 80, MaxInterArrival: 2})
+	want := RenderLog(RunTrace(tr, TraceConfig{Executors: 2}).Log)
+	for _, pol := range []wal.SyncPolicy{wal.SyncInterval, wal.SyncAlways, wal.SyncNever} {
+		res, err := RunTraceDurable(tr, TraceConfig{Executors: 2},
+			DurableOptions{Dir: t.TempDir(), Fsync: pol})
+		if err != nil {
+			t.Fatalf("policy %s: %v", pol, err)
+		}
+		if got := RenderLog(res.Log); got != want {
+			t.Fatalf("policy %s: log diverged", pol)
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"indexlaunch/internal/core"
 	"indexlaunch/internal/domain"
@@ -22,7 +24,15 @@ import (
 //	GET  /statusz   scheduler status with the per-tenant queue table
 //
 // Backpressure maps onto HTTP the standard way: an admission rejection is a
-// 429 with a Retry-After header derived from the scheduler's retry hint.
+// 429 with a Retry-After header derived from the scheduler's retry hint,
+// jittered so a burst of rejected clients does not stampede back in
+// lockstep. POST /jobs honors an Idempotency-Key header: resubmitting a key
+// the scheduler accepted a job under returns that job's ID — across server
+// restarts when the scheduler is durable, since the key table rides in the
+// journal. Job IDs are dense, so GET /jobs/{id} distinguishes IDs that were
+// never assigned (404) from assigned IDs whose state is gone — evicted from
+// the bounded terminal retention, or consumed by a rejected submission
+// (410).
 
 // SubmitRequest is the POST /jobs body.
 type SubmitRequest struct {
@@ -140,19 +150,22 @@ func Handler(s *Scheduler, kinds map[string]KindFunc) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		id, err := s.Submit(JobSpec{
+		spec := JobSpec{
 			Tenant:   sr.Tenant,
 			Priority: sr.Priority,
 			Cost:     sr.Cost,
 			Deadline: sr.DeadlineTicks,
 			Run:      run,
-		})
+			Request:  &sr,
+		}
+		id, err := s.SubmitIdempotent(spec, req.Header.Get("Idempotency-Key"))
 		if err != nil {
 			var rej *RejectError
 			switch {
 			case errors.As(err, &rej):
 				if rej.RetryAfter > 0 {
-					secs := int64(rej.RetryAfter.Seconds())
+					d := jitterRetryAfter(rej.RetryAfter, retryJitterSeq.Add(1))
+					secs := int64(d.Seconds())
 					if secs < 1 {
 						secs = 1
 					}
@@ -176,8 +189,12 @@ func Handler(s *Scheduler, kinds map[string]KindFunc) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad job id: %w", err))
 			return
 		}
-		info, ok := s.Job(JobID(id))
-		if !ok {
+		info, res := s.Lookup(JobID(id))
+		switch res {
+		case LookupGone:
+			httpError(w, http.StatusGone, fmt.Errorf("job %d retired from retention", id))
+			return
+		case LookupUnknown:
 			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %d", id))
 			return
 		}
@@ -186,6 +203,24 @@ func Handler(s *Scheduler, kinds map[string]KindFunc) http.Handler {
 	})
 	mux.Handle("/", metrics.Handler(s.Registry(), func() any { return s.Status() }))
 	return mux
+}
+
+// retryJitterSeq feeds jitterRetryAfter one draw index per rejection.
+var retryJitterSeq atomic.Uint64
+
+// jitterRetryAfter spreads a retry hint over [d, 3d/2): every rejected
+// client gets at least the scheduler's estimate, and the extra half-hint of
+// splitmix64-hashed jitter de-synchronizes a burst of rejections so they do
+// not all retry on the same instant (anti-thundering-herd). Pure function
+// of (d, n), which is what the bounds test locks down.
+func jitterRetryAfter(d time.Duration, n uint64) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	rng := splitmix64{s: n}
+	const steps = 1024
+	frac := float64(rng.next()%steps) / steps // [0, 1)
+	return d + time.Duration(frac*float64(d)/2)
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

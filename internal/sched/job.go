@@ -92,6 +92,11 @@ type JobSpec struct {
 	Deadline int64
 	// Run is the job body. Trace-driven jobs (trace.go) carry no body.
 	Run RunFunc
+	// Request is the job's wire form when it arrived through the HTTP API.
+	// It is what the journal persists: after a restart the body is rebuilt
+	// from Request through the kind registry. Jobs submitted programmatically
+	// (Request == nil) recover as scheduling state only.
+	Request *SubmitRequest
 }
 
 // cost returns the spec's effective cost (>= 1).
@@ -117,6 +122,11 @@ type Job struct {
 	// attempts counts dispatches (1 on first run; preemption re-runs bump
 	// it).
 	attempts int
+
+	// service is the job's service time in ticks for trace-driven jobs
+	// (carried so the durable trace driver can rebuild its completion
+	// schedule after recovery); 0 for live jobs.
+	service int64
 
 	// Live scheduler state.
 	enqueueNS        int64

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 )
@@ -23,6 +24,43 @@ type Queue interface {
 	Pop() *Job
 	// Len returns the number of queued jobs.
 	Len() int
+}
+
+// StatefulQueue is the optional interface a discipline implements to be
+// usable under a durable scheduler (Config.DataDir): SaveState serializes
+// the discipline's internal order (job references by ID) into a snapshot,
+// and LoadState rebuilds it from the snapshot's job table. Every built-in
+// discipline implements it; custom disciplines that don't are rejected when
+// durability is enabled.
+type StatefulQueue interface {
+	Queue
+	// SaveState serializes the discipline's state. Jobs are referenced by
+	// ID only; their specs travel in the snapshot's job table.
+	SaveState() (json.RawMessage, error)
+	// LoadState rebuilds the discipline from saved state, resolving job IDs
+	// through jobs. Unknown IDs are corruption and must error.
+	LoadState(jobs map[JobID]*Job, state json.RawMessage) error
+}
+
+// resolveIDs maps saved job IDs back to live jobs, erroring on unknown IDs.
+func resolveIDs(jobs map[JobID]*Job, ids []JobID) ([]*Job, error) {
+	out := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		j, ok := jobs[id]
+		if !ok {
+			return nil, fmt.Errorf("sched: queue state references unknown job %d", id)
+		}
+		out = append(out, j)
+	}
+	return out, nil
+}
+
+func jobIDs(jobs []*Job) []JobID {
+	ids := make([]JobID, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.ID
+	}
+	return ids
 }
 
 // fifo is the building-block job list: append at tail, pop at head.
@@ -228,4 +266,119 @@ func (f *fairQueue) Pop() *Job {
 		f.cursor++
 	}
 	panic(fmt.Sprintf("sched: fair queue made no progress over %d jobs", f.n))
+}
+
+// --- durable state (StatefulQueue) ---
+
+// SaveState serializes the FIFO as its job IDs in order.
+func (f *fifoQueue) SaveState() (json.RawMessage, error) {
+	return json.Marshal(jobIDs(f.q.jobs))
+}
+
+// LoadState rebuilds the FIFO from saved IDs.
+func (f *fifoQueue) LoadState(jobs map[JobID]*Job, state json.RawMessage) error {
+	var ids []JobID
+	if err := json.Unmarshal(state, &ids); err != nil {
+		return fmt.Errorf("sched: fifo state: %w", err)
+	}
+	resolved, err := resolveIDs(jobs, ids)
+	if err != nil {
+		return err
+	}
+	f.q = fifo{jobs: resolved}
+	return nil
+}
+
+// priorityState is one priority class's saved order.
+type priorityState struct {
+	Prio int     `json:"prio"`
+	IDs  []JobID `json:"ids"`
+}
+
+// SaveState serializes non-empty classes highest-priority first.
+func (p *priorityQueue) SaveState() (json.RawMessage, error) {
+	var classes []priorityState
+	for _, prio := range p.order {
+		if c := p.classes[prio]; c.len() > 0 {
+			classes = append(classes, priorityState{Prio: prio, IDs: jobIDs(c.jobs)})
+		}
+	}
+	return json.Marshal(classes)
+}
+
+// LoadState rebuilds the classes; re-pushing in saved order reproduces both
+// the per-class FIFO order and the sorted class index.
+func (p *priorityQueue) LoadState(jobs map[JobID]*Job, state json.RawMessage) error {
+	var classes []priorityState
+	if err := json.Unmarshal(state, &classes); err != nil {
+		return fmt.Errorf("sched: priority state: %w", err)
+	}
+	p.classes, p.order, p.n = map[int]*fifo{}, nil, 0
+	for _, cs := range classes {
+		resolved, err := resolveIDs(jobs, cs.IDs)
+		if err != nil {
+			return err
+		}
+		for _, j := range resolved {
+			p.class(cs.Prio).push(j)
+			p.n++
+		}
+	}
+	return nil
+}
+
+// fairState is the DRR discipline's saved rotor: active tenants in
+// activation order with their deficits and queued IDs, plus the rotor
+// cursor and whether the current position already earned its quantum.
+type fairState struct {
+	Tenants []fairTenantState `json:"tenants"`
+	Cursor  int               `json:"cursor"`
+	Granted bool              `json:"granted"`
+}
+
+type fairTenantState struct {
+	Tenant  string  `json:"tenant"`
+	Deficit int64   `json:"deficit"`
+	IDs     []JobID `json:"ids"`
+}
+
+// SaveState serializes the DRR rotor. Idle tenants carry no state (their
+// deficit is forfeited on deactivation), so only active ones are saved.
+func (f *fairQueue) SaveState() (json.RawMessage, error) {
+	st := fairState{Cursor: f.cursor, Granted: f.granted}
+	for _, t := range f.active {
+		tq := f.tenants[t]
+		st.Tenants = append(st.Tenants, fairTenantState{
+			Tenant: t, Deficit: tq.deficit, IDs: jobIDs(tq.q.jobs),
+		})
+	}
+	return json.Marshal(st)
+}
+
+// LoadState rebuilds the rotor: pushing tenants in saved activation order
+// reproduces the active list, then deficits, cursor and the granted flag
+// are restored directly.
+func (f *fairQueue) LoadState(jobs map[JobID]*Job, state json.RawMessage) error {
+	var st fairState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return fmt.Errorf("sched: fair state: %w", err)
+	}
+	f.tenants, f.active, f.n = map[string]*tenantQ{}, nil, 0
+	for _, ts := range st.Tenants {
+		resolved, err := resolveIDs(jobs, ts.IDs)
+		if err != nil {
+			return err
+		}
+		for _, j := range resolved {
+			f.enqueue(j, false)
+		}
+		if tq := f.tenants[ts.Tenant]; tq != nil {
+			tq.deficit = ts.Deficit
+		}
+	}
+	f.cursor, f.granted = st.Cursor, st.Granted
+	if f.cursor > len(f.active) {
+		return fmt.Errorf("sched: fair state cursor %d past %d active tenants", f.cursor, len(f.active))
+	}
+	return nil
 }

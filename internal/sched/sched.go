@@ -2,6 +2,7 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -49,6 +50,22 @@ type Config struct {
 	// into the same stream the runtime's pipeline stages go to. Nil
 	// disables profiling.
 	Profile *obs.Recorder
+	// Durable configures the write-ahead job journal (Metrics/Prof inside
+	// it are ignored — the scheduler supplies its own). An empty Dir runs
+	// in-memory only. With a Dir set, every admission decision is journaled
+	// before it is acknowledged and New recovers whatever state the
+	// directory holds; a journal write failure after startup is fail-stop
+	// (panic) — continuing would acknowledge work that could silently
+	// vanish.
+	Durable DurableOptions
+	// Kinds is the registry used to rebuild journaled job bodies at
+	// recovery (jobs that arrived through the HTTP API carry their wire
+	// request). Nil defaults to DefaultKinds.
+	Kinds map[string]KindFunc
+	// TerminalRetention bounds how many finished jobs stay queryable; 0
+	// defaults to 4096. Evicted (and never-assigned) IDs are still
+	// distinguished by Lookup: gone versus unknown.
+	TerminalRetention int
 }
 
 // tenantState caches one tenant's resolved metric instruments and the
@@ -76,16 +93,27 @@ type Scheduler struct {
 	cfg       Config
 	tickEvery time.Duration
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	core    *policy
-	jobs    map[JobID]*Job
-	doneIDs []JobID // completed-job retention ring
-	nextID  JobID
+	mu   sync.Mutex
+	cond *sync.Cond
+	core *policy
+	// jobs holds live (queued or running) jobs only; finished jobs move to
+	// the terminal ring, with their live *Job kept in finished (same
+	// eviction) so Wait and errors.Is see the original error values.
+	jobs     map[JobID]*Job
+	finished map[JobID]*Job
+	terminal *terminalRing
+	dedup    *dedupRing
+	nextID   JobID
 
 	stopped  bool
 	drainNS  int64 // drain-span start, 0 until draining
 	capacity float64
+
+	// Durability state: jn is nil when Config.Durable.Dir is empty.
+	jn           *journal
+	jmx          *metrics.Durability
+	report       RecoveryReport
+	recoveredRun []*Job // jobs running at the crash, awaiting executor pickup
 
 	execs []*executor
 
@@ -130,8 +158,6 @@ func New(cfg Config) (*Scheduler, error) {
 	s := &Scheduler{
 		cfg:       cfg,
 		tickEvery: cfg.TickEvery,
-		core:      newPolicy(cfg.Queue, newAdmission(cfg.Admission), cfg.Executors),
-		jobs:      map[JobID]*Job{},
 		capacity:  1,
 		reg:       reg,
 		mx:        metrics.NewScheduler(reg),
@@ -142,6 +168,55 @@ func New(cfg Config) (*Scheduler, error) {
 		tickStop:  make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.Durable.Dir != "" {
+		kinds := cfg.Kinds
+		if kinds == nil {
+			kinds = DefaultKinds()
+		}
+		rebuild := func(req *SubmitRequest) RunFunc {
+			kind := req.Kind
+			if kind == "" {
+				kind = "synthetic"
+			}
+			kf := kinds[kind]
+			if kf == nil {
+				return nil
+			}
+			run, err := kf(*req)
+			if err != nil {
+				return nil
+			}
+			return run
+		}
+		do := cfg.Durable
+		s.jmx = metrics.NewDurability(reg)
+		do.Metrics = s.jmx
+		do.Prof = cfg.Profile
+		jn, rc, err := openDurable(do, s.timed(), cfg.Queue, newAdmission(cfg.Admission),
+			cfg.Executors, rebuild, cfg.TerminalRetention)
+		if err != nil {
+			return nil, fmt.Errorf("sched: open journal: %w", err)
+		}
+		s.jn = jn
+		s.core = rc.core
+		s.jobs = rc.jobs
+		s.finished = map[JobID]*Job{}
+		s.terminal = rc.terminal
+		s.dedup = rc.dedup
+		s.nextID = rc.nextID
+		s.report = rc.report
+		s.restoreAfterRecovery()
+		// A restart opens a new serving epoch: a drain in progress at the
+		// crash (its decision stays in the log) does not gate the recovered
+		// scheduler's admission.
+		s.core.draining = false
+	} else {
+		s.core = newPolicy(cfg.Queue, newAdmission(cfg.Admission), cfg.Executors)
+		s.jobs = map[JobID]*Job{}
+		s.finished = map[JobID]*Job{}
+		s.terminal = newTerminalRing(cfg.TerminalRetention)
+		s.dedup = newDedupRing()
+	}
 	for i := 0; i < cfg.Executors; i++ {
 		r, err := rt.New(rtc)
 		if err != nil {
@@ -161,6 +236,94 @@ func New(cfg Config) (*Scheduler, error) {
 	s.wg.Add(1)
 	go s.tickLoop()
 	return s, nil
+}
+
+// restoreAfterRecovery rebuilds the live bookkeeping the journal does not
+// carry: per-tenant counters recomputed from the recovered decision log
+// (process-lifetime metric counters intentionally restart at zero), tenant
+// running gauges, and the jobs that were running at the crash queued for
+// direct executor pickup — they re-execute without new admit decisions, so
+// the decision log stays byte-identical to an uninterrupted run's. Called
+// from New before the pool starts.
+func (s *Scheduler) restoreAfterRecovery() {
+	for _, d := range s.core.log {
+		if d.Tenant == "" {
+			continue
+		}
+		ts := s.tenant(d.Tenant)
+		switch d.Kind {
+		case KindEnqueue:
+			ts.enq++
+		case KindAdmit:
+			ts.adm++
+		case KindReject:
+			ts.rej++
+		case KindComplete:
+			if d.Detail == "err" {
+				ts.fail++
+			} else {
+				ts.comp++
+			}
+		case KindExpire:
+			ts.fail++
+		}
+	}
+	ids := make([]JobID, 0, len(s.core.running))
+	for id := range s.core.running {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		j := s.core.running[id]
+		s.tenant(j.Spec.Tenant).running++
+		s.recoveredRun = append(s.recoveredRun, j)
+	}
+	s.syncDepthGauges("")
+}
+
+// Recovery reports what startup recovery found (the zero report when the
+// scheduler is not durable or the directory was fresh).
+func (s *Scheduler) Recovery() RecoveryReport { return s.report }
+
+// journalOp appends one op to the journal (no-op when not durable) and
+// takes the cadence snapshot when due. Journal failure is fail-stop: the
+// scheduler cannot keep acknowledging work it can no longer make durable.
+// Caller holds mu.
+func (s *Scheduler) journalOp(o op) {
+	if s.jn == nil {
+		return
+	}
+	if err := s.jn.logOp(o); err != nil {
+		panic(fmt.Sprintf("sched: journal append failed (fail-stop): %v", err))
+	}
+	if s.jn.wantSnapshot() {
+		s.snapshotLocked()
+	}
+}
+
+// snapshotLocked captures and writes a journal snapshot. Caller holds mu.
+func (s *Scheduler) snapshotLocked() {
+	st, err := captureSnapshot(s.core, s.jobs, s.nextID, s.capacity, s.terminal, s.dedup, nil)
+	if err == nil {
+		err = s.jn.snapshot(st)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("sched: journal snapshot failed (fail-stop): %v", err))
+	}
+}
+
+// moveToTerminal retires a finished job into the bounded terminal ring,
+// keeping its live *Job queryable (same eviction) so Wait returns original
+// error values. Caller holds mu.
+func (s *Scheduler) moveToTerminal(j *Job, failed bool, msg string) {
+	delete(s.jobs, j.ID)
+	for _, old := range s.terminal.add(TerminalJob{
+		ID: j.ID, Tenant: j.Spec.Tenant, Priority: j.Spec.Priority,
+		Failed: failed, Attempts: j.attempts, Error: msg,
+	}) {
+		delete(s.finished, old)
+	}
+	s.finished[j.ID] = j
 }
 
 // MustNew is New that panics on config errors.
@@ -229,7 +392,19 @@ func (s *Scheduler) syncDepthGauges(tenant string) {
 // executor woken) and its ID returned; on backpressure the error matches
 // ErrAdmissionRejected and carries a retry-after hint scaled by the tick
 // period.
-func (s *Scheduler) Submit(spec JobSpec) (JobID, error) {
+func (s *Scheduler) Submit(spec JobSpec) (JobID, error) { return s.submitKeyed(spec, "") }
+
+// SubmitIdempotent is Submit carrying an idempotency key: a key the
+// scheduler has already accepted a job under returns that job's ID without
+// a new submission. The key table is journaled (through submit ops and
+// snapshots), so a client resubmitting after a server crash still gets its
+// original job — exactly-once submission across restarts. Rejected
+// submissions do not consume the key.
+func (s *Scheduler) SubmitIdempotent(spec JobSpec, key string) (JobID, error) {
+	return s.submitKeyed(spec, key)
+}
+
+func (s *Scheduler) submitKeyed(spec JobSpec, key string) (JobID, error) {
 	if spec.Tenant == "" {
 		spec.Tenant = "default"
 	}
@@ -241,6 +416,12 @@ func (s *Scheduler) Submit(spec JobSpec) (JobID, error) {
 		s.mu.Unlock()
 		return 0, ErrSchedulerClosed
 	}
+	if key != "" {
+		if id, ok := s.dedup.get(key); ok {
+			s.mu.Unlock()
+			return id, nil
+		}
+	}
 	s.nextID++
 	j := &Job{ID: s.nextID, Spec: spec, done: make(chan struct{})}
 	ts := s.tenant(spec.Tenant)
@@ -249,13 +430,18 @@ func (s *Scheduler) Submit(spec JobSpec) (JobID, error) {
 		rej.RetryAfter = time.Duration(rej.RetryAfterTicks) * s.tickEvery
 		ts.rej++
 		ts.rejCounter(s, spec.Tenant, rej.Reason).Inc()
+		// Journaled even though rejected: replay reproduces the reject
+		// decision and keeps ID assignment dense.
+		s.journalOp(op{K: opSubmit, Job: j.ID, Spec: wireFromJob(j), Key: key})
 		s.mu.Unlock()
 		return 0, rej
 	}
 	j.state = JobQueued
 	s.jobs[j.ID] = j
+	s.dedup.put(key, j.ID)
 	ts.enq++
 	ts.mEnq.Inc()
+	s.journalOp(op{K: opSubmit, Job: j.ID, Spec: wireFromJob(j), Key: key})
 	if s.timed() {
 		j.enqueueNS = s.nowNS()
 		if s.prof != nil {
@@ -296,13 +482,30 @@ func (s *Scheduler) executorLoop(ex *executor) {
 	for {
 		s.mu.Lock()
 		var j *Job
+		resumed := false
 		for {
 			if s.stopped {
 				s.mu.Unlock()
 				return
 			}
+			// Jobs recovered mid-run resume directly: their admit decision
+			// is already in the log, so they bypass dispatch (which would
+			// record a second one).
+			if len(s.recoveredRun) > 0 {
+				j = s.recoveredRun[0]
+				s.recoveredRun = s.recoveredRun[1:]
+				resumed = true
+				break
+			}
 			var expired []*Job
 			j, expired = s.core.dispatch()
+			if j != nil || len(expired) > 0 {
+				var jid JobID
+				if j != nil {
+					jid = j.ID
+				}
+				s.journalOp(op{K: opDispatch, Job: jid})
+			}
 			s.finishExpiredLocked(expired)
 			if j != nil {
 				break
@@ -312,15 +515,17 @@ func (s *Scheduler) executorLoop(ex *executor) {
 		j.state = JobRunning
 		j.pctx = &JobContext{Job: j.ID, Tenant: j.Spec.Tenant, Attempt: j.attempts, preempt: make(chan struct{})}
 		ts := s.tenant(j.Spec.Tenant)
-		ts.adm++
-		ts.running++
-		ts.mAdm.Inc()
-		var admitNS int64
-		if s.timed() {
-			admitNS = s.nowNS()
-			s.mx.QueueWait.Observe(admitNS - j.enqueueNS)
-			if s.prof != nil {
-				s.prof.Span(0, obs.StageAdmit, "", "tenant:"+j.Spec.Tenant, domain.Point{}, j.enqueueNS, admitNS)
+		if !resumed {
+			ts.adm++
+			ts.running++
+			ts.mAdm.Inc()
+			var admitNS int64
+			if s.timed() {
+				admitNS = s.nowNS()
+				s.mx.QueueWait.Observe(admitNS - j.enqueueNS)
+				if s.prof != nil {
+					s.prof.Span(0, obs.StageAdmit, "", "tenant:"+j.Spec.Tenant, domain.Point{}, j.enqueueNS, admitNS)
+				}
 			}
 		}
 		s.syncDepthGauges(j.Spec.Tenant)
@@ -333,6 +538,7 @@ func (s *Scheduler) executorLoop(ex *executor) {
 		ts.running--
 		if err == ErrPreempted && !s.stopped && !s.core.draining {
 			s.core.preempt(j)
+			s.journalOp(op{K: opPreempt, Job: j.ID})
 			j.state = JobQueued
 			j.preemptRequested = false
 			j.pctx = nil
@@ -358,6 +564,11 @@ func (s *Scheduler) runJob(ex *executor, j *Job, jc *JobContext) (err error) {
 			err = fmt.Errorf("sched: job %d panicked: %v", j.ID, rec)
 		}
 	}()
+	if j.Spec.Run == nil {
+		// A recovered job whose body could not be rebuilt (submitted
+		// programmatically, so no wire form survived the restart).
+		return ErrNotRecoverable
+	}
 	err = j.Spec.Run(jc, ex.rt)
 	ferr := ex.rt.FenceErr()
 	if err == nil {
@@ -369,58 +580,53 @@ func (s *Scheduler) runJob(ex *executor, j *Job, jc *JobContext) (err error) {
 	return err
 }
 
-// finishLocked completes j. Caller holds mu.
+// finishLocked completes j: the core op, the journal append, then the ack
+// (closing j.done) — in that order, so a completion is never observable
+// before it is durable per the fsync policy. Caller holds mu.
 func (s *Scheduler) finishLocked(j *Job, err error) {
 	s.core.complete(j, err)
 	ts := s.tenant(j.Spec.Tenant)
+	msg := ""
 	if err != nil {
 		j.state = JobFailed
 		ts.fail++
 		ts.mFail.Inc()
+		msg = err.Error()
 	} else {
 		j.state = JobDone
 		ts.comp++
 		ts.mComp.Inc()
 	}
 	j.err = err
+	s.journalOp(op{K: opComplete, Job: j.ID, Fail: err != nil, Msg: msg})
+	s.moveToTerminal(j, err != nil, msg)
 	close(j.done)
-	if s.timed() {
+	if s.timed() && j.enqueueNS > 0 {
 		s.mx.JobLatency.Observe(s.nowNS() - j.enqueueNS)
 	}
 	s.syncDepthGauges(j.Spec.Tenant)
-	s.retireLocked(j.ID)
 	if s.drainNS != 0 && s.core.idle() && s.prof != nil {
 		s.prof.Span(0, obs.StageDrain, "", "drain", domain.Point{}, s.drainNS, s.nowNS())
 		s.drainNS = 0
 	}
 }
 
-// finishExpiredLocked fails jobs dropped past their deadline. Caller holds
-// mu.
+// finishExpiredLocked fails jobs dropped past their deadline. The expire
+// decisions are part of the dispatch op the caller already journaled.
+// Caller holds mu.
 func (s *Scheduler) finishExpiredLocked(expired []*Job) {
 	for _, j := range expired {
-		// Give the slot bookkeeping a complete: expiry happened at
-		// dispatch, before the job took a slot, so only the job's own
-		// lifecycle needs closing.
+		// Expiry happened at dispatch, before the job took a slot, so only
+		// the job's own lifecycle needs closing.
 		ts := s.tenant(j.Spec.Tenant)
 		j.state = JobFailed
 		j.err = ErrDeadlineExpired
 		ts.fail++
 		ts.mFail.Inc()
 		s.mx.Expired.Inc()
+		s.moveToTerminal(j, true, ErrDeadlineExpired.Error())
 		close(j.done)
 		s.syncDepthGauges(j.Spec.Tenant)
-		s.retireLocked(j.ID)
-	}
-}
-
-// retireLocked records a finished job in the retention ring, evicting the
-// oldest beyond the cap. Caller holds mu.
-func (s *Scheduler) retireLocked(id JobID) {
-	s.doneIDs = append(s.doneIDs, id)
-	for len(s.doneIDs) > doneRetention {
-		delete(s.jobs, s.doneIDs[0])
-		s.doneIDs = s.doneIDs[1:]
 	}
 }
 
@@ -445,10 +651,18 @@ func (s *Scheduler) tickLoop() {
 			}
 		}
 		s.mu.Lock()
+		if cap != s.capacity {
+			s.journalOp(op{K: opCapacity, Cap: cap})
+		}
 		s.capacity = cap
 		s.core.adm.setCapacity(cap)
 		s.mx.CapacityPermille.Set(int64(cap * 1000))
 		s.core.advance()
+		if s.jn != nil {
+			// Empty ticks coalesce: the journal folds the backlog into one
+			// advance record ahead of the next real op.
+			s.jn.tick()
+		}
 		s.mu.Unlock()
 	}
 }
@@ -458,20 +672,38 @@ func (s *Scheduler) tickLoop() {
 func (s *Scheduler) SetCapacityFactor(f float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if f != s.capacity {
+		s.journalOp(op{K: opCapacity, Cap: f})
+	}
 	s.capacity = f
 	s.core.adm.setCapacity(f)
 	s.mx.CapacityPermille.Set(int64(s.core.adm.capacity * 1000))
 }
 
-// Wait blocks until job id finishes and returns its error. Unknown IDs
-// (never submitted, or retired from the completion ring) return an error.
+// Wait blocks until job id finishes and returns its error. Jobs finished
+// before this process started (known only from the recovered terminal ring)
+// report a reconstructed error; unknown or retired IDs return an error.
 func (s *Scheduler) Wait(id JobID) error {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
-	s.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("sched: unknown job %d", id)
+		j, ok = s.finished[id]
 	}
+	if !ok {
+		tj, found := s.terminal.get(id)
+		s.mu.Unlock()
+		if !found {
+			return fmt.Errorf("sched: unknown job %d", id)
+		}
+		if tj.Failed {
+			if tj.Error != "" {
+				return errors.New(tj.Error)
+			}
+			return fmt.Errorf("sched: job %d failed", id)
+		}
+		return nil
+	}
+	s.mu.Unlock()
 	<-j.done
 	return j.err
 }
@@ -488,18 +720,51 @@ type JobInfo struct {
 
 // Job returns a job's current snapshot.
 func (s *Scheduler) Job(id JobID) (JobInfo, bool) {
+	info, res := s.Lookup(id)
+	return info, res == LookupFound
+}
+
+// LookupResult distinguishes why a job snapshot is unavailable: Gone means
+// the ID was assigned (finished and evicted from retention, or consumed by
+// a rejected submission) while Unknown means it never was — the difference
+// between HTTP 410 and 404. IDs are dense, so the split is exact.
+type LookupResult uint8
+
+const (
+	LookupFound LookupResult = iota
+	LookupGone
+	LookupUnknown
+)
+
+// Lookup returns a job's snapshot, checking live jobs, retained finished
+// jobs, and the recovered terminal ring in that order.
+func (s *Scheduler) Lookup(id JobID) (JobInfo, LookupResult) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
-		return JobInfo{}, false
+		j, ok = s.finished[id]
 	}
-	info := JobInfo{ID: j.ID, Tenant: j.Spec.Tenant, Priority: j.Spec.Priority,
-		State: j.state.String(), Attempts: j.attempts}
-	if j.err != nil {
-		info.Error = j.err.Error()
+	if ok {
+		info := JobInfo{ID: j.ID, Tenant: j.Spec.Tenant, Priority: j.Spec.Priority,
+			State: j.state.String(), Attempts: j.attempts}
+		if j.err != nil {
+			info.Error = j.err.Error()
+		}
+		return info, LookupFound
 	}
-	return info, true
+	if tj, found := s.terminal.get(id); found {
+		state := JobDone
+		if tj.Failed {
+			state = JobFailed
+		}
+		return JobInfo{ID: tj.ID, Tenant: tj.Tenant, Priority: tj.Priority,
+			State: state.String(), Attempts: tj.Attempts, Error: tj.Error}, LookupFound
+	}
+	if id >= 1 && id <= s.nextID {
+		return JobInfo{}, LookupGone
+	}
+	return JobInfo{}, LookupUnknown
 }
 
 // Log returns a copy of the decision log so far.
@@ -521,6 +786,7 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	}
 	if !s.core.draining {
 		s.core.drainNow()
+		s.journalOp(op{K: opDrain})
 		s.mx.Drains.Inc()
 		if s.prof != nil {
 			s.drainNS = s.nowNS()
@@ -555,19 +821,18 @@ func (s *Scheduler) Shutdown() {
 	}
 	s.stopped = true
 	close(s.tickStop)
-	// Fail everything still queued; executors drain their running jobs.
-	for {
-		j := s.core.q.Pop()
-		if j == nil {
-			break
-		}
-		s.core.queued[j.Spec.Tenant]--
-		s.core.record(KindReject, j, "reason="+ReasonShutdown)
+	// Fail everything still queued; executors drain their running jobs. The
+	// abandon is one journaled core op, so replay reproduces the shutdown
+	// rejects exactly.
+	abandoned := s.core.abandon()
+	s.journalOp(op{K: opAbandon})
+	for _, j := range abandoned {
 		ts := s.tenant(j.Spec.Tenant)
 		ts.rej++
 		ts.rejCounter(s, j.Spec.Tenant, ReasonShutdown).Inc()
 		j.state = JobFailed
 		j.err = ErrSchedulerClosed
+		s.moveToTerminal(j, true, ErrSchedulerClosed.Error())
 		close(j.done)
 	}
 	s.syncDepthGauges("")
@@ -576,6 +841,14 @@ func (s *Scheduler) Shutdown() {
 	s.wg.Wait()
 	for _, ex := range s.execs {
 		ex.rt.Shutdown()
+	}
+	if s.jn != nil {
+		// Final snapshot bounds the next start's replay, then release the
+		// journal. Executors have exited, so no appends race this.
+		s.mu.Lock()
+		s.snapshotLocked()
+		s.mu.Unlock()
+		_ = s.jn.log.Close()
 	}
 }
 
@@ -594,6 +867,24 @@ type TenantStatus struct {
 	Tokens float64 `json:"tokens"`
 }
 
+// DurabilityStatus is the /statusz durability panel: live journal position,
+// snapshot debt, and what startup recovery rebuilt.
+type DurabilityStatus struct {
+	Dir           string `json:"dir"`
+	Fsync         string `json:"fsync"`
+	LastSeq       uint64 `json:"last_seq"`
+	SnapshotSeq   uint64 `json:"snapshot_seq"`
+	SinceSnapshot int    `json:"since_snapshot"`
+	Segments      int    `json:"segments"`
+	Appends       uint64 `json:"appends"`
+	Snapshots     uint64 `json:"snapshots"`
+	// TerminalRetained / DedupKeys size the bounded retention rings.
+	TerminalRetained int `json:"terminal_retained"`
+	DedupKeys        int `json:"dedup_keys"`
+	// Recovery describes what this process rebuilt at startup.
+	Recovery RecoveryReport `json:"recovery"`
+}
+
 // Status is the scheduler's point-in-time introspection snapshot: the
 // /statusz payload, including the per-tenant queue table.
 type Status struct {
@@ -605,6 +896,8 @@ type Status struct {
 	CapacityPermille int64          `json:"capacity_permille"`
 	Decisions        int64          `json:"decisions"`
 	Tenants          []TenantStatus `json:"tenants"`
+	// Durability is present when the write-ahead journal is enabled.
+	Durability *DurabilityStatus `json:"durability,omitempty"`
 }
 
 // Status snapshots the scheduler. Safe for concurrent use; intended as a
@@ -620,6 +913,22 @@ func (s *Scheduler) Status() Status {
 		Running:          len(s.core.running),
 		CapacityPermille: int64(s.capacity * 1000),
 		Decisions:        s.core.seq,
+	}
+	if s.jn != nil {
+		ws := s.jn.log.Stats()
+		st.Durability = &DurabilityStatus{
+			Dir:              s.cfg.Durable.Dir,
+			Fsync:            s.cfg.Durable.Fsync.String(),
+			LastSeq:          ws.LastSeq,
+			SnapshotSeq:      ws.SnapshotSeq,
+			SinceSnapshot:    s.jn.sinceSnap,
+			Segments:         ws.Segments,
+			Appends:          uint64(ws.Appends),
+			Snapshots:        uint64(ws.Snapshots),
+			TerminalRetained: len(s.terminal.order),
+			DedupKeys:        len(s.dedup.order),
+			Recovery:         s.report,
+		}
 	}
 	names := make([]string, 0, len(s.tenants))
 	for name := range s.tenants {
