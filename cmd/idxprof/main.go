@@ -26,11 +26,22 @@
 //	idxprof watch 127.0.0.1:8080
 //	idxprof watch -interval 1s -count 10 http://127.0.0.1:8080
 //	idxprof watch -heartbeat -speculate 127.0.0.1:8080   # only health_*/spec_* families
+//
+// Trace mode renders a retained end-to-end job trace (the GET /trace/{id}
+// payload of idxserve's tracing layer) as an indented cross-layer timeline:
+// one line per span, nested by parent, sched admission through runtime
+// stages to transport hops.
+//
+//	idxprof trace 127.0.0.1:8080 3        # fetch and render job 3's trace
+//	idxprof trace http://host:8080/trace/1a2b3c
+//	idxprof trace trace.json              # render a saved trace payload
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -38,6 +49,7 @@ import (
 
 	"indexlaunch/internal/metrics"
 	"indexlaunch/internal/obs"
+	"indexlaunch/internal/trace"
 )
 
 func main() {
@@ -49,6 +61,9 @@ func main() {
 		case "watch":
 			runWatch(os.Args[2:])
 			return
+		case "trace":
+			runTraceRender(os.Args[2:])
+			return
 		}
 	}
 	width := flag.Int("width", 80, "timeline width in columns")
@@ -58,6 +73,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: idxprof [-width n] [-steps n] profile.json")
 		fmt.Fprintln(os.Stderr, "       idxprof diff [-threshold f] [-warn] [-all] old.json new.json")
 		fmt.Fprintln(os.Stderr, "       idxprof watch [-interval d] [-count n] host:port")
+		fmt.Fprintln(os.Stderr, "       idxprof trace trace.json | <url> | host:port <id>")
 		os.Exit(2)
 	}
 	p, err := obs.ReadFile(flag.Arg(0))
@@ -70,6 +86,64 @@ func main() {
 	fmt.Print(obs.RenderTimeline(p, *width))
 	fmt.Println()
 	fmt.Print(obs.CriticalPath(p).Render(p.WallNS, *steps))
+}
+
+// runTraceRender renders a retained job trace as a cross-layer timeline.
+// The source is a saved JSON payload, a full /trace/{id} URL, or a
+// host:port plus trace/job ID pair.
+func runTraceRender(args []string) {
+	fs := flag.NewFlagSet("idxprof trace", flag.ExitOnError)
+	_ = fs.Parse(args)
+	var data []byte
+	var err error
+	switch fs.NArg() {
+	case 1:
+		src := fs.Arg(0)
+		if strings.Contains(src, "://") {
+			data, err = fetchBytes(src)
+		} else {
+			data, err = os.ReadFile(src)
+		}
+	case 2:
+		host := fs.Arg(0)
+		if !strings.Contains(host, "://") {
+			host = "http://" + host
+		}
+		data, err = fetchBytes(strings.TrimRight(host, "/") + "/trace/" + fs.Arg(1))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: idxprof trace trace.json | idxprof trace <url> | idxprof trace host:port <id>")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "idxprof: %v\n", err)
+		os.Exit(1)
+	}
+	var tr trace.Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		fmt.Fprintf(os.Stderr, "idxprof: parse trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := tr.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "idxprof: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("stages: %s\n", strings.Join(tr.Stages(), " "))
+}
+
+func fetchBytes(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
 }
 
 // runDiff compares two bench snapshots and gates on regressions.

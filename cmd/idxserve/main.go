@@ -7,6 +7,15 @@
 //	curl -s localhost:8080/statusz        # per-tenant queue table
 //	curl -s localhost:8080/metrics | grep sched_
 //
+// With -trace-sample (and optionally -trace-dir for a durable store) every
+// job is traced end to end — sched admission, runtime pipeline stages,
+// transport hops — and the tail sampler retains failed, preempted, retried,
+// slow and head-sampled traces for the /trace query API:
+//
+//	idxserve -trace-sample 0.1 -trace-dir /tmp/idxtraces
+//	curl -s localhost:8080/trace          # retained-trace summaries
+//	curl -s localhost:8080/trace/3        # job 3's span tree (if retained)
+//
 // Two offline modes share the flag set:
 //
 //	idxserve -trace -seed 42 -jobs 400    # print the deterministic decision log
@@ -38,9 +47,13 @@ import (
 	"syscall"
 	"time"
 
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
 	"indexlaunch/internal/metrics"
+	"indexlaunch/internal/obs"
 	"indexlaunch/internal/rt"
 	"indexlaunch/internal/sched"
+	"indexlaunch/internal/trace"
 	"indexlaunch/internal/wal"
 )
 
@@ -63,6 +76,10 @@ func main() {
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "with -fsync interval: coalescing window")
 	snapEvery := flag.Int("snapshot-every", 0, "with -data: snapshot cadence in journaled ops (0 = default 4096)")
 	opDelay := flag.Duration("op-delay", 0, "with -trace -data: pause after each journaled op (crash-harness pacing)")
+
+	traceSample := flag.Float64("trace-sample", 0, "serve mode: enable end-to-end job tracing, head-sampling this fraction of traces (failed, preempted, retried and slow jobs are always retained)")
+	traceDir := flag.String("trace-dir", "", "serve mode: persist retained traces in a wal store rooted here (implies tracing)")
+	traceSeed := flag.Uint64("trace-seed", 1, "serve mode: trace-ID derivation seed")
 
 	traceMode := flag.Bool("trace", false, "replay a seeded trace through the policy core and print the decision log")
 	bench := flag.Bool("bench", false, "run the deterministic scheduler benchmarks")
@@ -126,7 +143,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := serve(*addr, sched.Config{
+		cfg := sched.Config{
 			Executors:  *executors,
 			Runtime:    rt.Config{Nodes: *nodes, ProcsPerNode: *procs, DCR: *dcr, IndexLaunches: true},
 			Setup:      sched.SyntheticSetup,
@@ -135,7 +152,26 @@ func main() {
 			Preemption: *preempt,
 			TickEvery:  *tick,
 			Durable:    durable,
-		}); err != nil {
+		}
+		if *traceSample > 0 || *traceDir != "" {
+			// Tracing needs a recorder (spans reach the tracer through its
+			// sink) and a shared registry (the trace_* families must land in
+			// the registry /metrics serves).
+			reg := metrics.NewRegistry()
+			tr, err := trace.New(trace.Config{
+				HeadRate: *traceSample,
+				Dir:      *traceDir,
+				Registry: reg,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Metrics = reg
+			cfg.Profile = obs.NewRecorder("idxserve", *nodes, 4096)
+			cfg.Trace = tr
+			cfg.TraceSeed = *traceSeed
+		}
+		if err := serve(*addr, cfg); err != nil {
 			fatal(err)
 		}
 	}
@@ -185,6 +221,9 @@ func serve(addr string, cfg sched.Config) error {
 	fmt.Printf("idxserve: %d executors (%d nodes x %d procs each), %s queue\n",
 		cfg.Executors, cfg.Runtime.Nodes, cfg.Runtime.ProcsPerNode, s.Status().Queue)
 	fmt.Printf("idxserve: job API and metrics on http://%s (POST /jobs, /statusz, /metrics)\n", srv.Addr())
+	if cfg.Trace != nil {
+		fmt.Printf("idxserve: tracing on — GET /trace lists retained traces, GET /trace/{id} returns one\n")
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -197,6 +236,7 @@ func serve(addr string, cfg sched.Config) error {
 	}
 	s.Shutdown()
 	_ = srv.Close()
+	_ = cfg.Trace.Close()
 	st := s.Status()
 	var done int64
 	for _, ts := range st.Tenants {
@@ -297,6 +337,122 @@ func runBench(jsonDir string) error {
 			return err
 		}
 		path := jsonDir + "/BENCH_sched.json"
+		if err := snap.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return runTraceOverheadBench(jsonDir)
+}
+
+// runTraceOverheadBench measures the end-to-end tracing layer's marginal
+// cost on the runtime's launch pipeline: the same seeded index-launch
+// workload executed with the profiler alone versus profiler + tracing
+// (every span stamped with a derived context and teed into the tail
+// sampler). Wall-clock values, so the CI gate diffs them with -warn — the
+// snapshot documents the overhead trend rather than blocking on scheduler
+// noise.
+func runTraceOverheadBench(jsonDir string) error {
+	const (
+		points = 256
+		rounds = 40
+	)
+	run := func(traced bool) (nsPerTask float64, err error) {
+		// Both modes run with the recorder attached — the profiled pipeline
+		// is the baseline, since span stamping only ever happens on it.
+		// Traced mode adds what the tracing layer adds: every event carries
+		// a derived span context and is teed through the sink into the tail
+		// sampler's buffers.
+		cfg := rt.Config{Nodes: 4, ProcsPerNode: 2, IndexLaunches: true}
+		rec := obs.NewRecorder("bench", 4, 4096)
+		cfg.Profile = rec
+		var tr *trace.Tracer
+		var root obs.TraceRef
+		if traced {
+			tr, err = trace.New(trace.Config{HeadRate: 1, MaxRetained: 4})
+			if err != nil {
+				return 0, err
+			}
+			rec.SetSink(tr.Sink())
+			root = obs.NewTraceRef(42)
+			tr.Begin(root, 1, "bench", 0)
+		}
+		r, err := rt.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		defer r.Shutdown()
+		if err := sched.SyntheticSetup(r); err != nil {
+			return 0, err
+		}
+		id, _ := r.TaskNamed(sched.SyntheticTaskName)
+		if traced {
+			r.SetTraceRef(root.Child(1))
+		}
+		start := time.Now()
+		for round := 0; round < rounds; round++ {
+			launch, err := core.Forall(sched.SyntheticTaskName, id, domain.Range1(0, points-1))
+			if err != nil {
+				return 0, err
+			}
+			if _, err := r.ExecuteIndex(launch); err != nil {
+				return 0, err
+			}
+		}
+		if err := r.FenceErr(); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		if traced {
+			tr.Finish(root, int64(elapsed), trace.Outcome{})
+		}
+		return float64(elapsed.Nanoseconds()) / float64(points*rounds), nil
+	}
+	// One discarded warm-up run, then interleaved off/on pairs taking the
+	// per-mode minimum: warm-up keeps one-time costs (page faults, registry
+	// construction) out of the first measurement, and interleaving keeps
+	// slow drift (frequency scaling, scheduler warm-up) from being charged
+	// to whichever mode ran first.
+	if _, err := run(false); err != nil {
+		return err
+	}
+	var off, on float64
+	for i := 0; i < 5; i++ {
+		o, err := run(false)
+		if err != nil {
+			return err
+		}
+		tr, err := run(true)
+		if err != nil {
+			return err
+		}
+		if i == 0 || o < off {
+			off = o
+		}
+		if i == 0 || tr < on {
+			on = tr
+		}
+	}
+	overhead := 0.0
+	if off > 0 {
+		overhead = (on - off) / off * 100
+	}
+	snap := metrics.BenchSnapshot{
+		Name:        "trace",
+		CreatedUnix: time.Now().Unix(),
+		Meta: map[string]string{
+			"title": "End-to-end tracing overhead on the runtime launch pipeline (wall clock; diff with -warn)",
+		},
+		Values: []metrics.BenchValue{
+			{Name: "trace/off/ns_per_task", Value: off, Better: "lower"},
+			{Name: "trace/on/ns_per_task", Value: on, Better: "lower"},
+			{Name: "trace/overhead_pct", Value: overhead, Better: "lower"},
+		},
+	}
+	fmt.Printf("%-24s %8.0f ns/task off  %8.0f ns/task traced  %+.1f%% overhead\n",
+		"trace/pipeline", off, on, overhead)
+	if jsonDir != "" {
+		path := jsonDir + "/BENCH_trace.json"
 		if err := snap.WriteFile(path); err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/bits"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -22,6 +23,11 @@ import (
 type Histogram struct {
 	buckets [histBuckets]atomic.Int64
 	sum     atomic.Int64
+	// exemplars holds, per bucket, the trace ID of the most recent
+	// observation that landed there via ObserveExemplar — the link from a
+	// slow bucket to a concrete trace. Plain Observe never touches it, so
+	// exemplar support costs untraced callers nothing.
+	exemplars [histBuckets]atomic.Uint64
 }
 
 const (
@@ -76,6 +82,25 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
+// ObserveExemplar is Observe plus an exemplar: the bucket the value lands
+// in remembers traceID (last-writer-wins), so the exposition formats can
+// point from a latency bucket at a concrete trace. traceID 0 records no
+// exemplar. Still lock-free, 0 allocs: at most three atomic operations.
+func (h *Histogram) ObserveExemplar(v int64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := bucketIndex(v)
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	if traceID != 0 {
+		h.exemplars[i].Store(traceID)
+	}
+}
+
 // Count returns the number of observations; 0 on a nil histogram.
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -101,6 +126,10 @@ func (h *Histogram) Sum() int64 {
 type Bucket struct {
 	Le    int64 `json:"le"`
 	Count int64 `json:"count"`
+	// Exemplar is the hex trace ID of a recent observation in this bucket
+	// (non-cumulative: this bucket specifically); empty when none was
+	// recorded.
+	Exemplar string `json:"exemplar,omitempty"`
 }
 
 // snapshot returns the non-empty cumulative buckets, the total count
@@ -118,7 +147,11 @@ func (h *Histogram) snapshot() (buckets []Bucket, count, sum int64) {
 			continue
 		}
 		cum += n
-		buckets = append(buckets, Bucket{Le: bucketUpper(i), Count: cum})
+		b := Bucket{Le: bucketUpper(i), Count: cum}
+		if ex := h.exemplars[i].Load(); ex != 0 {
+			b.Exemplar = strconv.FormatUint(ex, 16)
+		}
+		buckets = append(buckets, b)
 	}
 	return buckets, cum, sum
 }

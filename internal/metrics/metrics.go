@@ -114,6 +114,9 @@ type series struct {
 	c         *Counter
 	g         *Gauge
 	h         *Histogram
+	// fn, when set on a gauge series, is evaluated at Gather time instead
+	// of reading g — the pull-style gauge GaugeFunc registers.
+	fn func() int64
 }
 
 // family is one named metric with a fixed type and label-key schema.
@@ -231,6 +234,23 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.family(name, help, TypeGauge, nil).get(nil).g
 }
 
+// GaugeFunc registers a pull-style gauge: fn is evaluated at every Gather
+// instead of the instrument being pushed to. It suits values some other
+// subsystem already tracks (e.g. obs ring-overflow drops) where mirroring
+// into a pushed gauge would mean polling. Re-registering the same name
+// replaces the function. fn must be safe for concurrent calls. No-op on a
+// nil registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	f := r.family(name, help, TypeGauge, nil)
+	s := f.get(nil)
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
 // Histogram registers (or re-fetches) an unlabeled histogram.
 func (r *Registry) Histogram(name, help string) *Histogram {
 	if r == nil {
@@ -346,9 +366,13 @@ func (r *Registry) Gather() Snapshot {
 	for _, f := range fams {
 		f.mu.Lock()
 		order := append([]*series(nil), f.order...)
+		fns := make([]func() int64, len(order))
+		for i, s := range order {
+			fns[i] = s.fn
+		}
 		f.mu.Unlock()
 		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ.String()}
-		for _, s := range order {
+		for si, s := range order {
 			ss := SeriesSnapshot{}
 			for i, k := range f.labelKeys {
 				ss.Labels = append(ss.Labels, Label{Key: k, Value: s.labelVals[i]})
@@ -357,7 +381,11 @@ func (r *Registry) Gather() Snapshot {
 			case TypeCounter:
 				ss.Value = s.c.Value()
 			case TypeGauge:
-				ss.Value = s.g.Value()
+				if fn := fns[si]; fn != nil {
+					ss.Value = fn()
+				} else {
+					ss.Value = s.g.Value()
+				}
 			case TypeHistogram:
 				ss.Buckets, ss.Count, ss.Sum = s.h.snapshot()
 			}

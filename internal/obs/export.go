@@ -45,8 +45,34 @@ type chromeArgs struct {
 	Point string   `json:"point,omitempty"`
 	ID    int64    `json:"id,omitempty"`
 	NS    [2]int64 `json:"ns"`
+	// Trace, Span and Parent carry the span context as hex strings — JSON
+	// numbers are lossy above 2^53, hex round-trips the full uint64.
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
 	// Name labels metadata ("M") events.
 	Name string `json:"name,omitempty"`
+}
+
+// hexID renders a trace identity for export; "" for 0 keeps untraced
+// events byte-identical to pre-trace dumps.
+func hexID(v uint64) string {
+	if v == 0 {
+		return ""
+	}
+	return strconv.FormatUint(v, 16)
+}
+
+// parseHexID inverts hexID, tolerating absent fields.
+func parseHexID(s string) uint64 {
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return v
 }
 
 type chromeOther struct {
@@ -88,7 +114,8 @@ func (p *Profile) WriteChromeTrace(w io.Writer) error {
 			Dur:  float64(ev.Dur) / 1e3,
 			PID:  int(ev.Node),
 			TID:  int(ev.Stage),
-			Args: &chromeArgs{Task: ev.Task, Tag: ev.Tag, ID: ev.ID, NS: [2]int64{ev.Start, ev.Dur}},
+			Args: &chromeArgs{Task: ev.Task, Tag: ev.Tag, ID: ev.ID, NS: [2]int64{ev.Start, ev.Dur},
+				Trace: hexID(ev.Trace), Span: hexID(ev.Span), Parent: hexID(ev.Parent)},
 		}
 		if ev.Point.Dim > 0 {
 			ce.Args.Point = ev.Point.String()
@@ -142,6 +169,9 @@ func ReadChromeTrace(r io.Reader) (*Profile, error) {
 			ev.Tag = ce.Args.Tag
 			ev.ID = ce.Args.ID
 			ev.Start, ev.Dur = ce.Args.NS[0], ce.Args.NS[1]
+			ev.Trace = parseHexID(ce.Args.Trace)
+			ev.Span = parseHexID(ce.Args.Span)
+			ev.Parent = parseHexID(ce.Args.Parent)
 			if ce.Args.Point != "" {
 				pt, err := parsePoint(ce.Args.Point)
 				if err != nil {

@@ -92,8 +92,12 @@ const (
 	// StageRecover is startup recovery: the span from opening the journal
 	// to the rebuilt scheduler state (snapshot load plus log replay).
 	StageRecover
+	// StageJob is a whole job's root span: admission to completion. It is
+	// synthesized by the trace layer (internal/trace) when a job finishes,
+	// and every other span of the job's trace descends from it.
+	StageJob
 
-	numStages = int(StageRecover) + 1
+	numStages = int(StageJob) + 1
 )
 
 var stageNames = [numStages]string{
@@ -102,6 +106,7 @@ var stageNames = [numStages]string{
 	"send", "recv", "retransmit", "health", "speculate",
 	"enqueue", "admit", "preempt", "drain",
 	"journal", "snapshot", "recover",
+	"job",
 }
 
 // String renders the stage name used in exports and reports.
@@ -154,7 +159,15 @@ type Event struct {
 	// Start and Dur are nanoseconds on the profile clock.
 	Start int64
 	Dur   int64
+	// Trace, Span and Parent are the distributed-trace identities
+	// (TraceRef); all zero on untraced events.
+	Trace  uint64
+	Span   uint64
+	Parent uint64
 }
+
+// Ref returns the event's span context.
+func (e Event) Ref() TraceRef { return TraceRef{Trace: e.Trace, Span: e.Span, Parent: e.Parent} }
 
 // End returns the span's completion time.
 func (e Event) End() int64 { return e.Start + e.Dur }
@@ -189,11 +202,14 @@ type ring struct {
 	next uint64 // total events ever appended
 }
 
-func (rg *ring) add(ev Event) {
+// add appends ev, reporting whether it overwrote an unconsumed event.
+func (rg *ring) add(ev Event) bool {
 	rg.mu.Lock()
+	overwrote := rg.next >= uint64(len(rg.buf))
 	rg.buf[rg.next%uint64(len(rg.buf))] = ev
 	rg.next++
 	rg.mu.Unlock()
+	return overwrote
 }
 
 // Recorder collects spans from concurrent producers. The zero value is not
@@ -207,8 +223,14 @@ type Recorder struct {
 	edgeMu sync.Mutex
 	edges  []Edge
 
-	nextID atomic.Int64
-	wallNS atomic.Int64
+	nextID  atomic.Int64
+	wallNS  atomic.Int64
+	dropped atomic.Int64
+
+	// sink, when set, receives every trace-stamped event as it is recorded
+	// — the tee internal/trace buffers complete traces from. The rings stay
+	// the lossy profile path; the sink sees events before any overwrite.
+	sink atomic.Pointer[func(Event)]
 }
 
 // NewRecorder returns a recorder with one ring of perNode events for each
@@ -272,6 +294,57 @@ func (r *Recorder) Mark(node int, st Stage, task, tag string, point domain.Point
 	r.record(Event{Node: int32(node), Stage: st, Task: task, Tag: tag, Point: point, Start: at})
 }
 
+// SpanTC is Span stamped with a trace context. A zero TraceRef degrades to
+// a plain Span. No-op on a nil recorder.
+func (r *Recorder) SpanTC(tc TraceRef, node int, st Stage, task, tag string, point domain.Point, start, end int64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{Node: int32(node), Stage: st, Task: task, Tag: tag, Point: point,
+		Start: start, Dur: end - start, Trace: tc.Trace, Span: tc.Span, Parent: tc.Parent})
+}
+
+// SpanIDTC is SpanID stamped with a trace context.
+func (r *Recorder) SpanIDTC(tc TraceRef, id int64, node int, st Stage, task, tag string, point domain.Point, start, end int64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{ID: id, Node: int32(node), Stage: st, Task: task, Tag: tag, Point: point,
+		Start: start, Dur: end - start, Trace: tc.Trace, Span: tc.Span, Parent: tc.Parent})
+}
+
+// MarkTC is Mark stamped with a trace context.
+func (r *Recorder) MarkTC(tc TraceRef, node int, st Stage, task, tag string, point domain.Point, at int64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{Node: int32(node), Stage: st, Task: task, Tag: tag, Point: point, Start: at,
+		Trace: tc.Trace, Span: tc.Span, Parent: tc.Parent})
+}
+
+// SetSink installs (or, with nil, removes) the trace tee. The sink must be
+// safe for concurrent calls; it runs inline on the recording path, so it
+// should be cheap.
+func (r *Recorder) SetSink(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&fn)
+}
+
+// Dropped returns the number of events lost to ring overflow so far — the
+// live counterpart of Profile.Dropped, cheap enough to export as a gauge.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
 // Edge records a dependence edge between two span IDs; edges with a zero
 // endpoint are dropped. No-op on a nil recorder.
 func (r *Recorder) Edge(from, to int64) {
@@ -300,7 +373,12 @@ func (r *Recorder) record(ev Event) {
 	if n >= len(r.rings) {
 		n = len(r.rings) - 1
 	}
-	r.rings[n].add(ev)
+	if r.rings[n].add(ev) {
+		r.dropped.Add(1)
+	}
+	if s := r.sink.Load(); s != nil && ev.Trace != 0 {
+		(*s)(ev)
+	}
 }
 
 // Snapshot copies the recording into an immutable Profile, oldest event

@@ -225,6 +225,13 @@ type Runtime struct {
 	profIDs    map[*Event]int64
 	profPhysNS int64
 
+	// Distributed-trace state, guarded by issueMu: the current job's span
+	// context (installed per attempt by the scheduler via SetTraceRef) and
+	// the launch/fence sequence counter deriving per-launch child
+	// contexts. A zero jobTC means untraced — the pre-trace behavior.
+	jobTC obs.TraceRef
+	tcSeq uint64
+
 	// Pipeline metrics. The counters live in reg (the caller's registry,
 	// or a private one when Config.Metrics is nil) and Stats reads them
 	// back — there is no second bookkeeping path. mxOn gates the
@@ -451,7 +458,65 @@ func (r *Runtime) Recycle() error {
 	if r.xp != nil {
 		r.xp.Recycle()
 	}
+	r.jobTC = obs.TraceRef{}
+	r.tcSeq = 0
 	return nil
+}
+
+// SetTraceRef installs the span context whose children subsequent launch,
+// point and fence spans are stamped with — the scheduler calls it with a
+// per-attempt child of the job's root context before running the job
+// body. The zero ref disables stamping (the default).
+func (r *Runtime) SetTraceRef(tc obs.TraceRef) {
+	r.issueMu.Lock()
+	r.jobTC = tc
+	r.tcSeq = 0
+	r.issueMu.Unlock()
+}
+
+// nextLaunchTC derives the next launch's (or fence's) span context from
+// the installed job context. Caller holds issueMu.
+func (r *Runtime) nextLaunchTC() obs.TraceRef {
+	if !r.jobTC.Valid() {
+		return obs.TraceRef{}
+	}
+	r.tcSeq++
+	return r.jobTC.Child(r.tcSeq)
+}
+
+// Reserved child indices under a launch context: the launch (issue) span
+// carries the context itself; stage spans hang off it at fixed indices,
+// and per-point contexts use pointChildKey (≥ 16).
+const (
+	tcLogical    = 1
+	tcDistribute = 2
+)
+
+// Reserved child indices under a per-point context: the physical span
+// carries the point context; execute/fault/retry/speculate children use
+// these.
+const (
+	tcExecute    = 1
+	tcFaultSkip  = 2
+	tcRetryBase  = 0x10 // + attempt number
+	tcSpecBackup = 0x41
+	tcSpecLost   = 0x42
+	tcSpecWon    = 0x43
+)
+
+// pointChildKey derives a stable per-point child index from the point's
+// coordinates — a pure function, so concurrent replays of the same launch
+// produce identical span identities without a counter. Keys below 16 are
+// reserved for launch-level stage spans.
+func pointChildKey(p domain.Point) uint64 {
+	h := uint64(0x706f696e74) // "point"
+	for i := 0; i < p.Dim; i++ {
+		h = obs.Mix64(h ^ uint64(p.C[i]))
+	}
+	if h < 16 {
+		h += 16
+	}
+	return h
 }
 
 // nowNS reads the runtime's metrics timebase: the profiler's clock when one
@@ -495,6 +560,7 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 	prof := r.cfg.Profile
 	timed := prof != nil || r.mxOn
 	name := r.tasks[l.Task].name
+	ltc := r.nextLaunchTC()
 	var tLaunch, tLogical, logicalNS, distNS int64
 	if timed {
 		tLaunch = r.nowNS()
@@ -524,7 +590,7 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 		// check (near-zero duration when VerifyLaunches is off).
 		logicalNS = r.nowNS() - tLogical
 		if prof != nil {
-			prof.Span(0, obs.StageLogical, name, l.Tag, domain.Point{}, tLogical, tLogical+logicalNS)
+			prof.SpanTC(ltc.Child(tcLogical), 0, obs.StageLogical, name, l.Tag, domain.Point{}, tLogical, tLogical+logicalNS)
 		}
 		if r.mxOn {
 			r.mx.LatLogical.Observe(logicalNS)
@@ -547,7 +613,7 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 	if timed {
 		tDist = r.nowNS()
 	}
-	assign := r.assignNodes(l.Domain, l.Tag)
+	assign := r.assignNodes(l.Domain, l.Tag, ltc.Child(tcDistribute))
 	if timed {
 		distNS = r.nowNS() - tDist
 	}
@@ -572,7 +638,7 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 		if timed {
 			distNS += r.nowNS() - tShard
 		}
-		fut := r.issuePoint(l.Task, l.Tag, pt.Point, node, prs, l.ArgsAt(pt.Point))
+		fut := r.issuePoint(l.Task, l.Tag, pt.Point, node, prs, l.ArgsAt(pt.Point), ltc)
 		fm.add(pt.Point, fut)
 		return true
 	})
@@ -599,8 +665,8 @@ func (r *Runtime) ExecuteIndex(l *core.IndexLaunch) (*FutureMap, error) {
 			resid = 0
 		}
 		if prof != nil {
-			prof.Span(0, obs.StageDistribute, name, l.Tag, domain.Point{}, tDist, tDist+distNS)
-			prof.Span(0, obs.StageIssue, name, l.Tag, domain.Point{}, tLaunch, tLaunch+resid)
+			prof.SpanTC(ltc.Child(tcDistribute), 0, obs.StageDistribute, name, l.Tag, domain.Point{}, tDist, tDist+distNS)
+			prof.SpanTC(ltc, 0, obs.StageIssue, name, l.Tag, domain.Point{}, tLaunch, tLaunch+resid)
 		}
 		if r.mxOn {
 			r.mx.LatDistribute.Observe(distNS)
@@ -634,6 +700,7 @@ func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, 
 	prof := r.cfg.Profile
 	timed := prof != nil || r.mxOn
 	name := r.tasks[task].name
+	ltc := r.nextLaunchTC()
 	var tLaunch, distNS int64
 	if timed {
 		tLaunch = r.nowNS()
@@ -660,7 +727,7 @@ func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, 
 		r.pendingBulkDeps = r.bulk.replayLaunchDeps(task, 1)
 		r.pendingPointEvs = r.pendingPointEvs[:0]
 	}
-	fut := r.issuePoint(task, tag, p, node, prs, args)
+	fut := r.issuePoint(task, tag, p, node, prs, args, ltc)
 	switch {
 	case r.trace != nil:
 		r.trace.noteLaunch(1)
@@ -677,8 +744,8 @@ func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, 
 			resid = 0
 		}
 		if prof != nil {
-			prof.Span(0, obs.StageDistribute, name, tag, domain.Point{}, tDist, tDist+distNS)
-			prof.Span(0, obs.StageIssue, name, tag, domain.Point{}, tLaunch, tLaunch+resid)
+			prof.SpanTC(ltc.Child(tcDistribute), 0, obs.StageDistribute, name, tag, domain.Point{}, tDist, tDist+distNS)
+			prof.SpanTC(ltc, 0, obs.StageIssue, name, tag, domain.Point{}, tLaunch, tLaunch+resid)
 		}
 		if r.mxOn {
 			r.mx.LatDistribute.Observe(distNS)
@@ -692,14 +759,14 @@ func (r *Runtime) ExecuteSingle(tag string, task core.TaskID, reqs []SingleReq, 
 // the centralized path the slices are first shipped from node 0 through the
 // message transport's broadcast tree; the assignment is built from the
 // delivered slices, reassembled into the slicing functor's original order.
-func (r *Runtime) assignNodes(d domain.Domain, tag string) func(domain.Point) int {
+func (r *Runtime) assignNodes(d domain.Domain, tag string, tc obs.TraceRef) func(domain.Point) int {
 	if r.cfg.DCR {
 		return func(p domain.Point) int {
 			n := r.mapper.ShardPoint(d, p, r.cfg.Nodes)
 			return clampNode(n, r.cfg.Nodes)
 		}
 	}
-	slices := r.shipSlices(tag, r.mapper.Slice(d, r.cfg.Nodes))
+	slices := r.shipSlices(tag, r.mapper.Slice(d, r.cfg.Nodes), tc)
 	return func(p domain.Point) int {
 		for _, s := range slices {
 			if s.Domain.Contains(p) {
@@ -723,13 +790,14 @@ func clampNode(n, nodes int) int {
 // issuePoint performs per-point dependence analysis (or trace replay) and
 // hands the task to the executor. Caller holds issueMu.
 func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node int,
-	prs []PhysicalRegion, args []byte) *Future {
+	prs []PhysicalRegion, args []byte, ltc obs.TraceRef) *Future {
 
 	fut := newFuture()
 	ev := fut.ev
 	prof := r.cfg.Profile
 	timed := prof != nil || r.mxOn
 	name := r.tasks[task].name
+	ptc := ltc.Child(pointChildKey(p))
 
 	var deps []*Event
 	switch {
@@ -773,7 +841,7 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 			tEnd := r.nowNS()
 			r.profPhysNS += tEnd - tPhys
 			if prof != nil {
-				prof.Span(node, obs.StagePhysical, name, tag, p, tPhys, tEnd)
+				prof.SpanTC(ptc, node, obs.StagePhysical, name, tag, p, tPhys, tEnd)
 			}
 			if r.mxOn {
 				r.mx.LatPhysical.Observe(tEnd - tPhys)
@@ -798,7 +866,7 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 
 	tr := &taskRun{
 		fn: r.tasks[task].fn, task: task, name: name, tag: tag, point: p,
-		args: args, prs: prs, fut: fut, spanID: spanID, timed: timed,
+		args: args, prs: prs, fut: fut, spanID: spanID, timed: timed, tc: ptc,
 	}
 	skipOnFailure := r.cfg.OnUpstreamFailure == SkipDependents
 	r.mx.InflightTasks.Add(1)
@@ -809,7 +877,7 @@ func (r *Runtime) issuePoint(task core.TaskID, tag string, p domain.Point, node 
 			// failure downstream through this task's own event.
 			r.mx.TasksSkipped.Inc()
 			if prof != nil {
-				prof.Mark(node, obs.StageFault, name, tag, p, prof.Now())
+				prof.MarkTC(ptc.Child(tcFaultSkip), node, obs.StageFault, name, tag, p, prof.Now())
 			}
 			fut.complete(nil, &TaskError{
 				Task: name, Tag: tag, Point: p, Node: node,
@@ -924,7 +992,10 @@ func (r *Runtime) Fence() {
 func (r *Runtime) fenceDone(t0 int64) {
 	end := r.nowNS()
 	if prof := r.cfg.Profile; prof != nil {
-		prof.Span(0, obs.StageFence, "", "fence", domain.Point{}, t0, end)
+		r.issueMu.Lock()
+		ftc := r.nextLaunchTC()
+		r.issueMu.Unlock()
+		prof.SpanTC(ftc, 0, obs.StageFence, "", "fence", domain.Point{}, t0, end)
 	}
 	if r.mxOn {
 		r.mx.FenceWait.Observe(end - t0)

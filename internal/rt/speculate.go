@@ -87,6 +87,10 @@ type taskRun struct {
 	spec   *specState // nil when speculation is off for this task
 	spanID int64
 	timed  bool
+	// tc is the point's span context (the physical span); the execute
+	// span and retry/speculate marks are its children. Zero when the job
+	// is untraced.
+	tc obs.TraceRef
 }
 
 // cancelCh returns the attempt-cancellation channel handed to task bodies
@@ -162,7 +166,7 @@ func (r *Runtime) armSpeculation(tr *taskRun, orig int) {
 		}
 		r.mx.SpecLaunched.Inc()
 		if prof := r.cfg.Profile; prof != nil {
-			prof.Mark(backup, obs.StageSpeculate, tr.name, tr.tag, tr.point, prof.Now())
+			prof.MarkTC(tr.tc.Child(tcSpecBackup), backup, obs.StageSpeculate, tr.name, tr.tag, tr.point, prof.Now())
 		}
 		r.mx.InflightTasks.Add(1)
 		defer r.mx.InflightTasks.Add(-1)
@@ -175,7 +179,7 @@ func (r *Runtime) armSpeculation(tr *taskRun, orig int) {
 func (r *Runtime) specLost(tr *taskRun, node int) {
 	r.mx.SpecWasted.Inc()
 	if prof := r.cfg.Profile; prof != nil {
-		prof.Mark(node, obs.StageSpeculate, tr.name, tr.tag, tr.point, prof.Now())
+		prof.MarkTC(tr.tc.Child(tcSpecLost), node, obs.StageSpeculate, tr.name, tr.tag, tr.point, prof.Now())
 	}
 }
 
@@ -226,7 +230,7 @@ func (r *Runtime) runAttempt(tr *taskRun, node int, backup bool) {
 		}
 		r.mx.Retries.Inc()
 		if prof := r.cfg.Profile; prof != nil {
-			prof.Mark(node, obs.StageRetry, tr.name, tr.tag, tr.point, prof.Now())
+			prof.MarkTC(tr.tc.Child(uint64(tcRetryBase+attempts)), node, obs.StageRetry, tr.name, tr.tag, tr.point, prof.Now())
 		}
 		if d := retry.backoffFor(attempts); d > 0 {
 			if !r.sleepBackoff(d) {
@@ -272,18 +276,19 @@ func (r *Runtime) commitAttempt(tr *taskRun, ctx *Context, node int, backup bool
 		if prof := r.cfg.Profile; prof != nil {
 			// Record before completing so a fence-then-snapshot sees the
 			// span of every task it waited on.
-			prof.SpanID(tr.spanID, node, obs.StageExecute, tr.name, tr.tag, tr.point, tExec, tEnd)
+			prof.SpanIDTC(tr.tc.Child(tcExecute), tr.spanID, node, obs.StageExecute, tr.name, tr.tag, tr.point, tExec, tEnd)
 		}
 		if r.mxOn || r.specOn {
 			// Speculation needs the latency baseline even when no metrics
-			// registry is attached.
-			r.mx.LatExecute.Observe(tEnd - tExec)
+			// registry is attached. Traced tasks leave their trace ID as
+			// the bucket's exemplar.
+			r.mx.LatExecute.ObserveExemplar(tEnd-tExec, tr.tc.Trace)
 		}
 	}
 	if backup {
 		r.mx.SpecWon.Inc()
 		if prof := r.cfg.Profile; prof != nil {
-			prof.Mark(node, obs.StageSpeculate, tr.name, tr.tag, tr.point, prof.Now())
+			prof.MarkTC(tr.tc.Child(tcSpecWon), node, obs.StageSpeculate, tr.name, tr.tag, tr.point, prof.Now())
 		}
 	}
 	tr.fut.complete(val, err)

@@ -3,6 +3,7 @@ package rt
 import (
 	"sync"
 
+	"indexlaunch/internal/obs"
 	"indexlaunch/internal/xport"
 )
 
@@ -43,8 +44,9 @@ func (r *Runtime) transportDeliver(node int, payload any) {
 // shipSlices broadcasts the launch's slices through the transport and
 // returns them reassembled in original slice order. Caller holds issueMu
 // (which serializes broadcasts and makes the r.dead read safe). Without a
-// transport it is the identity.
-func (r *Runtime) shipSlices(tag string, slices []Slice) []Slice {
+// transport it is the identity. tc — the launch's distribute span context
+// — rides the message headers so each hop records a child send span.
+func (r *Runtime) shipSlices(tag string, slices []Slice, tc obs.TraceRef) []Slice {
 	if r.xp == nil || len(slices) == 0 {
 		return slices
 	}
@@ -72,7 +74,7 @@ func (r *Runtime) shipSlices(tag string, slices []Slice) []Slice {
 		mu.Unlock()
 	}
 	r.deliverMu.Unlock()
-	r.xp.Broadcast(tag, items)
+	r.xp.BroadcastTraced(tc, tag, items)
 	r.deliverMu.Lock()
 	r.deliverFn = nil
 	r.deliverMu.Unlock()

@@ -18,10 +18,12 @@ import (
 
 // Job-submission HTTP API, mounted beside the metrics endpoints:
 //
-//	POST /jobs      submit a job (JSON body, SubmitRequest)
-//	GET  /jobs/{id} one job's state (JobInfo)
-//	GET  /metrics   Prometheus text, including the sched_* families
-//	GET  /statusz   scheduler status with the per-tenant queue table
+//	POST /jobs       submit a job (JSON body, SubmitRequest)
+//	GET  /jobs/{id}  one job's state (JobInfo)
+//	GET  /trace      recent retained traces (tail-sampled)
+//	GET  /trace/{id} one retained trace by hex trace ID or decimal job ID
+//	GET  /metrics    Prometheus text, including the sched_* families
+//	GET  /statusz    scheduler status with the per-tenant queue table
 //
 // Backpressure maps onto HTTP the standard way: an admission rejection is a
 // 429 with a Retry-After header derived from the scheduler's retry hint,
@@ -201,6 +203,11 @@ func Handler(s *Scheduler, kinds map[string]KindFunc) http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = json.NewEncoder(w).Encode(info)
 	})
+	// Trace queries; the handler is nil-tracer-safe, so the routes exist
+	// (answering 404) even when tracing is off.
+	th := s.Tracer().Handler()
+	mux.Handle("GET /trace", th)
+	mux.Handle("GET /trace/{id}", th)
 	mux.Handle("/", metrics.Handler(s.Registry(), func() any { return s.Status() }))
 	return mux
 }

@@ -22,6 +22,7 @@ package sched
 import (
 	"errors"
 
+	"indexlaunch/internal/obs"
 	"indexlaunch/internal/rt"
 )
 
@@ -135,6 +136,12 @@ type Job struct {
 	done             chan struct{}
 	pctx             *JobContext
 	preemptRequested bool
+
+	// tc is the job's root span context (zero when tracing is off);
+	// preempted records that at least one attempt yielded, for the tail
+	// sampler's outcome.
+	tc        obs.TraceRef
+	preempted bool
 }
 
 // JobContext is the per-attempt context a job body receives.
@@ -144,6 +151,9 @@ type JobContext struct {
 	Tenant string
 	// Attempt is 1 for the first run and increments per preemption re-run.
 	Attempt int
+	// Trace is the job's root span context; zero when tracing is off.
+	// Bodies that do their own instrumentation may derive children of it.
+	Trace obs.TraceRef
 
 	preempt chan struct{}
 }

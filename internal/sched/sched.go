@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"indexlaunch/internal/metrics"
 	"indexlaunch/internal/obs"
 	"indexlaunch/internal/rt"
+	"indexlaunch/internal/trace"
 )
 
 // Config configures a live Scheduler.
@@ -50,6 +52,22 @@ type Config struct {
 	// into the same stream the runtime's pipeline stages go to. Nil
 	// disables profiling.
 	Profile *obs.Recorder
+	// Trace attaches the end-to-end tracing layer: every admitted job gets
+	// a root span context derived from TraceSeed and its ID, sched stamps
+	// its enqueue/admit/preempt events with child spans, the executor
+	// runtime propagates the context through its launch pipeline (and the
+	// transport's message headers), and the tracer tail-samples the
+	// assembled trace at job finish. Requires Profile — spans reach the
+	// tracer through the recorder's sink. Nil disables tracing.
+	Trace *trace.Tracer
+	// TraceSeed seeds root trace-ID derivation; 0 defaults to 1. Fixed
+	// seeds give reproducible trace IDs for seeded workloads.
+	TraceSeed uint64
+	// TraceSlowQuantile is the live sched_job_latency_ns quantile wired
+	// into the tracer as its slow-trace threshold: a finished job whose
+	// latency reaches that quantile's current value is retained. 0
+	// defaults to 0.99; negative leaves the tracer's own threshold alone.
+	TraceSlowQuantile float64
 	// Durable configures the write-ahead job journal (Metrics/Prof inside
 	// it are ignored — the scheduler supplies its own). An empty Dir runs
 	// in-memory only. With a Dir set, every admission decision is journaled
@@ -85,6 +103,22 @@ type executor struct {
 	rt *rt.Runtime
 }
 
+// Child-key layout under a job's root span context. The enqueue mark is a
+// fixed child; per-attempt events pack the attempt number above a small
+// kind index so preemption re-runs never collide; the runtime's per-attempt
+// context hangs off tcJobExec and partitions its own key space below it.
+const (
+	tcJobEnqueue = 1
+	tcJobAdmit   = 2
+	tcJobPreempt = 3
+	tcJobExec    = 4
+)
+
+// attemptTC derives the span context for attempt n's kind-k event.
+func attemptTC(root obs.TraceRef, n int, k uint64) obs.TraceRef {
+	return root.Child(uint64(n)<<8 | k)
+}
+
 // Scheduler is the concurrent front end over the policy core: Submit runs
 // admission and wakes the executor pool; executors dispatch from the queue,
 // run job bodies on their runtimes, fence, recycle and report back. All
@@ -117,11 +151,13 @@ type Scheduler struct {
 
 	execs []*executor
 
-	reg   *metrics.Registry
-	mx    *metrics.Scheduler
-	mxOn  bool
-	prof  *obs.Recorder
-	epoch time.Time
+	reg       *metrics.Registry
+	mx        *metrics.Scheduler
+	mxOn      bool
+	prof      *obs.Recorder
+	tracer    *trace.Tracer
+	traceSeed uint64
+	epoch     time.Time
 
 	tenants map[string]*tenantState
 
@@ -163,11 +199,38 @@ func New(cfg Config) (*Scheduler, error) {
 		mx:        metrics.NewScheduler(reg),
 		mxOn:      cfg.Metrics != nil,
 		prof:      cfg.Profile,
+		tracer:    cfg.Trace,
+		traceSeed: cfg.TraceSeed,
 		epoch:     time.Now(),
 		tenants:   map[string]*tenantState{},
 		tickStop:  make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if s.traceSeed == 0 {
+		s.traceSeed = 1
+	}
+	if s.tracer != nil {
+		// Span-stamped events reach the tracer through the recorder's sink
+		// tee; untraced events never touch it.
+		if s.prof != nil {
+			s.prof.SetSink(s.tracer.Sink())
+		}
+		if q := cfg.TraceSlowQuantile; q >= 0 {
+			if q == 0 {
+				q = 0.99
+			}
+			lat := s.mx.JobLatency
+			s.tracer.SetSlowThreshold(func() int64 { return lat.Quantile(q) })
+		}
+	}
+	if s.prof != nil {
+		// Ring-overflow drops: events overwritten before any snapshot read
+		// them. Pull-style so the recorder's record path stays branch-free.
+		prof := s.prof
+		reg.GaugeFunc("obs_dropped_events",
+			"Profile events overwritten in the recorder rings before being snapshot.",
+			prof.Dropped)
+	}
 	if cfg.Durable.Dir != "" {
 		kinds := cfg.Kinds
 		if kinds == nil {
@@ -340,6 +403,11 @@ func MustNew(cfg Config) *Scheduler {
 // sched.Serve, which also mounts the job-submission API.
 func (s *Scheduler) Registry() *metrics.Registry { return s.reg }
 
+// Tracer returns the attached tracing layer; nil when tracing is off.
+// trace's handlers and status methods are nil-safe, so callers may mount
+// and query it unconditionally.
+func (s *Scheduler) Tracer() *trace.Tracer { return s.tracer }
+
 // nowNS reads the scheduler's timebase: the profiler's clock when attached
 // (so admit spans and the runtime's pipeline spans share one axis), wall
 // time since creation otherwise.
@@ -444,8 +512,15 @@ func (s *Scheduler) submitKeyed(spec JobSpec, key string) (JobID, error) {
 	s.journalOp(op{K: opSubmit, Job: j.ID, Spec: wireFromJob(j), Key: key})
 	if s.timed() {
 		j.enqueueNS = s.nowNS()
+		if s.tracer != nil {
+			// Root derivation is a pure function of (seed, ID): a seeded
+			// workload reproduces its trace IDs run over run.
+			j.tc = obs.NewTraceRef(s.traceSeed ^ uint64(j.ID)*0x9e3779b97f4a7c15)
+			s.tracer.Begin(j.tc, uint64(j.ID), spec.Tenant, j.enqueueNS)
+		}
 		if s.prof != nil {
-			s.prof.Mark(0, obs.StageEnqueue, "", "tenant:"+spec.Tenant, domain.Point{}, j.enqueueNS)
+			s.prof.MarkTC(j.tc.Child(tcJobEnqueue), 0, obs.StageEnqueue, "", "tenant:"+spec.Tenant,
+				domain.Pt1(int64(j.ID)), j.enqueueNS)
 		}
 	}
 	s.syncDepthGauges(spec.Tenant)
@@ -513,7 +588,8 @@ func (s *Scheduler) executorLoop(ex *executor) {
 			s.cond.Wait()
 		}
 		j.state = JobRunning
-		j.pctx = &JobContext{Job: j.ID, Tenant: j.Spec.Tenant, Attempt: j.attempts, preempt: make(chan struct{})}
+		j.pctx = &JobContext{Job: j.ID, Tenant: j.Spec.Tenant, Attempt: j.attempts,
+			Trace: j.tc, preempt: make(chan struct{})}
 		ts := s.tenant(j.Spec.Tenant)
 		if !resumed {
 			ts.adm++
@@ -522,9 +598,13 @@ func (s *Scheduler) executorLoop(ex *executor) {
 			var admitNS int64
 			if s.timed() {
 				admitNS = s.nowNS()
-				s.mx.QueueWait.Observe(admitNS - j.enqueueNS)
+				s.mx.QueueWait.ObserveExemplar(admitNS-j.enqueueNS, j.tc.Trace)
 				if s.prof != nil {
-					s.prof.Span(0, obs.StageAdmit, "", "tenant:"+j.Spec.Tenant, domain.Point{}, j.enqueueNS, admitNS)
+					// The admit span carries the executor that dispatched the
+					// job as its node and the job ID as its point.
+					s.prof.SpanTC(attemptTC(j.tc, j.attempts, tcJobAdmit), ex.id,
+						obs.StageAdmit, "", "tenant:"+j.Spec.Tenant,
+						domain.Pt1(int64(j.ID)), j.enqueueNS, admitNS)
 				}
 			}
 		}
@@ -542,9 +622,12 @@ func (s *Scheduler) executorLoop(ex *executor) {
 			j.state = JobQueued
 			j.preemptRequested = false
 			j.pctx = nil
+			j.preempted = true
 			s.mx.Preemptions.Inc()
 			if s.prof != nil {
-				s.prof.Mark(0, obs.StagePreempt, "", "tenant:"+j.Spec.Tenant, domain.Point{}, s.nowNS())
+				s.prof.MarkTC(attemptTC(j.tc, j.attempts, tcJobPreempt), ex.id,
+					obs.StagePreempt, "", "tenant:"+j.Spec.Tenant,
+					domain.Pt1(int64(j.ID)), s.nowNS())
 			}
 			s.syncDepthGauges(j.Spec.Tenant)
 		} else {
@@ -569,7 +652,23 @@ func (s *Scheduler) runJob(ex *executor, j *Job, jc *JobContext) (err error) {
 		// programmatically, so no wire form survived the restart).
 		return ErrNotRecoverable
 	}
+	var execTC obs.TraceRef
+	var execStart int64
+	if j.tc.Valid() {
+		// Everything the runtime issues for this attempt hangs off one
+		// per-attempt child, so a preemption re-run gets fresh span
+		// identities. Recycle below clears it. The attempt span itself is
+		// recorded after the body returns — without it the launches' spans
+		// would dangle as orphan roots in the assembled tree.
+		execTC = attemptTC(j.tc, jc.Attempt, tcJobExec)
+		ex.rt.SetTraceRef(execTC)
+		execStart = s.nowNS()
+	}
 	err = j.Spec.Run(jc, ex.rt)
+	if execTC.Valid() {
+		s.prof.SpanTC(execTC, ex.id, obs.StageExecute, "", "attempt:"+strconv.Itoa(jc.Attempt),
+			domain.Pt1(int64(j.ID)), execStart, s.nowNS())
+	}
 	ferr := ex.rt.FenceErr()
 	if err == nil {
 		err = ferr
@@ -601,8 +700,19 @@ func (s *Scheduler) finishLocked(j *Job, err error) {
 	s.journalOp(op{K: opComplete, Job: j.ID, Fail: err != nil, Msg: msg})
 	s.moveToTerminal(j, err != nil, msg)
 	close(j.done)
+	var latNS int64
 	if s.timed() && j.enqueueNS > 0 {
-		s.mx.JobLatency.Observe(s.nowNS() - j.enqueueNS)
+		latNS = s.nowNS() - j.enqueueNS
+		s.mx.JobLatency.ObserveExemplar(latNS, j.tc.Trace)
+	}
+	if s.tracer != nil && j.tc.Valid() {
+		s.tracer.Finish(j.tc, s.nowNS(), trace.Outcome{
+			Failed:    err != nil,
+			Preempted: j.preempted,
+			Retried:   j.attempts > 1,
+			LatencyNS: latNS,
+			Err:       msg,
+		})
 	}
 	s.syncDepthGauges(j.Spec.Tenant)
 	if s.drainNS != 0 && s.core.idle() && s.prof != nil {
@@ -626,6 +736,15 @@ func (s *Scheduler) finishExpiredLocked(expired []*Job) {
 		s.mx.Expired.Inc()
 		s.moveToTerminal(j, true, ErrDeadlineExpired.Error())
 		close(j.done)
+		if s.tracer != nil && j.tc.Valid() {
+			var latNS int64
+			if s.timed() && j.enqueueNS > 0 {
+				latNS = s.nowNS() - j.enqueueNS
+			}
+			s.tracer.Finish(j.tc, s.nowNS(), trace.Outcome{
+				Failed: true, LatencyNS: latNS, Err: ErrDeadlineExpired.Error(),
+			})
+		}
 		s.syncDepthGauges(j.Spec.Tenant)
 	}
 }
@@ -834,6 +953,9 @@ func (s *Scheduler) Shutdown() {
 		j.err = ErrSchedulerClosed
 		s.moveToTerminal(j, true, ErrSchedulerClosed.Error())
 		close(j.done)
+		// Abandoned-at-shutdown traces are noise, not signal: discard the
+		// buffers instead of retaining one failed trace per queued job.
+		s.tracer.Abort(j.tc)
 	}
 	s.syncDepthGauges("")
 	s.mu.Unlock()
@@ -898,6 +1020,12 @@ type Status struct {
 	Tenants          []TenantStatus `json:"tenants"`
 	// Durability is present when the write-ahead journal is enabled.
 	Durability *DurabilityStatus `json:"durability,omitempty"`
+	// Tracing is the recent-traces panel, present when a tracer is
+	// attached.
+	Tracing *trace.Status `json:"tracing,omitempty"`
+	// ObsDroppedEvents counts profile events overwritten in the recorder
+	// rings before any snapshot read them (present with a recorder).
+	ObsDroppedEvents int64 `json:"obs_dropped_events,omitempty"`
 }
 
 // Status snapshots the scheduler. Safe for concurrent use; intended as a
@@ -913,6 +1041,13 @@ func (s *Scheduler) Status() Status {
 		Running:          len(s.core.running),
 		CapacityPermille: int64(s.capacity * 1000),
 		Decisions:        s.core.seq,
+	}
+	if s.tracer != nil {
+		ts := s.tracer.StatusInfo()
+		st.Tracing = &ts
+	}
+	if s.prof != nil {
+		st.ObsDroppedEvents = s.prof.Dropped()
 	}
 	if s.jn != nil {
 		ws := s.jn.log.Stats()

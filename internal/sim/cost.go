@@ -211,6 +211,12 @@ type Config struct {
 	// face of the rt/sim parity guarantee. Nil disables metrics; the
 	// simulated timings are identical either way.
 	Metrics *metrics.Registry
+	// TraceSeed, when non-zero and a Profile is attached, stamps every
+	// recorded span with a trace context rooted at NewTraceRef(TraceSeed):
+	// launch i's spans hang off root.Child(i+1), mirroring the span tree an
+	// rt run of the same workload produces — the tracing face of the rt/sim
+	// parity guarantee. 0 records untraced spans as before.
+	TraceSeed uint64
 }
 
 // Label renders the configuration the way the paper's legends do.

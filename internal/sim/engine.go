@@ -80,7 +80,7 @@ func Run(cfg Config, prog Program) (Result, error) {
 	// edges) and the last span on each processor lane (for the queueing
 	// edges the critical-path walk follows through busy processors).
 	rec := cfg.Profile
-	em := newEmitter(rec, cfg.Metrics)
+	em := newEmitter(rec, cfg.Metrics, cfg.TraceSeed)
 	var mx *metrics.Pipeline
 	if em != nil {
 		mx = em.mx
@@ -104,6 +104,7 @@ func Run(cfg Config, prog Program) (Result, error) {
 		if l.Points <= 0 {
 			return Result{}, fmt.Errorf("sim: launch %q has %d points", l.Name, l.Points)
 		}
+		em.beginLaunch(li)
 		// Replay holds for body launches after the first body iteration.
 		replay := false
 		if inBody[li] && cfg.Tracing {
@@ -264,7 +265,7 @@ func Run(cfg Config, prog Program) (Result, error) {
 					mx.Retries.Inc()
 				}
 				if rec != nil {
-					rec.Mark(node, obs.StageRetry, l.Name, l.Name, domain.Pt1(int64(p)), profNS(start))
+					rec.MarkTC(em.segTC(node, obs.StageRetry), node, obs.StageRetry, l.Name, l.Name, domain.Pt1(int64(p)), profNS(start))
 				}
 			}
 			end := start + busy
@@ -285,7 +286,7 @@ func Run(cfg Config, prog Program) (Result, error) {
 					mx.SpecWasted.Inc()
 				}
 				if rec != nil {
-					rec.Mark(node, obs.StageSpeculate, l.Name, l.Name, domain.Pt1(int64(p)), profNS(backupStart))
+					rec.MarkTC(em.segTC(node, obs.StageSpeculate), node, obs.StageSpeculate, l.Name, l.Name, domain.Pt1(int64(p)), profNS(backupStart))
 				}
 				if backupEnd < end {
 					// Backup wins; the straggling original is cancelled at
@@ -318,7 +319,7 @@ func Run(cfg Config, prog Program) (Result, error) {
 				if bindID != 0 {
 					rec.Edge(bindID, id)
 				}
-				rec.SpanID(id, node, obs.StageExecute, l.Name, l.Name,
+				rec.SpanIDTC(em.segTC(node, obs.StageExecute), id, node, obs.StageExecute, l.Name, l.Name,
 					domain.Pt1(int64(p)), profNS(start), profNS(end))
 				gpuLast[node][gi] = id
 			}
@@ -343,7 +344,7 @@ func Run(cfg Config, prog Program) (Result, error) {
 		// Every simulated run implicitly ends with an execution fence: the
 		// makespan is its completion time. Recording it keeps the stage set
 		// identical to a fenced internal/rt run of the same workload.
-		rec.Span(0, obs.StageFence, "", "fence", domain.Point{}, profNS(res.MakespanSec), profNS(res.MakespanSec))
+		rec.SpanTC(em.fenceTC(), 0, obs.StageFence, "", "fence", domain.Point{}, profNS(res.MakespanSec), profNS(res.MakespanSec))
 		rec.SetWall(profNS(res.MakespanSec))
 	}
 	return res, nil
@@ -516,14 +517,14 @@ func runCentralized(cfg Config, em *emitter, l Launch, replay bool, phys, checkC
 				res.MsgRetransmits++
 				res.HopSends++
 				if rec != nil {
-					rec.Mark(parent, obs.StageRetransmit, l.Name, l.Name, domain.Point{}, profNS(t))
+					rec.MarkTC(em.segTC(parent, obs.StageRetransmit), parent, obs.StageRetransmit, l.Name, l.Name, domain.Point{}, profNS(t))
 				}
 			}
 			t += hopCost
 			arrival[node] = t
 			if rec != nil {
-				rec.Span(parent, obs.StageSend, l.Name, l.Name, domain.Point{}, profNS(sendStart), profNS(t))
-				rec.Mark(node, obs.StageRecv, l.Name, l.Name, domain.Point{}, profNS(t))
+				rec.SpanTC(em.segTC(parent, obs.StageSend), parent, obs.StageSend, l.Name, l.Name, domain.Point{}, profNS(sendStart), profNS(t))
+				rec.MarkTC(em.segTC(node, obs.StageRecv), node, obs.StageRecv, l.Name, l.Name, domain.Point{}, profNS(t))
 			}
 		}
 		for node := range rtFree {
@@ -597,7 +598,7 @@ func runCentralized(cfg Config, em *emitter, l Launch, replay bool, phys, checkC
 			res.MsgRetransmits++
 			res.HopSends++
 			if rec := cfg.Profile; rec != nil {
-				rec.Mark(0, obs.StageRetransmit, l.Name, l.Name, domain.Pt1(int64(p)), profNS(arr))
+				rec.MarkTC(em.segTC(0, obs.StageRetransmit), 0, obs.StageRetransmit, l.Name, l.Name, domain.Pt1(int64(p)), profNS(arr))
 			}
 		}
 		start := destFree[node]

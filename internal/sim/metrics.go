@@ -18,14 +18,62 @@ import (
 type emitter struct {
 	rec *obs.Recorder
 	mx  *metrics.Pipeline
+
+	// Trace-context state (Config.TraceSeed): root is the run's root span
+	// context, ltc the current launch's, tcn the child-key cursor for the
+	// launch's non-issue segments. The engine is single-threaded, so a
+	// plain counter derives deterministic span identities.
+	root obs.TraceRef
+	ltc  obs.TraceRef
+	tcn  uint64
 }
 
-func newEmitter(rec *obs.Recorder, reg *metrics.Registry) *emitter {
+func newEmitter(rec *obs.Recorder, reg *metrics.Registry, traceSeed uint64) *emitter {
 	mx := metrics.NewPipeline(reg)
 	if rec == nil && mx == nil {
 		return nil
 	}
-	return &emitter{rec: rec, mx: mx}
+	em := &emitter{rec: rec, mx: mx}
+	if rec != nil && traceSeed != 0 {
+		em.root = obs.NewTraceRef(traceSeed)
+	}
+	return em
+}
+
+// beginLaunch opens launch li's span context. Launch contexts are children
+// of the run root keyed by launch index, so a fixed (program, seed) yields
+// identical span identities run over run.
+func (em *emitter) beginLaunch(li int) {
+	if em == nil || !em.root.Valid() {
+		return
+	}
+	em.ltc = em.root.Child(uint64(li) + 1)
+	em.tcn = 0
+}
+
+// segTC derives the span context for the current launch's next segment.
+// Node 0's issue segment carries the launch context itself — mirroring rt,
+// where the issue span is the launch span every other stage hangs off — so
+// execute spans and hop marks land under it in the tree. Everything else
+// (including DCR replicas' issue segments) gets the next child key.
+func (em *emitter) segTC(node int, st obs.Stage) obs.TraceRef {
+	if em == nil || !em.ltc.Valid() {
+		return obs.TraceRef{}
+	}
+	if st == obs.StageIssue && node == 0 {
+		return em.ltc
+	}
+	em.tcn++
+	return em.ltc.Child(em.tcn)
+}
+
+// fenceTC is the run-final fence span's context: a root child keyed far
+// above any launch index.
+func (em *emitter) fenceTC() obs.TraceRef {
+	if em == nil || !em.root.Valid() {
+		return obs.TraceRef{}
+	}
+	return em.root.Child(1 << 32)
 }
 
 // stageHist maps a span stage to its latency histogram. Replay segments

@@ -24,7 +24,8 @@ func profNS(sec float64) int64 { return int64(sec * 1e9) }
 func profSeg(em *emitter, node int, st obs.Stage, launch string, start, dur float64) float64 {
 	if dur > 0 {
 		if em.rec != nil {
-			em.rec.Span(node, st, launch, launch, domain.Point{}, profNS(start), profNS(start+dur))
+			em.rec.SpanTC(em.segTC(node, st), node, st, launch, launch,
+				domain.Point{}, profNS(start), profNS(start+dur))
 		}
 		em.stageHist(st).Observe(profNS(dur))
 	}

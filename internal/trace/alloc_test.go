@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"testing"
+
+	"indexlaunch/internal/obs"
+)
+
+// The disabled-tracing contract, enforced in CI beside the metrics/obs
+// zero-alloc gates: with no tracer configured (nil *Tracer, zero TraceRef),
+// every hook on the hot path costs one branch and zero allocations.
+
+func TestDisabledTracingAllocatesNothing(t *testing.T) {
+	var tr *Tracer
+	var zero obs.TraceRef
+	ev := obs.Event{Stage: obs.StageExecute, Start: 1, Dur: 2}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tc := zero.Child(7)
+		tr.Begin(tc, 1, "a", 0)
+		tr.Record(ev)
+		tr.Finish(tc, 3, Outcome{})
+		tr.Abort(tc)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// A live tracer must also ignore untraced events without allocating: the
+// sink tee already filters them, but Record itself is reachable.
+func TestUntracedRecordAllocatesNothing(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := obs.Event{Stage: obs.StageExecute, Start: 1, Dur: 2} // Trace == 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Record(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced Record allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Query API, mounted by the scheduler's HTTP handler beside /jobs and the
+// metrics endpoints:
+//
+//	GET /trace           recent retained traces (JSON summaries)
+//	GET /trace/{id}      one trace by hex trace ID or decimal job ID
+//	    ?format=chrome   as Chrome trace_event JSON (chrome://tracing)
+//	    ?format=text     as the idxprof-style timeline rendering
+//
+// Traces are retained in a bounded ring, so a 404 means "never retained
+// or already evicted", mirroring the job API's retention semantics.
+
+// Handler serves the trace query API. Works on a nil tracer: every trace
+// lookup 404s and the listing is empty, so callers can mount it
+// unconditionally.
+func (t *Tracer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, req *http.Request) {
+		n, _ := strconv.Atoi(req.URL.Query().Get("n"))
+		if n <= 0 {
+			n = 32
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		summaries := t.Recent(n)
+		if summaries == nil {
+			summaries = []Summary{}
+		}
+		_ = json.NewEncoder(w).Encode(summaries)
+	})
+	mux.HandleFunc("GET /trace/{id}", func(w http.ResponseWriter, req *http.Request) {
+		tr, ok := t.Get(req.PathValue("id"))
+		if !ok {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusNotFound)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"error": fmt.Sprintf("trace %q not retained (or evicted)", req.PathValue("id")),
+			})
+			return
+		}
+		switch req.URL.Query().Get("format") {
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = tr.Profile().WriteChromeTrace(w)
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = tr.Render(w)
+		default:
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = json.NewEncoder(w).Encode(tr)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"indexlaunch/internal/obs"
+)
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr := mustNew(t, Config{})
+	h := tr.Handler()
+
+	// Empty listing is a JSON array, not null.
+	w := get(t, h, "/trace")
+	if w.Code != http.StatusOK || strings.TrimSpace(w.Body.String()) != "[]" {
+		t.Fatalf("empty listing: %d %q", w.Code, w.Body.String())
+	}
+
+	tc := obs.NewTraceRef(1)
+	feed(t, tr, tc, 7)
+	tr.Finish(tc, 50, Outcome{Failed: true, Err: "boom"})
+
+	// Listing carries the retained summary.
+	var sums []Summary
+	if err := json.Unmarshal(get(t, h, "/trace").Body.Bytes(), &sums); err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || sums[0].JobID != 7 || sums[0].Why != "failed" {
+		t.Fatalf("listing = %+v", sums)
+	}
+
+	// By job ID, JSON round-trips through the idxprof rendering types.
+	var got Trace
+	if err := json.Unmarshal(get(t, h, "/trace/7").Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Why != "failed" || len(got.Spans) != 4 {
+		t.Fatalf("trace payload wrong: %+v", got)
+	}
+
+	// By hex trace ID with the alternate formats.
+	hexID := strconv.FormatUint(tc.Trace, 16)
+	if w := get(t, h, "/trace/"+hexID+"?format=text"); w.Code != http.StatusOK ||
+		!strings.Contains(w.Body.String(), "why=failed") {
+		t.Fatalf("text format: %d %q", w.Code, w.Body.String())
+	}
+	if w := get(t, h, "/trace/"+hexID+"?format=chrome"); w.Code != http.StatusOK ||
+		!strings.Contains(w.Body.String(), "traceEvents") {
+		t.Fatalf("chrome format: %d", w.Code)
+	}
+
+	// Unknown ID 404s with a JSON error body.
+	if w := get(t, h, "/trace/999"); w.Code != http.StatusNotFound ||
+		!strings.Contains(w.Body.String(), "not retained") {
+		t.Fatalf("404 path: %d %q", w.Code, w.Body.String())
+	}
+}
+
+func TestNilTracerHandler(t *testing.T) {
+	var tr *Tracer
+	h := tr.Handler()
+	if w := get(t, h, "/trace"); w.Code != http.StatusOK {
+		t.Fatalf("nil tracer listing: %d", w.Code)
+	}
+	if w := get(t, h, "/trace/1"); w.Code != http.StatusNotFound {
+		t.Fatalf("nil tracer lookup: %d", w.Code)
+	}
+}
+
+// TestConcurrentQueryWhileRecording hammers GET /trace and GET /trace/{id}
+// while producers record spans and finish traces — the race-detector proof
+// that the query API needs no quiesced tracer.
+func TestConcurrentQueryWhileRecording(t *testing.T) {
+	tr := mustNew(t, Config{MaxRetained: 8})
+	h := tr.Handler()
+	const jobs = 200
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i <= jobs; i++ {
+			tc := obs.NewTraceRef(i)
+			tr.Begin(tc, i, "a", int64(i))
+			for k := uint64(1); k <= 8; k++ {
+				c := tc.Child(k)
+				tr.Record(obs.Event{Stage: obs.StageExecute, Start: int64(i),
+					Dur: 1, Trace: c.Trace, Span: c.Span, Parent: c.Parent})
+			}
+			tr.Finish(tc, int64(i)+10, Outcome{Failed: i%2 == 0})
+		}
+	}()
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := strconv.Itoa(i%jobs + 1)
+				switch i % 3 {
+				case 0:
+					get(t, h, "/trace")
+				case 1:
+					get(t, h, "/trace/"+id)
+				default:
+					get(t, h, "/trace/"+id+"?format=text")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if st := tr.StatusInfo(); st.Retained == 0 {
+		t.Fatal("nothing retained after concurrent run")
+	}
+}

@@ -1,0 +1,95 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/machine"
+	"indexlaunch/internal/obs"
+	"indexlaunch/internal/rt"
+	"indexlaunch/internal/sim"
+	"indexlaunch/internal/trace"
+)
+
+// TestRTSimTraceParity is the tracing face of the rt/sim parity guarantee:
+// the same workload — N iterations of one index launch over P points on the
+// centralized path — run for real on internal/rt and through the
+// internal/sim cost model must reduce to the identical launch-granularity
+// span-tree shape for every seed in the matrix. (The centralized path is
+// the comparable one: under DCR the simulator replays issuance on every
+// node, so its issue-span multiplicity is by design N× rt's.)
+func TestRTSimTraceParity(t *testing.T) {
+	const nodes, points, iters = 4, 12, 3
+	for _, seed := range []uint64{1, 7, 42} {
+		rtShape := rtTraceShape(t, seed, nodes, points, iters)
+		simShape := simTraceShape(t, seed, nodes, points, iters)
+		if rtShape != simShape {
+			t.Errorf("seed %d: launch shapes differ:\n  rt:\n%s\n  sim:\n%s", seed, rtShape, simShape)
+		}
+		want := strings.Count(rtShape, "issue:step execute=12")
+		if want != iters {
+			t.Errorf("seed %d: rt shape degenerate (%d launches, want %d):\n%s",
+				seed, want, iters, rtShape)
+		}
+	}
+}
+
+func rtTraceShape(t *testing.T, seed uint64, nodes, points, iters int) string {
+	t.Helper()
+	rec := obs.NewRecorder("rt", nodes, 1<<14)
+	r := rt.MustNew(rt.Config{
+		Nodes: nodes, ProcsPerNode: 2, IndexLaunches: true, Profile: rec,
+	})
+	defer r.Shutdown()
+	id, err := r.RegisterTask("step", func(*rt.Context) ([]byte, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetTraceRef(obs.NewTraceRef(seed))
+	for i := 0; i < iters; i++ {
+		l, err := core.Forall("step", id, domain.Range1(0, int64(points-1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.ExecuteIndex(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.FenceErr(); err != nil {
+		t.Fatal(err)
+	}
+	return trace.LaunchShape(traced(rec.Snapshot().Events))
+}
+
+func simTraceShape(t *testing.T, seed uint64, nodes, points, iters int) string {
+	t.Helper()
+	rec := obs.NewRecorder("sim", nodes, 1<<14)
+	_, err := sim.Run(sim.Config{
+		Machine: machine.PizDaint(nodes), Cost: sim.DefaultCosts(),
+		IDX: true, Profile: rec, TraceSeed: seed,
+	}, sim.Program{
+		Name:       "parity",
+		Body:       []sim.Launch{{Name: "step", Points: points, ComputeSec: 1e-6}},
+		Iterations: iters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.LaunchShape(traced(rec.Snapshot().Events))
+}
+
+// traced filters to span-stamped events: the parity contract covers the
+// traced tree, not untraced background marks.
+func traced(evs []obs.Event) []obs.Event {
+	out := make([]obs.Event, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Trace != 0 {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

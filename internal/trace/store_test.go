@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strconv"
+	"testing"
+
+	"indexlaunch/internal/obs"
+)
+
+// The durable store must rebuild the retained ring — same traces, same
+// eviction order — when a Tracer reopens the same directory, which is the
+// restart-survival half of the tail-sampling contract.
+
+func TestStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	tr := mustNew(t, Config{Dir: dir, MaxRetained: 8})
+	for i := uint64(1); i <= 3; i++ {
+		tc := obs.NewTraceRef(i)
+		feed(t, tr, tc, i)
+		if re, _ := tr.Finish(tc, int64(10*i), Outcome{Failed: true, Err: "x"}); !re {
+			t.Fatalf("trace %d not retained", i)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustNew(t, Config{Dir: dir, MaxRetained: 8})
+	defer re.Close()
+	if st := re.StatusInfo(); st.Retained != 3 {
+		t.Fatalf("recovered %d traces, want 3", st.Retained)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		got, ok := re.Get(itoa(i))
+		if !ok {
+			t.Fatalf("job %d trace lost across restart", i)
+		}
+		if got.Why != "failed" || got.EndNS != int64(10*i) || len(got.Spans) != 4 {
+			t.Fatalf("job %d trace mangled across restart: %+v", i, got)
+		}
+	}
+	// New retains keep working against the reopened log.
+	tc := obs.NewTraceRef(9)
+	re.Begin(tc, 9, "a", 0)
+	if re2, _ := re.Finish(tc, 5, Outcome{Preempted: true}); !re2 {
+		t.Fatal("post-restart retain failed")
+	}
+}
+
+func TestStoreSnapshotCompactionPreservesRing(t *testing.T) {
+	dir := t.TempDir()
+	// SnapshotEvery 2 with MaxRetained 3: by trace 7 the ring has evicted
+	// 1-4 and snapshotted at least twice; recovery must land on exactly
+	// {5, 6, 7}.
+	tr := mustNew(t, Config{Dir: dir, MaxRetained: 3, SnapshotEvery: 2})
+	for i := uint64(1); i <= 7; i++ {
+		tc := obs.NewTraceRef(i)
+		tr.Begin(tc, i, "a", 0)
+		tr.Finish(tc, 10, Outcome{Failed: true})
+	}
+	stats := tr.StoreStats()
+	if stats.Snapshots == 0 {
+		t.Fatal("no wal snapshot written")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustNew(t, Config{Dir: dir, MaxRetained: 3, SnapshotEvery: 2})
+	defer re.Close()
+	if st := re.StatusInfo(); st.Retained != 3 {
+		t.Fatalf("recovered %d traces, want 3", st.Retained)
+	}
+	for i := uint64(5); i <= 7; i++ {
+		if _, ok := re.Get(itoa(i)); !ok {
+			t.Fatalf("job %d missing after compacted recovery", i)
+		}
+	}
+	if _, ok := re.Get("4"); ok {
+		t.Fatal("evicted trace resurrected by recovery")
+	}
+}
+
+func TestMemoryOnlyStoreStats(t *testing.T) {
+	tr := mustNew(t, Config{})
+	if s := tr.StoreStats(); s.Appends != 0 || s.Snapshots != 0 {
+		t.Fatalf("memory-only tracer reports store stats: %+v", s)
+	}
+}
+
+func itoa(u uint64) string {
+	return strconv.FormatUint(u, 10)
+}

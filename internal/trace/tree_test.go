@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"indexlaunch/internal/obs"
+)
+
+// Hand-built span sets exercising tree assembly, canonical shapes, and the
+// timeline rendering without a live runtime.
+
+func spanTreeFixture() (obs.TraceRef, []obs.Event) {
+	tc := obs.NewTraceRef(11)
+	admit := tc.Child(2)
+	issue := tc.Child(0x104)
+	ex0 := issue.Child(16)
+	ex1 := issue.Child(17)
+	return tc, []obs.Event{
+		{Stage: obs.StageJob, Start: 0, Dur: 100, Trace: tc.Trace, Span: tc.Span},
+		{Stage: obs.StageAdmit, Tag: "tenant:a", Start: 1, Dur: 2,
+			Trace: tc.Trace, Span: admit.Span, Parent: admit.Parent},
+		{Stage: obs.StageIssue, Tag: "spin", Start: 5, Dur: 90,
+			Trace: tc.Trace, Span: issue.Span, Parent: issue.Parent},
+		{Stage: obs.StageExecute, Tag: "spin", Start: 10, Dur: 40,
+			Trace: tc.Trace, Span: ex0.Span, Parent: ex0.Parent},
+		{Stage: obs.StageExecute, Tag: "spin", Start: 12, Dur: 44,
+			Trace: tc.Trace, Span: ex1.Span, Parent: ex1.Parent},
+	}
+}
+
+func TestTreeLinksAndOrphans(t *testing.T) {
+	_, spans := spanTreeFixture()
+	roots := Tree(spans)
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	job := roots[0]
+	if job.Ev.Stage != obs.StageJob || len(job.Children) != 2 {
+		t.Fatalf("root wrong: stage %v, %d children", job.Ev.Stage, len(job.Children))
+	}
+	// Children ordered by start: admit (1) before issue (5).
+	if job.Children[0].Ev.Stage != obs.StageAdmit || job.Children[1].Ev.Stage != obs.StageIssue {
+		t.Fatalf("child order wrong: %v, %v", job.Children[0].Ev.Stage, job.Children[1].Ev.Stage)
+	}
+	if n := len(job.Children[1].Children); n != 2 {
+		t.Fatalf("issue has %d children, want 2", n)
+	}
+	// A span whose parent was dropped becomes a root, not a lost node.
+	orphan := obs.Event{Stage: obs.StageSend, Span: 0xdead, Parent: 0xfeed, Start: 50}
+	roots = Tree(append(spans, orphan))
+	if len(roots) != 2 {
+		t.Fatalf("orphaned span did not surface as a root: %d roots", len(roots))
+	}
+}
+
+func TestShapeCanonical(t *testing.T) {
+	_, spans := spanTreeFixture()
+	want := "job(admit,issue(execute,execute))"
+	if got := Shape(spans); got != want {
+		t.Fatalf("Shape = %q, want %q", got, want)
+	}
+	// Shape is order-independent: reversing the span slice changes nothing.
+	rev := make([]obs.Event, len(spans))
+	for i, ev := range spans {
+		rev[len(spans)-1-i] = ev
+	}
+	if got := Shape(rev); got != want {
+		t.Fatalf("Shape order-sensitive: %q", got)
+	}
+}
+
+func TestLaunchShapeCountsExecutes(t *testing.T) {
+	_, spans := spanTreeFixture()
+	if got := LaunchShape(spans); got != "issue:spin execute=2" {
+		t.Fatalf("LaunchShape = %q", got)
+	}
+}
+
+func TestRenderAndStages(t *testing.T) {
+	tc, spans := spanTreeFixture()
+	tr := &Trace{TraceID: "abc", JobID: 3, Tenant: "a", Why: "slow",
+		StartNS: 0, EndNS: 100, Spans: spans, Truncated: 1}
+	_ = tc
+	var b strings.Builder
+	if err := tr.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"job 3", "why=slow", "(1 truncated)", "admit", "issue", "execute"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Indentation reflects depth: the execute stage column sits right of
+	// its parent issue span's column.
+	var issueCol, exCol int
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.Index(line, "issue"); i >= 0 {
+			issueCol = i
+		}
+		if i := strings.Index(line, "execute"); i >= 0 {
+			exCol = i
+		}
+	}
+	if issueCol == 0 || exCol <= issueCol {
+		t.Fatalf("execute (col %d) not indented below issue (col %d):\n%s", exCol, issueCol, out)
+	}
+	got := tr.Stages()
+	want := []string{"admit", "execute", "issue", "job"}
+	if len(got) != len(want) {
+		t.Fatalf("Stages = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Stages = %v, want %v", got, want)
+		}
+	}
+}

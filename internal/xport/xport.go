@@ -121,12 +121,25 @@ type Item struct {
 	Payload any
 }
 
-// msg is one in-flight payload with its remaining relay route.
+// msg is one in-flight payload with its remaining relay route. tc and
+// itemKey are the message header's span context: tc is the broadcast
+// parent span (the launch's distribute span) and itemKey disambiguates
+// the items of one broadcast, so every hop of every item derives a
+// distinct child span. A zero tc is an untraced message.
 type msg struct {
 	tag     string
 	route   []int // remaining hops; the last entry is the destination
 	payload any
 	done    func()
+	tc      obs.TraceRef
+	itemKey uint64
+}
+
+// hopTC derives the span context for one hop of this message — a pure
+// function of (header, link), so sender and receiver agree on the hop
+// span without coordination.
+func (m *msg) hopTC(lk link) obs.TraceRef {
+	return m.tc.Child(m.itemKey<<16 | uint64(lk.dst) + 1)
 }
 
 // Transport is the in-process message fabric. One Transport belongs to one
@@ -240,6 +253,14 @@ func (t *Transport) Stats() Stats {
 // liveness snapshot (node-0-local and dead-node payloads never enter the
 // transport).
 func (t *Transport) Broadcast(tag string, items []Item) {
+	t.BroadcastTraced(obs.TraceRef{}, tag, items)
+}
+
+// BroadcastTraced is Broadcast with a span context riding the message
+// headers: every hop of item i becomes a send span parented on tc (with
+// recv and retransmit children), so a traced job's broadcast fan-out
+// shows up in its span tree hop by hop. A zero tc is plain Broadcast.
+func (t *Transport) BroadcastTraced(tc obs.TraceRef, tag string, items []Item) {
 	if len(items) == 0 {
 		return
 	}
@@ -267,8 +288,9 @@ func (t *Transport) Broadcast(tag string, items []Item) {
 
 	var wg sync.WaitGroup
 	wg.Add(len(items))
-	for _, it := range items {
-		m := &msg{tag: tag, route: plan.routes[it.Dst], payload: it.Payload, done: wg.Done}
+	for i, it := range items {
+		m := &msg{tag: tag, route: plan.routes[it.Dst], payload: it.Payload, done: wg.Done,
+			tc: tc, itemKey: uint64(i + 1)}
 		go t.ship(0, m)
 	}
 	wg.Wait()
@@ -302,6 +324,7 @@ func (t *Transport) sendReliable(lk link, m *msg) {
 	if t.prof != nil {
 		start = t.prof.Now()
 	}
+	htc := m.hopTC(lk)
 	for attempt := 1; ; attempt++ {
 		t.transmit(lk, seq, attempt, m)
 		wait := t.rp.waitFor(attempt) + t.chaos.jitter(t.rp.waitFor(attempt), lk, seq, attempt)
@@ -310,14 +333,14 @@ func (t *Transport) sendReliable(lk link, m *msg) {
 		case <-ack:
 			timer.Stop()
 			if t.prof != nil {
-				t.prof.Span(lk.src, obs.StageSend, "xfer", m.tag, domain.Point{}, start, t.prof.Now())
+				t.prof.SpanTC(htc, lk.src, obs.StageSend, "xfer", m.tag, domain.Point{}, start, t.prof.Now())
 			}
 			return
 		case <-timer.C:
 			t.mx.retransmits.Inc()
 			lc.retransmits.Inc()
 			if t.prof != nil {
-				t.prof.Mark(lk.src, obs.StageRetransmit, "xfer", m.tag, domain.Point{}, t.prof.Now())
+				t.prof.MarkTC(htc.Child(uint64(1+attempt)), lk.src, obs.StageRetransmit, "xfer", m.tag, domain.Point{}, t.prof.Now())
 			}
 		}
 	}
@@ -367,13 +390,14 @@ func (t *Transport) receive(lk link, seq uint64, attempt int, m *msg) {
 		t.mx.dedups.Inc()
 	} else {
 		if t.prof != nil {
-			t.prof.Mark(lk.dst, obs.StageRecv, "xfer", m.tag, domain.Point{}, t.prof.Now())
+			t.prof.MarkTC(m.hopTC(lk).Child(1), lk.dst, obs.StageRecv, "xfer", m.tag, domain.Point{}, t.prof.Now())
 		}
 		if len(m.route) == 1 {
 			t.hand(lk.dst, m.payload)
 			m.done()
 		} else {
-			next := &msg{tag: m.tag, route: m.route[1:], payload: m.payload, done: m.done}
+			next := &msg{tag: m.tag, route: m.route[1:], payload: m.payload, done: m.done,
+				tc: m.tc, itemKey: m.itemKey}
 			go t.ship(lk.dst, next)
 		}
 	}
