@@ -1,0 +1,232 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"indexlaunch/internal/trace"
+)
+
+// Multi-process cluster smoke test: three idxnode worker daemons and one
+// idxserve -cluster launcher, each a separate OS process, talking over real
+// localhost TCP sockets. A traced synthetic job must run to completion with
+// launch points executing on every worker, and its trace.LaunchShape must
+// be identical to the same job run on the in-process loopback path — the
+// cluster changes where bodies run, never the launch structure.
+
+// buildBinary compiles one cmd/ package into the test's temp dir.
+func buildBinary(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// startProc starts bin with args and scans its stdout until every wanted
+// banner substring has appeared, returning the full output seen so far.
+// The process is SIGKILLed (and reaped) on test cleanup.
+func startProc(t *testing.T, bin string, args []string, wants ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Signal(syscall.SIGKILL)
+		_, _ = cmd.Process.Wait()
+	})
+	buf := make([]byte, 4096)
+	var seen string
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, w := range wants {
+			if !strings.Contains(seen, w) {
+				all = false
+				break
+			}
+		}
+		if all {
+			go func() { _, _ = io.Copy(io.Discard, stdout) }()
+			return cmd, seen
+		}
+		n, rerr := stdout.Read(buf)
+		seen += string(buf[:n])
+		if rerr != nil && n == 0 {
+			break
+		}
+	}
+	t.Fatalf("%s banner %q not seen; got: %q", filepath.Base(bin), wants, seen)
+	return nil, ""
+}
+
+// bannerAddr extracts the address that follows marker on one stdout line.
+func bannerAddr(t *testing.T, seen, marker string) string {
+	t.Helper()
+	i := strings.Index(seen, marker)
+	if i < 0 {
+		t.Fatalf("marker %q not in %q", marker, seen)
+	}
+	rest := seen[i+len(marker):]
+	if j := strings.IndexAny(rest, " \n"); j >= 0 {
+		rest = rest[:j]
+	}
+	return strings.TrimSpace(rest)
+}
+
+// runTracedJob submits one synthetic job against base, waits for it to
+// finish, and returns its launch shape from the trace API.
+func runTracedJob(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"tenant":"a","tasks":24,"rounds":2}`))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	var sub struct {
+		ID int64 `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || sub.ID == 0 {
+		t.Fatalf("submit: id %d code %d err %v", sub.ID, resp.StatusCode, err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, sub.ID))
+		if err != nil {
+			t.Fatalf("GET /jobs/%d: %v", sub.ID, err)
+		}
+		var info struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode job %d: %v", sub.ID, err)
+		}
+		if resp.StatusCode == http.StatusOK && info.State == "done" {
+			break
+		}
+		if info.State == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job %d state %s", sub.ID, info.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// -trace-sample 1 head-samples everything, so the finished job's trace
+	// is retained and queryable by decimal job ID.
+	var tr trace.Trace
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/trace/%d", base, sub.ID))
+		if err != nil {
+			t.Fatalf("GET /trace/%d: %v", sub.ID, err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&tr)
+		code := resp.StatusCode
+		resp.Body.Close()
+		if err == nil && code == http.StatusOK && len(tr.Spans) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace for job %d never retained (last: %d %v)", sub.ID, code, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return trace.LaunchShape(tr.Spans)
+}
+
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	idxnode := buildBinary(t, "idxnode")
+	idxserve := buildBinary(t, "idxserve")
+
+	// Three workers, mesh nodes 1..3 of 4, each with a metrics endpoint so
+	// the test can interrogate its execution counters.
+	const nodes = 4
+	wireAddrs := make([]string, 0, nodes-1)
+	statusAddrs := make([]string, 0, nodes-1)
+	for n := 1; n < nodes; n++ {
+		_, seen := startProc(t, idxnode, []string{
+			"-node", fmt.Sprint(n), "-nodes", fmt.Sprint(nodes),
+			"-listen", "127.0.0.1:0", "-addr", "127.0.0.1:0",
+		}, "listening on ", "metrics on http://")
+		wireAddrs = append(wireAddrs, bannerAddr(t, seen, "listening on "))
+		statusAddrs = append(statusAddrs, bannerAddr(t, seen, "metrics on http://"))
+	}
+
+	_, seen := startProc(t, idxserve, []string{
+		"-addr", "127.0.0.1:0", "-cluster", strings.Join(wireAddrs, ","),
+		"-procs", "2", "-tick", "2ms", "-trace-sample", "1",
+	}, "http://", "cluster mode")
+	base := "http://" + bannerAddr(t, seen, "http://")
+
+	clusterShape := runTracedJob(t, base)
+	if !strings.Contains(clusterShape, "issue:"+syntheticTag+" execute=24") {
+		t.Fatalf("cluster launch shape: %q", clusterShape)
+	}
+
+	// Every worker process must have executed launch points: the job's
+	// domain block-maps 24 points over 4 nodes, so nodes 1..3 each own a
+	// slice of every round.
+	for i, sa := range statusAddrs {
+		resp, err := http.Get("http://" + sa + "/statusz")
+		if err != nil {
+			t.Fatalf("worker %d statusz: %v", i+1, err)
+		}
+		// metrics.Handler wraps the StatusFunc payload under "status".
+		var wrapped struct {
+			Status struct {
+				Node     int   `json:"node"`
+				Executed int64 `json:"executed"`
+				Slices   int   `json:"slices"`
+			} `json:"status"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&wrapped)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("worker %d statusz decode: %v", i+1, err)
+		}
+		st := wrapped.Status
+		if st.Node != i+1 || st.Executed == 0 {
+			t.Fatalf("worker %d executed %d points (statusz: %+v)", i+1, st.Executed, st)
+		}
+		if st.Slices == 0 {
+			t.Fatalf("worker %d received no slice descriptors", i+1)
+		}
+	}
+
+	// The same job on the in-process loopback path (same machine shape, no
+	// cluster) must produce the identical launch structure.
+	_, seen = startProc(t, idxserve, []string{
+		"-addr", "127.0.0.1:0", "-nodes", fmt.Sprint(nodes), "-executors", "1",
+		"-procs", "2", "-tick", "2ms", "-trace-sample", "1",
+	}, "http://")
+	loopBase := "http://" + bannerAddr(t, seen, "http://")
+	loopShape := runTracedJob(t, loopBase)
+
+	if clusterShape != loopShape {
+		t.Fatalf("launch shape diverged:\ncluster:\n%s\nloopback:\n%s", clusterShape, loopShape)
+	}
+}
+
+const syntheticTag = "sched_spin"

@@ -1,0 +1,162 @@
+// Command idxnode is the cluster worker daemon: one process per mesh node.
+// It opens a TCP wire fabric, joins the mesh rooted at the launcher
+// (idxserve -cluster), registers the task kinds it can execute, and serves
+// remote point executions and slice-descriptor deliveries until signalled.
+//
+//	idxnode -node 1 -nodes 3 -listen 127.0.0.1:7101
+//	idxnode -node 2 -nodes 3 -listen 127.0.0.1:7102
+//	idxserve -cluster 127.0.0.1:7101,127.0.0.1:7102 ...
+//
+// Workers do not need each other's addresses: the launcher's handshake
+// Hello carries the full address table, and sibling links dial lazily when
+// the broadcast tree first routes through them. With -addr the worker also
+// serves /metrics (the wire_* families) and /statusz (its peer table).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/metrics"
+	"indexlaunch/internal/rt"
+	"indexlaunch/internal/sched"
+	"indexlaunch/internal/wire"
+)
+
+func main() {
+	node := flag.Int("node", 0, "this worker's mesh node id (1..nodes-1; node 0 is the launcher)")
+	nodes := flag.Int("nodes", 0, "total mesh size including the launcher")
+	listen := flag.String("listen", "127.0.0.1:0", "wire listen address (host:port; :0 picks a port)")
+	addr := flag.String("addr", "", "optionally serve /metrics and /statusz on this address")
+	flag.Parse()
+
+	if *node < 1 || *nodes < 2 || *node >= *nodes {
+		fatal(fmt.Errorf("need -node in [1, nodes) and -nodes >= 2; got -node %d -nodes %d", *node, *nodes))
+	}
+
+	fab, err := wire.NewTCP(wire.TCPConfig{Self: *node, Listen: *listen})
+	if err != nil {
+		fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	w := &worker{self: *node}
+	m, err := wire.NewMesh(wire.MeshConfig{
+		Self:    *node,
+		Nodes:   *nodes,
+		Fabric:  fab,
+		Metrics: reg,
+		Deliver: w.deliver,
+		Exec:    w.exec,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	w.mesh = m
+
+	if *addr != "" {
+		srv, err := metrics.Serve(*addr, reg, w.status)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("idxnode: metrics on http://%s\n", srv.Addr())
+	}
+
+	// The banner is parsed by the cluster smoke harness: keep the format.
+	fmt.Printf("idxnode: node %d/%d listening on %s\n", *node, *nodes, fab.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Printf("idxnode: node %d stopping: %d points executed, %d slices received\n",
+		*node, w.executedCount(), w.sliceCount())
+	_ = m.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "idxnode:", err)
+	os.Exit(1)
+}
+
+// worker is the daemon's execution state: the task-kind registry plus the
+// slice descriptors the launcher has shipped it.
+type worker struct {
+	self int
+	mesh *wire.Mesh
+
+	mu       sync.Mutex
+	executed int64
+	slices   []rt.ClusterMsg
+	epoch    int64
+}
+
+// exec serves one remote point execution. The kind registry is static: the
+// synthetic spin task is the one workload the scheduler service launches
+// remotely today; unknown kinds fail the attempt (the launcher's retry
+// ladder and local fallback decide what happens next).
+func (w *worker) exec(task string, point domain.Point, args []byte) ([]byte, error) {
+	switch task {
+	case sched.SyntheticTaskName:
+		w.mu.Lock()
+		w.executed++
+		w.mu.Unlock()
+		return sched.SyntheticEval(point.X()), nil
+	default:
+		return nil, fmt.Errorf("idxnode: node %d has no task kind %q", w.self, task)
+	}
+}
+
+// deliver receives broadcast payloads: slice descriptors telling this
+// worker what it owns, and resync epochs after a rejoin.
+func (w *worker) deliver(node int, tag string, payload []byte) {
+	msg, err := rt.DecodeClusterPayload(payload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "idxnode: node %d: bad payload on %q: %v\n", w.self, tag, err)
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch msg.Kind {
+	case "slice":
+		w.slices = append(w.slices, msg)
+		if len(w.slices) > 1024 {
+			w.slices = w.slices[len(w.slices)-1024:]
+		}
+	case "resync":
+		w.epoch = msg.Epoch
+	}
+}
+
+func (w *worker) executedCount() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.executed
+}
+
+func (w *worker) sliceCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.slices)
+}
+
+// status is the /statusz payload: identity, counters and the live peer
+// table with its socket byte counts.
+func (w *worker) status() any {
+	w.mu.Lock()
+	executed, slices, epoch := w.executed, len(w.slices), w.epoch
+	w.mu.Unlock()
+	return struct {
+		Node     int               `json:"node"`
+		Nodes    int               `json:"nodes"`
+		Executed int64             `json:"executed"`
+		Slices   int               `json:"slices"`
+		Epoch    int64             `json:"epoch,omitempty"`
+		Peers    []wire.PeerStatus `json:"peers,omitempty"`
+	}{w.self, w.mesh.Nodes(), executed, slices, epoch, w.mesh.Peers()}
+}

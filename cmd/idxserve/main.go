@@ -55,6 +55,7 @@ import (
 	"indexlaunch/internal/sched"
 	"indexlaunch/internal/trace"
 	"indexlaunch/internal/wal"
+	"indexlaunch/internal/wire"
 )
 
 func main() {
@@ -63,6 +64,7 @@ func main() {
 	nodes := flag.Int("nodes", 4, "simulated nodes per executor runtime")
 	procs := flag.Int("procs", 2, "processors per simulated node")
 	dcr := flag.Bool("dcr", false, "dynamic control replication in executor runtimes (off keeps the centralized path, whose message transport is reused across jobs)")
+	cluster := flag.String("cluster", "", "cluster mode: comma-separated idxnode wire addresses; this process becomes mesh node 0 and launch points map onto the workers over TCP (forces -executors 1, overrides -nodes, excludes -dcr)")
 	queue := flag.String("queue", "fifo", "queue discipline: fifo | priority | fair")
 	weights := flag.String("weights", "", "fair-share weights as tenant=weight[,tenant=weight...]")
 	rate := flag.Float64("rate", 0, "default per-tenant admission rate in jobs/tick (0 = unlimited)")
@@ -171,7 +173,14 @@ func main() {
 			cfg.Trace = tr
 			cfg.TraceSeed = *traceSeed
 		}
-		if err := serve(*addr, cfg); err != nil {
+		var mesh *wire.Mesh
+		if *cluster != "" {
+			mesh, err = joinCluster(*cluster, &cfg)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if err := serve(*addr, cfg, mesh); err != nil {
 			fatal(err)
 		}
 	}
@@ -201,9 +210,51 @@ func parseWeights(s string) (map[string]int, error) {
 	return w, nil
 }
 
+// joinCluster turns the service into mesh node 0 of a real multi-process
+// cluster: it opens a TCP wire fabric, lists the idxnode workers as peers
+// 1..N (the handshake Hello carries this table, so workers learn their
+// sibling addresses from it), and attaches the resulting mesh to the
+// executor runtime template. The executor pool is forced to one — a mesh
+// is a single node-0 resource and cannot be shared across runtimes.
+func joinCluster(workers string, cfg *sched.Config) (*wire.Mesh, error) {
+	if cfg.Runtime.DCR {
+		return nil, fmt.Errorf("-cluster excludes -dcr: only the centralized path ships slices")
+	}
+	peers := map[int]string{}
+	for i, a := range strings.Split(workers, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("-cluster: empty worker address at position %d", i+1)
+		}
+		peers[i+1] = a
+	}
+	fab, err := wire.NewTCP(wire.TCPConfig{Self: 0, Listen: "127.0.0.1:0", Peers: peers, Epoch: 1})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Metrics == nil {
+		// The wire_* families must land in the registry /metrics serves.
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	mesh, err := wire.NewMesh(wire.MeshConfig{
+		Self:    0,
+		Nodes:   len(peers) + 1,
+		Fabric:  fab,
+		Metrics: cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Executors = 1
+	cfg.Runtime.Nodes = len(peers) + 1
+	cfg.Runtime.Cluster = mesh
+	return mesh, nil
+}
+
 // serve runs the scheduler service until SIGINT/SIGTERM, then drains
-// gracefully and shuts down.
-func serve(addr string, cfg sched.Config) error {
+// gracefully and shuts down. mesh is non-nil in cluster mode and closed on
+// the way out.
+func serve(addr string, cfg sched.Config, mesh *wire.Mesh) error {
 	s, err := sched.New(cfg)
 	if err != nil {
 		return err
@@ -220,6 +271,11 @@ func serve(addr string, cfg sched.Config) error {
 	}
 	fmt.Printf("idxserve: %d executors (%d nodes x %d procs each), %s queue\n",
 		cfg.Executors, cfg.Runtime.Nodes, cfg.Runtime.ProcsPerNode, s.Status().Queue)
+	if mesh != nil {
+		// The banner is parsed by the cluster smoke harness: keep the format.
+		fmt.Printf("idxserve: cluster mode — node 0 of %d, %d workers over TCP\n",
+			mesh.Nodes(), mesh.Nodes()-1)
+	}
 	fmt.Printf("idxserve: job API and metrics on http://%s (POST /jobs, /statusz, /metrics)\n", srv.Addr())
 	if cfg.Trace != nil {
 		fmt.Printf("idxserve: tracing on — GET /trace lists retained traces, GET /trace/{id} returns one\n")
@@ -237,6 +293,9 @@ func serve(addr string, cfg sched.Config) error {
 	s.Shutdown()
 	_ = srv.Close()
 	_ = cfg.Trace.Close()
+	if mesh != nil {
+		_ = mesh.Close()
+	}
 	st := s.Status()
 	var done int64
 	for _, ts := range st.Tenants {
@@ -342,7 +401,10 @@ func runBench(jsonDir string) error {
 		}
 		fmt.Println("wrote", path)
 	}
-	return runTraceOverheadBench(jsonDir)
+	if err := runTraceOverheadBench(jsonDir); err != nil {
+		return err
+	}
+	return runWireBench(jsonDir)
 }
 
 // runTraceOverheadBench measures the end-to-end tracing layer's marginal

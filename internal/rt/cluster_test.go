@@ -1,0 +1,205 @@
+package rt
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"indexlaunch/internal/core"
+	"indexlaunch/internal/domain"
+	"indexlaunch/internal/wire"
+)
+
+// testCluster stands up an n-node wire mesh over the in-process loopback
+// hub: node 0 is returned for the runtime, nodes 1..n-1 act as workers
+// whose Exec handler runs fn and whose deliveries are collected.
+type testCluster struct {
+	meshes   []*wire.Mesh
+	executed []atomic.Int64 // per-node remote executions
+
+	mu     sync.Mutex
+	slices map[int][]ClusterMsg // node -> received slice messages
+}
+
+func newTestCluster(t *testing.T, n int, fn func(task string, point domain.Point, args []byte) ([]byte, error)) *testCluster {
+	t.Helper()
+	hub := wire.NewHub()
+	tc := &testCluster{
+		meshes:   make([]*wire.Mesh, n),
+		executed: make([]atomic.Int64, n),
+		slices:   map[int][]ClusterMsg{},
+	}
+	for i := 0; i < n; i++ {
+		m, err := wire.NewMesh(wire.MeshConfig{
+			Self: i, Nodes: n, Fabric: hub.Fabric(i),
+			Deliver: func(node int, tag string, payload []byte) {
+				msg, err := DecodeClusterPayload(payload)
+				if err != nil {
+					t.Errorf("node %d: bad cluster payload: %v", node, err)
+					return
+				}
+				tc.mu.Lock()
+				tc.slices[node] = append(tc.slices[node], msg)
+				tc.mu.Unlock()
+			},
+			Exec: func(task string, point domain.Point, args []byte) ([]byte, error) {
+				tc.executed[i].Add(1)
+				return fn(task, point, args)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.meshes[i] = m
+		t.Cleanup(func() { _ = m.Close() })
+	}
+	return tc
+}
+
+func (tc *testCluster) remoteExecs() int64 {
+	var total int64
+	for i := range tc.executed {
+		total += tc.executed[i].Load()
+	}
+	return total
+}
+
+func TestClusterLoopbackRemoteExecution(t *testing.T) {
+	const nodes = 3
+	body := func(task string, point domain.Point, args []byte) ([]byte, error) {
+		return EncodeF64(float64(point.X() * point.X())), nil
+	}
+	tc := newTestCluster(t, nodes, body)
+	r := MustNew(Config{Nodes: nodes, ProcsPerNode: 2, IndexLaunches: true, Cluster: tc.meshes[0]})
+	defer r.Shutdown()
+
+	// The registered body is what node-0-local points run; workers run the
+	// mesh Exec handler above. Both compute x².
+	id := r.MustRegisterTask("square", func(ctx *Context) ([]byte, error) {
+		return EncodeF64(float64(ctx.Point.X() * ctx.Point.X())), nil
+	})
+
+	fm, err := r.ExecuteIndex(&core.IndexLaunch{
+		Task:   id,
+		Tag:    "squares",
+		Domain: domain.Range1(0, 29),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := fm.SumF64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, p := range domain.Range1(0, 29).Points() {
+		want += float64(p.X() * p.X())
+	}
+	if fm.Len() != 30 || sum != want {
+		t.Fatalf("got %d results summing %v, want 30 summing %v", fm.Len(), sum, want)
+	}
+	r.Fence()
+
+	// Most points belong to worker nodes (block mapping over 3 nodes →
+	// ~20 of 30 points) and must have executed in the "worker" meshes.
+	if got := tc.remoteExecs(); got == 0 {
+		t.Fatal("no remote executions: cluster mode ran everything locally")
+	}
+	if tc.executed[0].Load() != 0 {
+		t.Fatal("node 0 received Exec requests; local points must run locally")
+	}
+
+	// Workers received their slice descriptors.
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for n := 1; n < nodes; n++ {
+		found := false
+		for _, m := range tc.slices[n] {
+			if m.Kind == "slice" && m.Slice.Node == n && !m.Slice.Domain.Empty() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d received no slice descriptor: %+v", n, tc.slices[n])
+		}
+	}
+}
+
+func TestClusterRemoteTaskErrorFeedsRetryLadder(t *testing.T) {
+	var failures atomic.Int64
+	body := func(task string, point domain.Point, args []byte) ([]byte, error) {
+		if failures.Add(1) <= 2 {
+			return nil, errors.New("transient worker failure")
+		}
+		return EncodeF64(1), nil
+	}
+	tc := newTestCluster(t, 2, body)
+	r := MustNew(Config{Nodes: 2, ProcsPerNode: 1, IndexLaunches: true,
+		Cluster: tc.meshes[0], Retry: RetryPolicy{Max: 3}})
+	defer r.Shutdown()
+	id := r.MustRegisterTask("flaky", func(ctx *Context) ([]byte, error) {
+		return EncodeF64(1), nil
+	})
+	fm, err := r.ExecuteIndex(&core.IndexLaunch{Task: id, Tag: "t", Domain: domain.Range1(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := fm.Wait(); werr != nil {
+		t.Fatalf("points failed despite retries: %v", werr)
+	}
+	if r.Stats().Retries == 0 {
+		t.Fatal("remote failures did not drive the retry ladder")
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	tc := newTestCluster(t, 3, func(string, domain.Point, []byte) ([]byte, error) { return nil, nil })
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"dcr", Config{Nodes: 3, ProcsPerNode: 1, DCR: true, Cluster: tc.meshes[0]}},
+		{"node-count", Config{Nodes: 5, ProcsPerNode: 1, Cluster: tc.meshes[0]}},
+		{"not-node-zero", Config{Nodes: 3, ProcsPerNode: 1, Cluster: tc.meshes[1]}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil {
+			t.Fatalf("%s: config accepted", c.name)
+		}
+	}
+}
+
+func TestClusterPayloadRoundTrip(t *testing.T) {
+	dense := Slice{Domain: domain.Range1(5, 25), Node: 2}
+	b := encodeClusterPayload(sliceMsg{idx: 7, s: dense})
+	msg, err := DecodeClusterPayload(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != "slice" || msg.Index != 7 || msg.Slice.Node != 2 || !msg.Slice.Domain.Eq(dense.Domain) {
+		t.Fatalf("dense round trip: %+v", msg)
+	}
+
+	sparse := Slice{Domain: domain.DiagonalSlice3(domain.Rect{Lo: domain.Pt3(0, 0, 0), Hi: domain.Pt3(3, 3, 3)}, 4), Node: 1}
+	b = encodeClusterPayload(sliceMsg{idx: 0, s: sparse})
+	msg, err = DecodeClusterPayload(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != "slice" || !msg.Slice.Domain.Eq(sparse.Domain) || !msg.Slice.Domain.Sparse() {
+		t.Fatalf("sparse round trip: %+v", msg)
+	}
+
+	b = encodeClusterPayload(resyncMsg{epoch: -9})
+	msg, err = DecodeClusterPayload(b)
+	if err != nil || msg.Kind != "resync" || msg.Epoch != -9 {
+		t.Fatalf("resync round trip: %v %+v", err, msg)
+	}
+
+	for _, bad := range [][]byte{nil, {99}, {1, 0x80}, {2}} {
+		if _, err := DecodeClusterPayload(bad); err == nil {
+			t.Fatalf("payload %v accepted", bad)
+		}
+	}
+}

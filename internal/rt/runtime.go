@@ -14,6 +14,7 @@ import (
 	"indexlaunch/internal/privilege"
 	"indexlaunch/internal/region"
 	"indexlaunch/internal/safety"
+	"indexlaunch/internal/wire"
 	"indexlaunch/internal/xport"
 )
 
@@ -81,6 +82,16 @@ type Config struct {
 	// Retransmit tunes the transport's per-hop ack-timeout ladder; the
 	// zero value uses the transport defaults.
 	Retransmit xport.RetransmitPolicy
+	// Cluster replaces the in-process transport with a socket mesh
+	// (internal/wire): slice shipments, probes and resync broadcasts
+	// travel over it, and region-free point tasks execute in the worker
+	// process owning their node. The mesh's node 0 must be this process
+	// and its size must equal Nodes. Requires the centralized path
+	// (DCR == false) and excludes Chaos — socket-level chaos is injected
+	// by wire.Proxy, outside the process. Nil (the default) keeps the
+	// deterministic in-process transport; every existing configuration is
+	// byte-identical in that mode.
+	Cluster *wire.Mesh
 	// Profile attaches an observability recorder (internal/obs): pipeline
 	// stage spans (issuance, logical, distribution, physical, execute),
 	// retry/fault/fence incidents and trace capture/replay events are
@@ -208,10 +219,13 @@ type Runtime struct {
 	hm     *healthManager
 	specOn bool
 
-	// Message transport for the centralized path; nil in DCR mode. The
-	// per-broadcast delivery handler is installed by shipSlices under
-	// deliverMu (transport goroutines call it concurrently).
-	xp        *xport.Transport
+	// Message transport for the centralized path; nil in DCR mode. Either
+	// the deterministic in-process *xport.Transport or, in cluster mode, a
+	// meshTransport over Config.Cluster's socket mesh. The per-broadcast
+	// delivery handler is installed by shipSlices under deliverMu
+	// (transport goroutines call it concurrently).
+	xp        transport
+	cluster   *wire.Mesh
 	deliverMu sync.Mutex
 	deliverFn func(node int, payload any)
 
@@ -305,8 +319,25 @@ func New(cfg Config) (*Runtime, error) {
 	r.specOn = cfg.Speculate.Enabled() && cfg.Nodes > 1
 	// The centralized path always gets a transport (it ships slices); with
 	// a HeartbeatPolicy the DCR path gets one too, carrying probe traffic
-	// only — the detector needs real routes for chaos to starve.
-	if !cfg.DCR || cfg.Heartbeat.Enabled() {
+	// only — the detector needs real routes for chaos to starve. Cluster
+	// mode swaps the in-process transport for the socket mesh.
+	switch {
+	case cfg.Cluster != nil:
+		if cfg.DCR {
+			return nil, fmt.Errorf("rt: Cluster requires the centralized path (DCR == false)")
+		}
+		if cfg.Chaos != nil {
+			return nil, fmt.Errorf("rt: Cluster excludes Chaos: socket-level chaos is injected by wire.Proxy, outside the process")
+		}
+		if got := cfg.Cluster.Nodes(); got != cfg.Nodes {
+			return nil, fmt.Errorf("rt: Cluster spans %d nodes, config says %d", got, cfg.Nodes)
+		}
+		if self := cfg.Cluster.Self(); self != 0 {
+			return nil, fmt.Errorf("rt: Cluster node %d cannot host the runtime: only node 0 issues launches", self)
+		}
+		r.cluster = cfg.Cluster
+		r.xp = meshTransport{m: cfg.Cluster}
+	case !cfg.DCR || cfg.Heartbeat.Enabled():
 		xp, err := xport.New(cfg.Nodes, xport.Options{
 			Chaos:      cfg.Chaos,
 			Retransmit: cfg.Retransmit,

@@ -213,7 +213,7 @@ func (r *Runtime) runAttempt(tr *taskRun, node int, backup bool) {
 		// buffered reductions or accessor state into its retry.
 		ctx := &Context{Point: tr.point, Node: node, Task: tr.task, Args: tr.args,
 			regions: tr.prs, cancel: tr.cancelCh()}
-		val, err = r.runBody(tr.fn, ctx)
+		val, err = r.execBody(tr, ctx, node)
 		if err == nil {
 			attempts++
 			r.commitAttempt(tr, ctx, node, backup, val, nil, attempts, tExec, timedExec)

@@ -2,6 +2,7 @@ package rt
 
 import (
 	"indexlaunch/internal/health"
+	"indexlaunch/internal/wire"
 	"indexlaunch/internal/xport"
 )
 
@@ -42,6 +43,10 @@ type Status struct {
 	Health        []health.NodeHealth `json:"health,omitempty"`
 	HealthSummary string              `json:"health_summary,omitempty"`
 	ResyncEpoch   int64               `json:"resync_epoch,omitempty"`
+
+	// Peers is the cluster mesh's per-peer connection table (address,
+	// connectivity, byte/message counters); nil outside cluster mode.
+	Peers []wire.PeerStatus `json:"peers,omitempty"`
 }
 
 // Status snapshots the runtime for live introspection. Safe for concurrent
@@ -79,6 +84,9 @@ func (r *Runtime) Status() Status {
 	if r.xp != nil {
 		sh := r.xp.Shape()
 		st.Tree = &sh
+	}
+	if r.cluster != nil {
+		st.Peers = r.cluster.Peers()
 	}
 	return st
 }

@@ -60,9 +60,22 @@ func (r *Runtime) shipSlices(tag string, slices []Slice, tc obs.TraceRef) []Slic
 			out[i] = s
 			continue
 		}
+		if r.cluster != nil {
+			// Cluster mode: the worker gets the descriptor (its view of
+			// what it owns), but the slice also stays resident here —
+			// issuance and analysis run on node 0 and drive execution
+			// point-by-point through Mesh.Exec.
+			out[i] = s
+		}
 		items = append(items, xport.Item{Dst: node, Payload: sliceMsg{idx: i, s: s}})
 	}
 	if len(items) == 0 {
+		return out
+	}
+	if r.cluster != nil {
+		// Delivery lands in the worker processes; nothing to reassemble
+		// locally. The broadcast still blocks until every worker acked.
+		r.xp.BroadcastTraced(tc, tag, items)
 		return out
 	}
 	var mu sync.Mutex

@@ -65,18 +65,25 @@ type KindFunc func(req SubmitRequest) (RunFunc, error)
 // executor runtime.
 const SyntheticTaskName = "sched_spin"
 
+// SyntheticEval is the synthetic spin body for one launch index: a small
+// deterministic mix seeded by x. Exported so cluster worker daemons
+// (cmd/idxnode) can run the exact same computation for remote points that
+// SyntheticSetup registers locally.
+func SyntheticEval(x int64) []byte {
+	v := uint64(x) + 0x9e3779b97f4a7c15
+	for i := 0; i < 64; i++ {
+		v ^= v >> 33
+		v *= 0xff51afd7ed558ccd
+	}
+	return rt.EncodeF64(float64(v % 1000))
+}
+
 // SyntheticSetup registers the synthetic spin task — the Config.Setup for a
 // scheduler serving the synthetic kind. The task is pure compute over its
 // launch index, so it needs no region requirements.
 func SyntheticSetup(r *rt.Runtime) error {
 	_, err := r.RegisterTask(SyntheticTaskName, func(ctx *rt.Context) ([]byte, error) {
-		// A small deterministic spin seeded by the launch index.
-		x := uint64(ctx.Point.X()) + 0x9e3779b97f4a7c15
-		for i := 0; i < 64; i++ {
-			x ^= x >> 33
-			x *= 0xff51afd7ed558ccd
-		}
-		return rt.EncodeF64(float64(x % 1000)), nil
+		return SyntheticEval(ctx.Point.X()), nil
 	})
 	return err
 }

@@ -1,0 +1,44 @@
+package wire
+
+// Fabric moves encoded frames between mesh peers. The mesh owns all
+// delivery semantics — routing, acks, retransmission, dedup — so a fabric
+// only has to make a best effort at getting one frame to one peer: a
+// dropped, duplicated or reordered frame is recovered above, exactly as a
+// lossy socket would be.
+type Fabric interface {
+	// Send forwards one frame toward peer dst. It may buffer; an error
+	// means the frame was certainly not sent (no connection and no way to
+	// make one). Safe for concurrent use.
+	Send(dst int, f *Frame) error
+
+	// SetReceiver installs the inbound-frame callback. Must be called
+	// exactly once, before the first Send anywhere in the mesh; the
+	// callback must not block indefinitely (it may be invoked from the
+	// fabric's read loops).
+	SetReceiver(fn func(f *Frame))
+
+	// Peers snapshots the fabric's per-peer connection state for the
+	// /statusz peer table.
+	Peers() []PeerStatus
+
+	// Close tears the fabric down; in-flight sends may be lost.
+	Close() error
+}
+
+// PeerStatus is one row of the /statusz peer table.
+type PeerStatus struct {
+	// Node is the peer's mesh node id.
+	Node int `json:"node"`
+	// Addr is the peer's dial address ("local" on a loopback fabric).
+	Addr string `json:"addr"`
+	// Connected reports a currently-established connection.
+	Connected bool `json:"connected"`
+	// Reconnects counts connection establishments (1 = first connect).
+	Reconnects int64 `json:"reconnects"`
+	// BytesSent/BytesRecv/MsgsSent/MsgsRecv are the peer's lifetime frame
+	// traffic counters.
+	BytesSent int64 `json:"bytes_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
+	MsgsSent  int64 `json:"msgs_sent"`
+	MsgsRecv  int64 `json:"msgs_recv"`
+}

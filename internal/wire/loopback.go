@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Loopback fabric: an in-memory hub connecting the meshes of one process.
+// Send encodes the frame, decodes it again and hands it to the destination
+// synchronously in the sender's goroutine — no sockets, no timers, no
+// reordering — so a loopback mesh is exactly as deterministic as the
+// in-process channel transport while still exercising the codec on every
+// frame. It is the fabric the seed-matrix tests and the loopback half of
+// the loopback-vs-TCP benchmark run on, and the baseline a multi-process
+// run's trace is compared against.
+
+// Hub is the shared switchboard of one process's loopback fabrics.
+type Hub struct {
+	mu    sync.Mutex
+	ports map[int]*loopbackFabric
+}
+
+// NewHub creates an empty loopback switchboard.
+func NewHub() *Hub { return &Hub{ports: map[int]*loopbackFabric{}} }
+
+// Fabric returns the hub port for mesh node self, creating it on first use.
+func (h *Hub) Fabric(self int) Fabric {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.ports[self]
+	if p == nil {
+		p = &loopbackFabric{hub: h, self: self}
+		h.ports[self] = p
+	}
+	return p
+}
+
+type loopbackFabric struct {
+	hub  *Hub
+	self int
+
+	mu     sync.Mutex
+	recv   func(*Frame)
+	mx     *wireMetrics
+	closed bool
+}
+
+func (l *loopbackFabric) attach(mx *wireMetrics) {
+	l.mu.Lock()
+	l.mx = mx
+	l.mu.Unlock()
+}
+
+func (l *loopbackFabric) SetReceiver(fn func(*Frame)) {
+	l.mu.Lock()
+	l.recv = fn
+	l.mu.Unlock()
+}
+
+// Send encodes f, routes it through the hub and delivers it synchronously.
+// The encode/decode round trip is not an affectation: it keeps the codec on
+// the hot path of every deterministic test, so a frame-format bug cannot
+// hide behind in-memory shortcuts.
+func (l *loopbackFabric) Send(dst int, f *Frame) error {
+	l.mu.Lock()
+	mx := l.mx
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return fmt.Errorf("wire: loopback fabric %d closed", l.self)
+	}
+
+	buf := EncodeFrame(f)
+	df, _, err := DecodeFrame(buf)
+	if err != nil {
+		return fmt.Errorf("wire: loopback self-decode: %w", err)
+	}
+
+	l.hub.mu.Lock()
+	peer := l.hub.ports[dst]
+	l.hub.mu.Unlock()
+	if peer == nil {
+		return fmt.Errorf("wire: loopback peer %d not attached", dst)
+	}
+	peer.mu.Lock()
+	recv := peer.recv
+	peerClosed := peer.closed
+	pmx := peer.mx
+	peer.mu.Unlock()
+	if peerClosed || recv == nil {
+		return fmt.Errorf("wire: loopback peer %d not receiving", dst)
+	}
+
+	if mx != nil {
+		pc := mx.peer(dst)
+		pc.msgsSent.Inc()
+		pc.bytesSent.Add(int64(len(buf)))
+	}
+	if pmx != nil {
+		pc := pmx.peer(l.self)
+		pc.msgsRecv.Inc()
+		pc.bytesRecv.Add(int64(len(buf)))
+	}
+	recv(df)
+	return nil
+}
+
+func (l *loopbackFabric) Peers() []PeerStatus {
+	l.hub.mu.Lock()
+	ids := make([]int, 0, len(l.hub.ports))
+	for id := range l.hub.ports {
+		if id != l.self {
+			ids = append(ids, id)
+		}
+	}
+	l.hub.mu.Unlock()
+	sort.Ints(ids)
+
+	l.mu.Lock()
+	mx := l.mx
+	l.mu.Unlock()
+	out := make([]PeerStatus, 0, len(ids))
+	for _, id := range ids {
+		ps := PeerStatus{Node: id, Addr: "local", Connected: true, Reconnects: 1}
+		if mx != nil {
+			pc := mx.peer(id)
+			ps.BytesSent = pc.bytesSent.Value()
+			ps.BytesRecv = pc.bytesRecv.Value()
+			ps.MsgsSent = pc.msgsSent.Value()
+			ps.MsgsRecv = pc.msgsRecv.Value()
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+func (l *loopbackFabric) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	return nil
+}

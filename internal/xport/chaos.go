@@ -95,6 +95,31 @@ func (c *ChaosPlan) roll(salt uint64, lk link, seq uint64, attempt int) float64 
 	return float64(h>>11) / (1 << 53)
 }
 
+// Frame-level decision surface. The socket-level chaos proxy
+// (internal/wire.Proxy) applies the same plan to real TCP traffic: it
+// decodes frames off the stream and asks the plan for each frame's fate,
+// keyed on the frame's (src, dst, seq, attempt) identity exactly like the
+// in-process transport keys its transmissions. The salts are shared, so a
+// plan describes one fault schedule regardless of which fabric carries it.
+
+// FrameCut reports whether the directed pair's n-th forwarded frame falls
+// inside a partition window (n is the proxy's lifetime frame count for the
+// pair, the same clock cut runs on in-process).
+func (c *ChaosPlan) FrameCut(src, dst int, n int64) bool {
+	return c.cut(link{src: src, dst: dst}, n)
+}
+
+// FrameDrop reports whether the frame with the given identity is lost.
+func (c *ChaosPlan) FrameDrop(src, dst int, seq uint64, attempt int) bool {
+	return c.drop(link{src: src, dst: dst}, seq, attempt)
+}
+
+// FrameDelay returns the forwarding delay for the frame with the given
+// identity (reorder rolls add a full extra DelayMax, as in-process).
+func (c *ChaosPlan) FrameDelay(src, dst int, seq uint64, attempt int) time.Duration {
+	return c.delay(link{src: src, dst: dst}, seq, attempt)
+}
+
 // cut reports whether the link's n-th lifetime transmission falls inside a
 // partition window.
 func (c *ChaosPlan) cut(lk link, n int64) bool {

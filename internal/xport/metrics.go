@@ -55,6 +55,25 @@ func newXportMetrics(reg *metrics.Registry) *xportMetrics {
 	}
 }
 
+// linkSnapshot deep-copies the per-link counter table into a fresh map of
+// value snapshots. Taken under mu so a concurrently-resolving sender never
+// races the iteration, and returning copies (never the cached *Counter
+// map itself) keeps Stats callers from racing the message path.
+func (m *xportMetrics) linkSnapshot() map[string]LinkStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]LinkStats, len(m.links))
+	for lk, lc := range m.links {
+		out[fmt.Sprintf("%d->%d", lk.src, lk.dst)] = LinkStats{
+			Sends:       lc.sends.Value(),
+			Acks:        lc.acks.Value(),
+			Retransmits: lc.retransmits.Value(),
+			Drops:       lc.drops.Value(),
+		}
+	}
+	return out
+}
+
 // link resolves (and caches) the per-link counters for lk.
 func (m *xportMetrics) link(lk link) *linkCounters {
 	m.mu.Lock()

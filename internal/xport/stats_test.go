@@ -1,0 +1,74 @@
+package xport
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsSnapshotRace locks in the deep-copy contract of Stats.PerLink: a
+// caller iterating a snapshot must never share a map with the message path,
+// even while broadcasts are registering new links concurrently. Run under
+// -race this fails if the snapshot ever aliases the live link table.
+func TestStatsSnapshotRace(t *testing.T) {
+	delivered := make(chan struct{}, 1024)
+	tr, err := New(8, Options{Deliver: func(node int, payload any) {
+		select {
+		case delivered <- struct{}{}:
+		default:
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			items := []Item{
+				{Dst: 1 + round%7, Payload: round},
+				{Dst: 1 + (round+3)%7, Payload: round},
+			}
+			tr.Broadcast("race", items)
+		}
+	}()
+
+	<-delivered // at least one broadcast is in flight before snapshotting
+	for i := 0; i < 200; i++ {
+		st := tr.Stats()
+		// Iterate and mutate the snapshot: both must be invisible to the
+		// transport. Without the deep copy the iteration alone races the
+		// sender's link-cache writes.
+		var total int64
+		for lk, ls := range st.PerLink {
+			total += ls.Sends + ls.Acks + ls.Retransmits + ls.Drops
+			st.PerLink[lk] = LinkStats{}
+		}
+		if total < 0 {
+			t.Fatalf("impossible negative counter total %d", total)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := tr.Stats()
+	if len(st.PerLink) == 0 {
+		t.Fatal("Stats.PerLink empty after broadcasts")
+	}
+	if st.PerLink["0->1"].Sends == 0 {
+		t.Fatalf("link 0->1 recorded no sends: %+v", st.PerLink)
+	}
+	// Two snapshots must not share storage.
+	a, b := tr.Stats(), tr.Stats()
+	a.PerLink["0->1"] = LinkStats{Sends: -1}
+	if b.PerLink["0->1"].Sends == -1 {
+		t.Fatal("snapshots share PerLink storage; want deep copy")
+	}
+}

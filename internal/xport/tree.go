@@ -64,7 +64,13 @@ func (t *Transport) Shape() TreeShape {
 	alive := make([]bool, len(t.alive))
 	copy(alive, t.alive)
 	t.mu.Unlock()
+	return ShapeOf(alive)
+}
 
+// ShapeOf computes the broadcast tree's shape for a liveness snapshot. It is
+// the pure core of Transport.Shape, shared with internal/wire's mesh so the
+// socket transport reports the same /statusz tree the in-process one does.
+func ShapeOf(alive []bool) TreeShape {
 	sh := TreeShape{Parents: make([]int, len(alive))}
 	for _, a := range alive {
 		if a {
@@ -92,6 +98,28 @@ func (t *Transport) Shape() TreeShape {
 		}
 	}
 	return sh
+}
+
+// RoutePlan is the exported form of one broadcast's routing decision — what
+// PlanRoutes hands to out-of-package transports (internal/wire's mesh) so
+// sockets and channels route payloads through the identical tree.
+type RoutePlan struct {
+	// Routes maps each destination to its relay chain from node 0: every
+	// interior entry is a live relay, the final entry is the destination.
+	Routes map[int][]int
+	// Reparents counts live non-root nodes whose original parent is dead.
+	Reparents int
+	// Direct reports that the tree was abandoned for direct node-0 sends.
+	Direct bool
+}
+
+// PlanRoutes computes broadcast-tree routing for one broadcast over a
+// liveness snapshot. Destinations must be live, non-zero node ids. The
+// decision logic is exactly Transport's own — a wire.Mesh built on it
+// re-parents and degrades to direct sends identically.
+func PlanRoutes(alive []bool, dsts []int) RoutePlan {
+	p := planRoutes(alive, dsts)
+	return RoutePlan{Routes: p.routes, Reparents: p.reparents, Direct: p.direct}
 }
 
 // planRoutes computes the routing for one broadcast over the given liveness

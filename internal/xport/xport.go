@@ -51,8 +51,9 @@ const (
 	defaultMaxBackoff = 16 * time.Millisecond
 )
 
-// waitFor returns the capped ack timeout for the given 1-based attempt.
-func (rp RetransmitPolicy) waitFor(attempt int) time.Duration {
+// WaitFor returns the capped ack timeout for the given 1-based attempt.
+// Exported so internal/wire's mesh retransmits on the identical ladder.
+func (rp RetransmitPolicy) WaitFor(attempt int) time.Duration {
 	base := rp.Timeout
 	if base <= 0 {
 		base = defaultTimeout
@@ -92,6 +93,18 @@ type Stats struct {
 	// DirectBroadcasts counts broadcasts that abandoned the degraded tree
 	// for direct node-0 sends.
 	DirectBroadcasts int64
+	// PerLink maps each directed link ("src->dst") to its own counters.
+	// The map is built fresh on every snapshot — callers may iterate it
+	// freely while senders keep transmitting.
+	PerLink map[string]LinkStats
+}
+
+// LinkStats is one directed link's counter snapshot.
+type LinkStats struct {
+	Sends       int64
+	Acks        int64
+	Retransmits int64
+	Drops       int64
 }
 
 // Options configures a Transport.
@@ -235,7 +248,9 @@ func (t *Transport) Recycle() {
 
 // Stats snapshots the transport counters. The values are read from the
 // metrics registry the transport records into — there is no second
-// bookkeeping path.
+// bookkeeping path. The per-link table is deep-copied under the link-cache
+// lock: the snapshot shares no map with the message path, so iterating it
+// while senders run is race-free.
 func (t *Transport) Stats() Stats {
 	return Stats{
 		Sends:            t.mx.sends.Value(),
@@ -244,6 +259,7 @@ func (t *Transport) Stats() Stats {
 		Dedups:           t.mx.dedups.Value(),
 		Reparents:        t.mx.reparents.Value(),
 		DirectBroadcasts: t.mx.directs.Value(),
+		PerLink:          t.mx.linkSnapshot(),
 	}
 }
 
@@ -327,7 +343,7 @@ func (t *Transport) sendReliable(lk link, m *msg) {
 	htc := m.hopTC(lk)
 	for attempt := 1; ; attempt++ {
 		t.transmit(lk, seq, attempt, m)
-		wait := t.rp.waitFor(attempt) + t.chaos.jitter(t.rp.waitFor(attempt), lk, seq, attempt)
+		wait := t.rp.WaitFor(attempt) + t.chaos.jitter(t.rp.WaitFor(attempt), lk, seq, attempt)
 		timer := time.NewTimer(wait)
 		select {
 		case <-ack:

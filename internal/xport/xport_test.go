@@ -268,19 +268,19 @@ func TestRetransmitPolicyWaitForCaps(t *testing.T) {
 	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
 		8 * time.Millisecond, 8 * time.Millisecond}
 	for i, w := range want {
-		if got := rp.waitFor(i + 1); got != w {
+		if got := rp.WaitFor(i + 1); got != w {
 			t.Errorf("waitFor(%d) = %v, want %v", i+1, got, w)
 		}
 	}
 	// Huge attempt counts must stay at the cap, not wrap.
 	for _, attempt := range []int{32, 63, 64, 1 << 20} {
-		if got := rp.waitFor(attempt); got != 8*time.Millisecond {
+		if got := rp.WaitFor(attempt); got != 8*time.Millisecond {
 			t.Errorf("waitFor(%d) = %v, want cap", attempt, got)
 		}
 	}
 	var zero RetransmitPolicy
-	if zero.waitFor(1) != defaultTimeout || zero.waitFor(1000) != defaultMaxBackoff {
-		t.Errorf("zero policy defaults wrong: %v, %v", zero.waitFor(1), zero.waitFor(1000))
+	if zero.WaitFor(1) != defaultTimeout || zero.WaitFor(1000) != defaultMaxBackoff {
+		t.Errorf("zero policy defaults wrong: %v, %v", zero.WaitFor(1), zero.WaitFor(1000))
 	}
 }
 
